@@ -1,0 +1,26 @@
+"""Benchmark fixtures: cached corpus networks shared across bench files.
+
+Every bench regenerates one of the paper's tables/figures at reduced size
+(the full-scale runs live behind ``repro-experiments <id> --scale 1.0``) and
+prints the reproduced rows, so `pytest benchmarks/ --benchmark-only -s`
+doubles as a results report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+_CACHE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def bp_fixture_bench():
+    """A BP corpus network reused by the reconciliation benches."""
+    if "bp" not in _CACHE:
+        from repro.experiments.harness import build_fixture
+
+        _CACHE["bp"] = build_fixture(
+            corpus_name="BP", scale=0.6, seed=3, pipeline="coma_like"
+        )
+    return _CACHE["bp"]

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 11 (the likelihood criterion in instantiation).
+
+Paper shape: instantiation that uses the likelihood (for tie-breaks and the
+roulette wheel) produces a matching at least as good as the variant that
+ignores it, on both precision and recall.
+"""
+
+from repro.experiments import fig11_likelihood
+
+EFFORTS = (0.0, 0.05, 0.10, 0.15)
+
+
+def test_bench_fig11(benchmark, bp_fixture_bench):
+    def run():
+        return fig11_likelihood.run(
+            corpus_name="BP",
+            scale=0.6,
+            seed=3,
+            efforts=EFFORTS,
+            runs=2,
+            target_samples=150,
+            instantiation_iterations=100,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n" + result.to_text())
+
+    mean = lambda xs: sum(xs) / len(xs)
+    precision_without = result.column("Prec without")
+    precision_with = result.column("Prec with")
+    recall_without = result.column("Rec without")
+    recall_with = result.column("Rec with")
+    # Likelihood-guided instantiation is at least as good on average.
+    assert mean(precision_with) >= mean(precision_without) - 0.03
+    assert mean(recall_with) >= mean(recall_without) - 0.03
+    # All values are valid rates.
+    for column in (precision_without, precision_with, recall_without, recall_with):
+        assert all(0.0 <= v <= 1.0 for v in column)

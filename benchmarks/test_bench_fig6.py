@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 6 (probability-estimation time vs network size).
+
+Paper shape: per-sample time grows with |C| but stays in the low
+milliseconds even at thousands of candidate correspondences.
+"""
+
+from repro.experiments import fig6_sampling_time
+
+SIZES = (128, 256, 512, 1024, 2048)
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(
+        fig6_sampling_time.run,
+        kwargs={"sizes": SIZES, "n_samples": 60, "seed": 1},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.to_text())
+    times = result.column("ms/sample")
+    # Monotone-ish growth: the largest network costs more per sample than
+    # the smallest.
+    assert times[-1] > times[0]
+    # And stays tractable (paper: ~2 ms/sample at |C| = 4096).
+    assert times[-1] < 500.0

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 7 (K-L ratio of sampled vs exact probabilities).
+
+Paper shape: with 2^(|C|/2) samples the K-L ratio stays small (the paper
+reports < 2%), i.e. the sampled distribution is dramatically closer to the
+exact one than the maximum-entropy baseline.
+"""
+
+from repro.experiments import fig7_kl_ratio
+
+SIZES = tuple(range(10, 19, 2))
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(
+        fig7_kl_ratio.run,
+        kwargs={"sizes": SIZES, "scale": 1.0, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.to_text())
+    ratios = result.column("KLratio(%)")
+    assert all(r < 25.0 for r in ratios)
+    # The larger sample budgets keep the tail of the curve tiny.
+    assert all(r < 5.0 for r in ratios[2:])

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 8 (probability vs correctness histogram).
+
+Paper shape: most candidates sit in the upper probability range, and the
+correct/incorrect ratio rises with the probability bucket.
+"""
+
+from repro.experiments import fig8_probability_correctness
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark.pedantic(
+        fig8_probability_correctness.run,
+        kwargs={"scale": 1.0, "seed": 1, "target_samples": 400},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.to_text())
+    correct = result.column("correct(%)")
+    incorrect = result.column("incorrect(%)")
+    # Top half of the histogram is dominated by correct correspondences...
+    assert sum(correct[5:]) > sum(incorrect[5:])
+    # ...and the bottom half by incorrect ones.
+    assert sum(incorrect[:5]) > sum(correct[:5])
+    # Most mass lies in [0.5, 1.0] (paper: > 75%).
+    upper_mass = sum(correct[5:]) + sum(incorrect[5:])
+    assert upper_mass > 50.0

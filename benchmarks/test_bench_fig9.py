@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 9 (uncertainty reduction, Random vs Heuristic).
+
+Paper shape: the information-gain heuristic reaches a given uncertainty
+with far less effort than the random baseline (paper: up to ~48% effort
+saved); precision of the surviving candidates rises with effort under both.
+"""
+
+from repro.experiments import fig9_uncertainty_reduction
+
+EFFORTS = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_bench_fig9(benchmark, bp_fixture_bench):
+    def run():
+        return fig9_uncertainty_reduction.run(
+            corpus_name="BP",
+            scale=0.6,
+            seed=3,
+            efforts=EFFORTS,
+            runs=2,
+            target_samples=150,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n" + result.to_text())
+
+    random_curve = result.column("H/H0 random")
+    heuristic_curve = result.column("H/H0 heuristic")
+    # Both start at full uncertainty and end fully reconciled.
+    assert random_curve[0] == 1.0 and heuristic_curve[0] == 1.0
+    assert random_curve[-1] <= 1e-6 and heuristic_curve[-1] <= 1e-6
+    # Heuristic dominates random at every interior effort level.
+    for heuristic, rand in zip(heuristic_curve[1:-1], random_curve[1:-1]):
+        assert heuristic <= rand + 0.05
+    # Effort savings at the paper's reference threshold are positive.
+    savings = fig9_uncertainty_reduction.effort_savings(result, threshold=0.1)
+    print(f"effort saved to reach H/H0<=0.1: {savings:.0f} percentage points")
+    assert savings >= 0.0
+    # Precision rises with effort for both orderings.
+    precision_random = result.column("Prec random")
+    assert precision_random[-1] >= precision_random[0]

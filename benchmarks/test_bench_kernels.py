@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the system's hot kernels.
+
+These complement the per-figure benches: they time the individual
+components (sampling, information-gain ranking, repair, instantiation,
+matching) so regressions are attributable.
+"""
+
+import random
+
+from repro.core import (
+    InstanceSampler,
+    ProbabilisticNetwork,
+    information_gains,
+    instantiate,
+    repair,
+)
+from repro.matchers import coma_like
+
+
+def test_bench_sampler(benchmark, bp_fixture_bench):
+    network = bp_fixture_bench.network
+    sampler = InstanceSampler(network, rng=random.Random(1))
+    samples = benchmark(sampler.sample, 20)
+    assert len(samples) >= 1
+
+
+def test_bench_information_gain_ranking(benchmark, bp_fixture_bench):
+    network = bp_fixture_bench.network
+    pnet = ProbabilisticNetwork(network, target_samples=150, rng=random.Random(2))
+    samples = pnet.samples()
+
+    gains = benchmark(information_gains, samples, network.correspondences)
+    assert len(gains) == len(network.correspondences)
+
+
+def test_bench_repair(benchmark, bp_fixture_bench):
+    network = bp_fixture_bench.network
+    engine = network.engine
+    rng = random.Random(3)
+    # A consistent instance plus the most conflicted correspondence.
+    from repro.core import greedy_maximalize
+
+    conflicted = max(
+        network.correspondences,
+        key=lambda c: len(engine.violations_involving(c)),
+    )
+    base = greedy_maximalize(set(), network.correspondences, [conflicted], engine)
+    base.discard(conflicted)
+
+    repaired = benchmark(repair, base, conflicted, [], engine)
+    assert engine.is_consistent(repaired)
+
+
+def test_bench_instantiation(benchmark, bp_fixture_bench):
+    network = bp_fixture_bench.network
+    pnet = ProbabilisticNetwork(network, target_samples=150, rng=random.Random(4))
+
+    matching = benchmark.pedantic(
+        instantiate,
+        args=(pnet,),
+        kwargs={"iterations": 100, "rng": random.Random(5)},
+        iterations=1,
+        rounds=3,
+    )
+    assert network.engine.is_consistent(matching)
+
+
+def test_bench_matcher_pair(benchmark, bp_fixture_bench):
+    schemas = bp_fixture_bench.corpus.schemas[:2]
+    pipeline = coma_like()
+
+    candidates = benchmark.pedantic(
+        pipeline.match_pair,
+        args=(schemas[0], schemas[1]),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(candidates) > 0
+
+
+def test_bench_exact_enumeration(benchmark, bp_fixture_bench):
+    from repro.core import enumerate_instances
+    from repro.experiments.harness import conflicted_subnetwork
+
+    subnetwork = conflicted_subnetwork(bp_fixture_bench.network, 16, seed=2)
+    instances = benchmark(enumerate_instances, subnetwork)
+    assert len(instances) >= 1

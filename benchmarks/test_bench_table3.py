@@ -1,0 +1,22 @@
+"""Bench: regenerate Table III (constraint violations per matcher).
+
+Paper shape: every dataset × matcher cell shows far more violations than an
+expert could review exhaustively, with both matchers in the same ballpark.
+"""
+
+from repro.experiments import table3_violations
+
+
+def test_bench_table3(benchmark):
+    result = benchmark.pedantic(
+        table3_violations.run,
+        kwargs={"scale": 0.3, "seed": 1},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.to_text())
+    violations = result.column("Violations")
+    assert len(violations) == 8  # 4 datasets × 2 matchers
+    # The headline: matcher output does violate network constraints.
+    assert sum(violations) > 0
+    assert sum(1 for v in violations if v > 0) >= 6

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scenario: consolidating business-partner master data across systems.
+
+An enterprise runs three systems (CRM, ERP, billing) that each keep their
+own business-partner schema.  We regenerate such a landscape with the BP
+corpus generator, match every pair with the COMA-style pipeline, and then
+compare three reconciliation budgets (0%, 10%, 25% expert effort) in terms
+of the quality of the instantiated matching — the pay-as-you-go trade-off a
+data-integration team actually faces.
+
+Run with::
+
+    python examples/business_partner_integration.py
+"""
+
+import random
+
+from repro import (
+    InformationGainSelection,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    ReconciliationSession,
+)
+from repro.datasets import business_partner
+from repro.matchers import coma_like
+from repro.metrics import f_measure, precision, recall
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Generate the landscape and match it.
+    # ------------------------------------------------------------------
+    corpus = business_partner(scale=0.6, seed=42)
+    print("schemas:")
+    for schema in corpus.schemas:
+        preview = ", ".join(a.name for a in list(schema)[:4])
+        print(f"  {schema.name}: {len(schema)} attributes ({preview}, ...)")
+
+    pipeline = coma_like()
+    candidates = pipeline.match_network(corpus.schemas)
+    network = MatchingNetwork(corpus.schemas, candidates)
+    truth = corpus.ground_truth()
+
+    print(f"\nmatcher output    : {len(candidates)} candidates")
+    print(f"true matching     : {len(truth)} correspondences")
+    print(f"violations        : {network.violation_count()}")
+    print(
+        f"candidate quality : precision {precision(candidates.correspondences, truth):.2f}, "
+        f"recall {recall(candidates.correspondences, truth):.2f}"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Pay-as-you-go: instantiate at increasing effort budgets.
+    # ------------------------------------------------------------------
+    pnet = ProbabilisticNetwork(network, target_samples=200, rng=random.Random(1))
+    session = ReconciliationSession(
+        pnet, corpus.oracle(), InformationGainSelection(rng=random.Random(2))
+    )
+
+    print("\neffort  assertions  uncertainty  precision  recall  f1")
+    total = len(network.correspondences)
+    for effort in (0.0, 0.10, 0.25):
+        session.run(budget=round(effort * total))
+        matching = session.current_matching(
+            iterations=150, rng=random.Random(3)
+        )
+        print(
+            f"{effort:>6.0%}  {len(session.trace.steps):>10d}  "
+            f"{session.uncertainty():>11.1f}  "
+            f"{precision(matching, truth):>9.2f}  "
+            f"{recall(matching, truth):>6.2f}  "
+            f"{f_measure(matching, truth):.2f}"
+        )
+
+    print(
+        "\nThe matching is usable at every stage — more expert budget "
+        "buys higher precision/recall, which is the pay-as-you-go contract."
+    )
+
+
+if __name__ == "__main__":
+    main()

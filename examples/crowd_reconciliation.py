@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Scenario: reconciliation with an unreliable crowd instead of one expert.
+
+The paper assumes a single infallible expert; its discussion points to
+crowdsourced settings as the natural extension.  This example reconciles a
+business-partner network three ways — perfect expert, one noisy worker,
+and a majority vote over five noisy workers — and compares the quality of
+the resulting matchings.  Majority voting recovers most of the lost
+accuracy at 5× the (cheap) answer cost.
+
+Run with::
+
+    python examples/crowd_reconciliation.py
+"""
+
+import random
+
+from repro import (
+    InformationGainSelection,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    ReconciliationSession,
+)
+from repro.core import MajorityOracle, NoisyOracle, Oracle
+from repro.datasets import business_partner
+from repro.matchers import coma_like
+from repro.metrics import f_measure, precision, recall
+
+
+def reconcile_with(network, oracle, truth, seed, budget):
+    pnet = ProbabilisticNetwork(
+        network, target_samples=150, rng=random.Random(seed)
+    )
+    # Imperfect experts can approve correspondences that contradict earlier
+    # approvals under the constraints; "disapprove" trusts the constraints
+    # over the answer instead of aborting.
+    session = ReconciliationSession(
+        pnet,
+        oracle,
+        InformationGainSelection(rng=random.Random(seed + 1)),
+        on_conflict="disapprove",
+    )
+    session.run(budget=budget)
+    matching = session.current_matching(iterations=120, rng=random.Random(seed + 2))
+    return matching
+
+
+def main() -> None:
+    corpus = business_partner(scale=0.5, seed=13)
+    candidates = coma_like().match_network(corpus.schemas)
+    network = MatchingNetwork(corpus.schemas, candidates)
+    truth = corpus.ground_truth()
+    budget = round(0.3 * len(candidates))
+    print(
+        f"{len(candidates)} candidates, {network.violation_count()} violations, "
+        f"budget {budget} assertions\n"
+    )
+
+    error_rate = 0.2
+    experts = [
+        ("perfect expert", Oracle(truth)),
+        (
+            f"one worker (err={error_rate:.0%})",
+            NoisyOracle(truth, error_rate, rng=random.Random(100)),
+        ),
+        (
+            f"majority of 5 workers (err={error_rate:.0%} each)",
+            MajorityOracle(
+                [
+                    NoisyOracle(truth, error_rate, rng=random.Random(200 + i))
+                    for i in range(5)
+                ]
+            ),
+        ),
+    ]
+
+    print(f"{'expert model':<38s} precision  recall  f1")
+    for label, oracle in experts:
+        matching = reconcile_with(network, oracle, truth, seed=7, budget=budget)
+        print(
+            f"{label:<38s} {precision(matching, truth):>9.2f}  "
+            f"{recall(matching, truth):>6.2f}  {f_measure(matching, truth):.2f}"
+        )
+
+    print(
+        "\nA single noisy worker corrupts the matching; majority voting over "
+        "a small crowd restores most of the perfect-expert quality."
+    )
+
+
+if __name__ == "__main__":
+    main()

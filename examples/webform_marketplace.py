@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Scenario: interconnecting web-form schemas in a data marketplace.
+
+Dozens of auto-extracted web forms (the paper's WebForm dataset) must be
+interlinked so queries can span providers.  A complete interaction graph is
+too expensive to reconcile, so the marketplace matches each provider only
+against a few hub providers (a sparse Erdős–Rényi topology), and routes the
+limited expert budget with information gain.  We also compare the ordering
+strategies head-to-head on the same network.
+
+Run with::
+
+    python examples/webform_marketplace.py
+"""
+
+import random
+
+from repro import (
+    EntropySelection,
+    InformationGainSelection,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    RandomSelection,
+    ReconciliationSession,
+    erdos_renyi_graph,
+)
+from repro.datasets import webform
+from repro.matchers import amc_like
+from repro.metrics import precision, recall
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Extracted web-form schemas on a sparse interaction graph.
+    # ------------------------------------------------------------------
+    corpus = webform(scale=0.3, seed=9)
+    names = [schema.name for schema in corpus.schemas]
+    graph = erdos_renyi_graph(names, 0.2, rng=random.Random(4))
+    print(
+        f"{len(names)} web-form schemas, {len(graph.edges)} matched pairs "
+        f"(complete graph would need {len(names) * (len(names) - 1) // 2})"
+    )
+
+    # A permissive matcher configuration: over-generates candidates (and
+    # hence constraint violations), which is where guided reconciliation
+    # earns its keep.
+    candidates = amc_like(threshold=0.45).match_network(corpus.schemas, graph)
+    network = MatchingNetwork(corpus.schemas, candidates, graph=graph)
+    truth = corpus.ground_truth(graph)
+    print(
+        f"{len(candidates)} candidates, {network.violation_count()} violations, "
+        f"{len(truth)} true correspondences"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Compare selection strategies under the same 20% budget.
+    # ------------------------------------------------------------------
+    budget = max(1, round(0.2 * len(candidates)))
+    print(f"\nexpert budget: {budget} assertions (20% of candidates)\n")
+    print("strategy           uncertainty-left  precision  recall")
+
+    strategies = [
+        ("random", RandomSelection(rng=random.Random(10))),
+        ("entropy", EntropySelection(rng=random.Random(10))),
+        ("information-gain", InformationGainSelection(rng=random.Random(10))),
+    ]
+    for label, strategy in strategies:
+        pnet = ProbabilisticNetwork(
+            network, target_samples=150, rng=random.Random(20)
+        )
+        session = ReconciliationSession(pnet, corpus.oracle(graph), strategy)
+        initial = session.trace.initial_uncertainty or 1.0
+        session.run(budget=budget)
+        matching = session.current_matching(
+            iterations=120, rng=random.Random(30)
+        )
+        print(
+            f"{label:<18s} {session.uncertainty() / initial:>16.1%}  "
+            f"{precision(matching, truth):>9.2f}  "
+            f"{recall(matching, truth):>6.2f}"
+        )
+
+    print(
+        "\nNetwork-aware ordering (information gain) squeezes the most "
+        "certainty out of the same expert budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

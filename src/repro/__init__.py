@@ -1,0 +1,115 @@
+"""repro — Pay-as-you-go Reconciliation in Schema Matching Networks.
+
+A from-scratch reproduction of Nguyen et al., ICDE 2014: probabilistic
+matching networks over sets of schemas, information-gain-guided expert
+feedback, and any-time instantiation of a trusted matching.
+
+Quickstart
+----------
+>>> from repro import (
+...     MatchingNetwork, ProbabilisticNetwork, ReconciliationSession,
+...     InformationGainSelection,
+... )
+>>> from repro.datasets import business_partner
+>>> from repro.matchers import coma_like
+>>> corpus = business_partner(scale=0.3, seed=7)
+>>> candidates = coma_like().match_network(corpus.schemas)
+>>> network = MatchingNetwork(corpus.schemas, candidates)
+>>> pnet = ProbabilisticNetwork(network, target_samples=200)
+>>> session = ReconciliationSession(
+...     pnet, corpus.oracle(), InformationGainSelection()
+... )
+>>> _ = session.run(effort_budget=0.10)
+>>> trusted = session.current_matching()
+"""
+
+from .core import (
+    Attribute,
+    CandidateSet,
+    ConfidenceSelection,
+    Constraint,
+    ConstraintEngine,
+    Correspondence,
+    CycleConstraint,
+    EntropySelection,
+    ExactEstimator,
+    Feedback,
+    InconsistentFeedbackError,
+    InformationGainSelection,
+    InstanceSampler,
+    InteractionGraph,
+    MatchingNetwork,
+    OneToOneConstraint,
+    Oracle,
+    ProbabilisticNetwork,
+    RandomSelection,
+    ReconciliationSession,
+    SampleStore,
+    SampledEstimator,
+    Schema,
+    SelectionStrategy,
+    Violation,
+    binary_entropy,
+    complete_graph,
+    correspondence,
+    default_constraints,
+    enumerate_instances,
+    erdos_renyi_graph,
+    exact_instantiate,
+    exact_probabilities,
+    information_gain,
+    information_gains,
+    instantiate,
+    is_matching_instance,
+    network_uncertainty,
+    repair,
+    repair_distance,
+)
+from . import metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CandidateSet",
+    "ConfidenceSelection",
+    "Constraint",
+    "ConstraintEngine",
+    "Correspondence",
+    "CycleConstraint",
+    "EntropySelection",
+    "ExactEstimator",
+    "Feedback",
+    "InconsistentFeedbackError",
+    "InformationGainSelection",
+    "InstanceSampler",
+    "InteractionGraph",
+    "MatchingNetwork",
+    "OneToOneConstraint",
+    "Oracle",
+    "ProbabilisticNetwork",
+    "RandomSelection",
+    "ReconciliationSession",
+    "SampleStore",
+    "SampledEstimator",
+    "Schema",
+    "SelectionStrategy",
+    "Violation",
+    "binary_entropy",
+    "complete_graph",
+    "correspondence",
+    "default_constraints",
+    "enumerate_instances",
+    "erdos_renyi_graph",
+    "exact_instantiate",
+    "exact_probabilities",
+    "information_gain",
+    "information_gains",
+    "instantiate",
+    "is_matching_instance",
+    "metrics",
+    "network_uncertainty",
+    "repair",
+    "repair_distance",
+    "__version__",
+]

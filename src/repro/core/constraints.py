@@ -1,0 +1,342 @@
+"""Network-level integrity constraints and the compiled violation engine.
+
+The paper leaves the constraint language open but evaluates with two concrete
+constraints (Sections II-A, VI-A):
+
+* **one-to-one** — within a matched schema pair, every attribute participates
+  in at most one correspondence;
+* **cycle** — when schemas are matched along a cycle, composing the
+  correspondences around the cycle must return to the starting attribute.
+
+Both are *anti-monotone*: every violating set stays violating when grown.
+That lets us compile, for a fixed candidate set, the family of **minimal
+violating subsets** (pairs for one-to-one, cycle-length-sized sets for the
+cycle constraint).  A selection then satisfies Γ iff it contains no compiled
+violation — a representation that makes consistency checks, maximality
+checks, `repair()` and the sampler all incremental and cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from .correspondence import Correspondence
+from .graphs import InteractionGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import MatchingNetwork
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A minimal set of correspondences that jointly violate a constraint."""
+
+    constraint: str
+    correspondences: frozenset[Correspondence]
+
+    def __len__(self) -> int:
+        return len(self.correspondences)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self.correspondences)
+
+    def is_within(self, selection: frozenset[Correspondence] | set[Correspondence]) -> bool:
+        """Whether every member of the violation is selected."""
+        return self.correspondences <= selection
+
+
+class Constraint(abc.ABC):
+    """A network-level integrity constraint γ ∈ Γ.
+
+    Concrete constraints enumerate their minimal violating subsets for a
+    candidate correspondence set; everything else (consistency checks,
+    repair, sampling) is derived from that enumeration by the
+    :class:`ConstraintEngine`.
+    """
+
+    name: str = "constraint"
+
+    @abc.abstractmethod
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        """Yield every minimal violating subset among ``correspondences``."""
+
+    def is_satisfied_by(
+        self,
+        selection: Iterable[Correspondence],
+        graph: InteractionGraph,
+    ) -> bool:
+        """Direct (non-compiled) satisfaction check, used in tests."""
+        selected = frozenset(selection)
+        for violation in self.minimal_violations(tuple(selected), graph):
+            if violation.is_within(selected):
+                return False
+        return True
+
+
+class OneToOneConstraint(Constraint):
+    """Each attribute matches at most one attribute of any other schema.
+
+    Minimal violations are exactly the pairs of correspondences between the
+    same schema pair that share one endpoint.
+    """
+
+    name = "one-to-one"
+
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        # Group by (schema pair, shared endpoint); any two correspondences in
+        # the same group conflict.
+        groups: dict[tuple, list[Correspondence]] = {}
+        for corr in correspondences:
+            pair = corr.schema_pair
+            groups.setdefault((pair, corr.source), []).append(corr)
+            groups.setdefault((pair, corr.target), []).append(corr)
+        for members in groups.values():
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    yield Violation(self.name, frozenset((left, right)))
+
+
+class CycleConstraint(Constraint):
+    """Matched attributes along a schema cycle must close the cycle.
+
+    For a cycle of schemas (s₁, …, s_k), a chain of correspondences
+    a₁~a₂, a₂~a₃, …, a_{k-1}~a_k composes a₁ into a_k; a direct
+    correspondence on the closing edge that agrees with the chain at exactly
+    one end and disagrees at the other contradicts the composition.  Those
+    chain-plus-closing-edge sets are the minimal violations.
+
+    ``max_cycle_length`` bounds which cycles of the interaction graph are
+    checked; 3 (triangles) is the default and matches the structures the
+    paper's complete interaction graphs are dominated by.
+    """
+
+    def __init__(self, max_cycle_length: int = 3):
+        if max_cycle_length < 3:
+            raise ValueError("cycles have length >= 3")
+        self.max_cycle_length = max_cycle_length
+
+    name = "cycle"
+
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        by_edge: dict[tuple[str, str], list[Correspondence]] = {}
+        for corr in correspondences:
+            by_edge.setdefault(corr.schema_pair, []).append(corr)
+        seen: set[frozenset[Correspondence]] = set()
+        for cycle in graph.cycles(max_length=self.max_cycle_length):
+            # A violating set has exactly one *disagreeing* corner; the
+            # chain construction below only finds it when that corner is an
+            # endpoint of the closing edge, so every rotation of the cycle
+            # must be tried (each violation is then found from the two
+            # rotations that flank its disagreeing corner — dedupe).
+            for rotation in range(len(cycle)):
+                rotated = cycle[rotation:] + cycle[:rotation]
+                for violation in self._cycle_violations(rotated, by_edge):
+                    if violation.correspondences not in seen:
+                        seen.add(violation.correspondences)
+                        yield violation
+
+    def _cycle_violations(
+        self,
+        cycle: tuple[str, ...],
+        by_edge: dict[tuple[str, str], list[Correspondence]],
+    ) -> Iterator[Violation]:
+        """Enumerate violations whose disagreeing corner flanks the closing
+        edge (cycle[0]–cycle[k-1]) of this cycle rotation."""
+        k = len(cycle)
+        edges = [tuple(sorted((cycle[i], cycle[(i + 1) % k]))) for i in range(k)]
+        if any(edge not in by_edge for edge in edges):
+            return
+        # Build every chain along edges 0..k-2, i.e. correspondences that
+        # compose through the interior schemas cycle[1..k-1].
+        chains: list[list[Correspondence]] = [[corr] for corr in by_edge[edges[0]]]
+        for step in range(1, k - 1):
+            junction = cycle[step]
+            extended: list[list[Correspondence]] = []
+            for chain in chains:
+                tail = chain[-1].endpoint_in(junction)
+                for corr in by_edge[edges[step]]:
+                    if corr.endpoint_in(junction) == tail:
+                        extended.append(chain + [corr])
+            chains = extended
+            if not chains:
+                return
+        closing_edge = edges[k - 1]
+        first_schema, last_schema = cycle[0], cycle[k - 1]
+        for chain in chains:
+            chain_start = chain[0].endpoint_in(first_schema)
+            chain_end = chain[-1].endpoint_in(last_schema)
+            for closing in by_edge[closing_edge]:
+                start_agrees = closing.endpoint_in(first_schema) == chain_start
+                end_agrees = closing.endpoint_in(last_schema) == chain_end
+                # Exactly one agreeing end => the composition contradicts the
+                # direct correspondence.  Both agreeing => closed cycle (ok);
+                # neither => unrelated (no contradiction, not minimal).
+                if start_agrees != end_agrees:
+                    members = frozenset(chain) | {closing}
+                    if len(members) == k:  # guard against degenerate reuse
+                        yield Violation(self.name, members)
+
+
+class MutualExclusionConstraint(Constraint):
+    """User-declared incompatibilities: listed correspondence sets must not
+    co-occur.
+
+    The paper's model is open to further constraints beyond one-to-one and
+    cycle; this one lets integration engineers encode domain knowledge (e.g.
+    "an attribute cannot map to both ``price`` and ``tax``") directly as
+    minimal violating sets.
+    """
+
+    name = "mutual-exclusion"
+
+    def __init__(self, exclusions: Sequence[Iterable[Correspondence]]):
+        compiled = []
+        for exclusion in exclusions:
+            members = frozenset(exclusion)
+            if len(members) < 2:
+                raise ValueError(
+                    "each exclusion needs at least two correspondences"
+                )
+            compiled.append(members)
+        self.exclusions: tuple[frozenset[Correspondence], ...] = tuple(compiled)
+
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        available = set(correspondences)
+        for members in self.exclusions:
+            if members <= available:
+                yield Violation(self.name, members)
+
+
+class ConstraintEngine:
+    """Compiled violation hypergraph for one network state.
+
+    Exposes fast primitives over the *fixed* candidate set of a network:
+    consistency, incremental conflict lookup, and maximality.  Everything is
+    computed once up-front from the constraints' minimal violations.
+    """
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ):
+        self.constraints = tuple(constraints)
+        self.correspondences = tuple(correspondences)
+        seen: set[frozenset[Correspondence]] = set()
+        violations: list[Violation] = []
+        for constraint in self.constraints:
+            for violation in constraint.minimal_violations(self.correspondences, graph):
+                if violation.correspondences not in seen:
+                    seen.add(violation.correspondences)
+                    violations.append(violation)
+        self.violations: tuple[Violation, ...] = tuple(violations)
+        self._involving: dict[Correspondence, list[Violation]] = {
+            corr: [] for corr in self.correspondences
+        }
+        for violation in self.violations:
+            for corr in violation:
+                self._involving.setdefault(corr, []).append(violation)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def violations_involving(self, corr: Correspondence) -> tuple[Violation, ...]:
+        """All compiled violations that mention ``corr``."""
+        return tuple(self._involving.get(corr, ()))
+
+    def violations_within(
+        self, selection: frozenset[Correspondence] | set[Correspondence]
+    ) -> list[Violation]:
+        """Violations entirely contained in ``selection``."""
+        selection = frozenset(selection)
+        candidates: set[Violation] = set()
+        for corr in selection:
+            candidates.update(self._involving.get(corr, ()))
+        return [v for v in candidates if v.is_within(selection)]
+
+    def is_consistent(
+        self, selection: frozenset[Correspondence] | set[Correspondence]
+    ) -> bool:
+        """Whether ``selection`` |= Γ."""
+        selection = frozenset(selection)
+        for corr in selection:
+            for violation in self._involving.get(corr, ()):
+                if violation.is_within(selection):
+                    return False
+        return True
+
+    def conflicts_created(
+        self,
+        selection: frozenset[Correspondence] | set[Correspondence],
+        corr: Correspondence,
+    ) -> list[Violation]:
+        """Violations activated by adding ``corr`` to a consistent selection."""
+        grown = frozenset(selection) | {corr}
+        return [
+            violation
+            for violation in self._involving.get(corr, ())
+            if violation.is_within(grown)
+        ]
+
+    def can_add(
+        self,
+        selection: frozenset[Correspondence] | set[Correspondence],
+        corr: Correspondence,
+    ) -> bool:
+        """Whether adding ``corr`` keeps the selection consistent."""
+        return not self.conflicts_created(selection, corr)
+
+    def is_maximal(
+        self,
+        selection: frozenset[Correspondence] | set[Correspondence],
+        excluded: frozenset[Correspondence] | set[Correspondence] = frozenset(),
+    ) -> bool:
+        """Maximality per Definition 1: no addable candidate outside F⁻."""
+        selection = frozenset(selection)
+        excluded = frozenset(excluded)
+        for corr in self.correspondences:
+            if corr in selection or corr in excluded:
+                continue
+            if self.can_add(selection, corr):
+                return False
+        return True
+
+    def violation_counts(
+        self, selection: frozenset[Correspondence] | set[Correspondence]
+    ) -> dict[Correspondence, int]:
+        """Per-correspondence count of violations inside ``selection``."""
+        counts: dict[Correspondence, int] = {}
+        for violation in self.violations_within(selection):
+            for corr in violation:
+                counts[corr] = counts.get(corr, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConstraintEngine({len(self.correspondences)} correspondences, "
+            f"{len(self.violations)} minimal violations)"
+        )
+
+
+def default_constraints(max_cycle_length: int = 3) -> tuple[Constraint, ...]:
+    """The paper's constraint set Γ: one-to-one plus cycle."""
+    return (OneToOneConstraint(), CycleConstraint(max_cycle_length))

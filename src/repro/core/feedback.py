@@ -1,0 +1,176 @@
+"""User feedback F = ⟨F⁺, F⁻⟩ and the simulated expert oracle.
+
+The paper models reconciliation input as two disjoint, monotonically growing
+sets of approved and disapproved correspondences (Section II-B).  Assertions
+are assumed to always be correct, so the experiments drive them from the
+ground-truth *selective matching* exactly as Section VI-C describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .correspondence import Correspondence
+
+
+class Feedback:
+    """Immutable-by-convention container for ⟨F⁺, F⁻⟩.
+
+    Mutation goes through :meth:`approve` / :meth:`disapprove`, which enforce
+    disjointness and reject contradictory re-assertions.
+    """
+
+    def __init__(
+        self,
+        approved: Iterable[Correspondence] = (),
+        disapproved: Iterable[Correspondence] = (),
+    ):
+        self._approved: set[Correspondence] = set(approved)
+        self._disapproved: set[Correspondence] = set(disapproved)
+        overlap = self._approved & self._disapproved
+        if overlap:
+            raise ValueError(
+                f"correspondences both approved and disapproved: {sorted(map(str, overlap))}"
+            )
+
+    @property
+    def approved(self) -> frozenset[Correspondence]:
+        """F⁺ — correspondences asserted correct."""
+        return frozenset(self._approved)
+
+    @property
+    def disapproved(self) -> frozenset[Correspondence]:
+        """F⁻ — correspondences asserted incorrect."""
+        return frozenset(self._disapproved)
+
+    @property
+    def asserted(self) -> frozenset[Correspondence]:
+        """F⁺ ∪ F⁻ — everything the expert has looked at."""
+        return frozenset(self._approved | self._disapproved)
+
+    def approve(self, corr: Correspondence) -> None:
+        """Record ``corr ∈ F⁺``; idempotent, contradictions raise."""
+        if corr in self._disapproved:
+            raise ValueError(f"{corr} was already disapproved")
+        self._approved.add(corr)
+
+    def disapprove(self, corr: Correspondence) -> None:
+        """Record ``corr ∈ F⁻``; idempotent, contradictions raise."""
+        if corr in self._approved:
+            raise ValueError(f"{corr} was already approved")
+        self._disapproved.add(corr)
+
+    def record(self, corr: Correspondence, is_correct: bool) -> None:
+        """Route an assertion to approve/disapprove."""
+        if is_correct:
+            self.approve(corr)
+        else:
+            self.disapprove(corr)
+
+    def is_asserted(self, corr: Correspondence) -> bool:
+        return corr in self._approved or corr in self._disapproved
+
+    def copy(self) -> "Feedback":
+        return Feedback(self._approved, self._disapproved)
+
+    def effort(self, total_candidates: int) -> float:
+        """User effort E = |F⁺ ∪ F⁻| / |C| (paper Section VI-A)."""
+        if total_candidates <= 0:
+            raise ValueError("total_candidates must be positive")
+        return len(self.asserted) / total_candidates
+
+    def __len__(self) -> int:
+        return len(self._approved) + len(self._disapproved)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self.asserted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Feedback(+{len(self._approved)}, -{len(self._disapproved)})"
+
+
+class Oracle:
+    """An expert simulated from the ground-truth selective matching.
+
+    ``assert_correspondence`` answers exactly what the ground truth says,
+    matching the paper's experimental protocol ("user assertions are
+    generated using the available selective matching", Section VI-C).
+    """
+
+    def __init__(self, selective_matching: Iterable[Correspondence]):
+        self._truth: frozenset[Correspondence] = frozenset(selective_matching)
+        self.assertions_made = 0
+
+    @property
+    def selective_matching(self) -> frozenset[Correspondence]:
+        return self._truth
+
+    def assert_correspondence(self, corr: Correspondence) -> bool:
+        """True iff ``corr`` belongs to the selective matching."""
+        self.assertions_made += 1
+        return corr in self._truth
+
+    def answer_into(self, feedback: Feedback, corr: Correspondence) -> bool:
+        """Assert ``corr`` and record the verdict into ``feedback``."""
+        verdict = self.assert_correspondence(corr)
+        feedback.record(corr, verdict)
+        return verdict
+
+
+class NoisyOracle(Oracle):
+    """An imperfect expert: answers are wrong with probability ``error_rate``.
+
+    The paper assumes assertions are always correct; its successor work on
+    crowdsourced reconciliation drops that assumption.  This oracle lets the
+    robustness of the pipeline be studied under answer noise.  Answers are
+    memoised so that repeated questions about the same correspondence get
+    the same (possibly wrong) verdict, like a real annotator's fixed belief.
+    """
+
+    def __init__(
+        self,
+        selective_matching: Iterable[Correspondence],
+        error_rate: float,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(selective_matching)
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must lie in [0, 1]")
+        self.error_rate = error_rate
+        self.rng = rng or random.Random()
+        self._verdicts: dict[Correspondence, bool] = {}
+
+    def assert_correspondence(self, corr: Correspondence) -> bool:
+        self.assertions_made += 1
+        verdict = self._verdicts.get(corr)
+        if verdict is None:
+            truth = corr in self.selective_matching
+            verdict = (not truth) if self.rng.random() < self.error_rate else truth
+            self._verdicts[corr] = verdict
+        return verdict
+
+
+class MajorityOracle(Oracle):
+    """Aggregates several (noisy) workers by majority vote.
+
+    A minimal stand-in for the crowdsourced-reconciliation setting the
+    paper points to as future work: each assertion is answered by every
+    worker and the majority verdict is returned (ties break towards
+    *disapproval*, the conservative choice for constraint satisfaction).
+    ``assertions_made`` counts questions, not worker answers.
+    """
+
+    def __init__(self, workers: Sequence[Oracle]):
+        if not workers:
+            raise ValueError("at least one worker is required")
+        truth = workers[0].selective_matching
+        super().__init__(truth)
+        self.workers = tuple(workers)
+
+    def assert_correspondence(self, corr: Correspondence) -> bool:
+        self.assertions_made += 1
+        votes = sum(
+            1 for worker in self.workers if worker.assert_correspondence(corr)
+        )
+        return votes * 2 > len(self.workers)

@@ -1,0 +1,180 @@
+"""Matching instances (Definition 1) and exact enumeration of Ω(F⁺, F⁻).
+
+A matching instance is a subset of the candidates that (i) satisfies all
+integrity constraints, (ii) contains F⁺ and avoids F⁻, and (iii) is maximal:
+no further candidate outside F⁻ can be added without breaking a constraint.
+
+Exact enumeration is exponential in the worst case (the paper resorts to
+sampling for that reason), but it is required by the K-L study of Fig. 7 and
+invaluable for testing, so we implement a pruned backtracking enumerator that
+only branches over *contested* correspondences — those that participate in a
+violation which user feedback has not already neutralised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .correspondence import Correspondence
+from .feedback import Feedback
+from .network import MatchingNetwork
+
+
+class InconsistentFeedbackError(ValueError):
+    """Raised when F⁺ itself violates the integrity constraints."""
+
+
+def is_matching_instance(
+    selection: Iterable[Correspondence],
+    network: MatchingNetwork,
+    feedback: Optional[Feedback] = None,
+) -> bool:
+    """Check Definition 1 directly: consistent, feedback-respecting, maximal."""
+    feedback = feedback or Feedback()
+    selected = frozenset(selection)
+    if not feedback.approved <= selected:
+        return False
+    if selected & feedback.disapproved:
+        return False
+    if not selected <= frozenset(network.correspondences):
+        return False
+    if not network.engine.is_consistent(selected):
+        return False
+    return network.engine.is_maximal(selected, excluded=feedback.disapproved)
+
+
+def _partition_candidates(
+    network: MatchingNetwork, feedback: Feedback
+) -> tuple[set[Correspondence], list[Correspondence]]:
+    """Split candidates into always-included ``base`` and ``contested``.
+
+    A candidate outside F⁻ is *unconflicted* when every violation it appears
+    in contains some F⁻ member (and hence can never be activated); by
+    maximality every matching instance contains it.  Only the remaining
+    contested candidates need branching.
+    """
+    engine = network.engine
+    disapproved = feedback.disapproved
+    base: set[Correspondence] = set(feedback.approved)
+    contested: list[Correspondence] = []
+    for corr in network.correspondences:
+        if corr in disapproved or corr in feedback.approved:
+            continue
+        live_conflict = any(
+            not (violation.correspondences - {corr}) & disapproved
+            for violation in engine.violations_involving(corr)
+        )
+        if live_conflict:
+            contested.append(corr)
+        else:
+            base.add(corr)
+    return base, contested
+
+
+def enumerate_instances(
+    network: MatchingNetwork,
+    feedback: Optional[Feedback] = None,
+    limit: Optional[int] = None,
+) -> tuple[frozenset[Correspondence], ...]:
+    """All matching instances Ω(F⁺, F⁻), i.e. every maximal consistent set.
+
+    ``limit`` caps the number of instances returned (useful as a guard on
+    networks that turn out to have more structure than expected).  Raises
+    :class:`InconsistentFeedbackError` when F⁺ is itself inconsistent.
+    """
+    feedback = feedback or Feedback()
+    engine = network.engine
+    if not engine.is_consistent(feedback.approved):
+        raise InconsistentFeedbackError(
+            "the approved correspondences violate the integrity constraints"
+        )
+    base, contested = _partition_candidates(network, feedback)
+    if not engine.is_consistent(base):
+        # F⁺ conflicts with unconflicted candidates only if F⁺ members are
+        # themselves part of the violation; surface that as inconsistency.
+        raise InconsistentFeedbackError(
+            "the approved correspondences conflict with always-included candidates"
+        )
+
+    instances: list[frozenset[Correspondence]] = []
+
+    def leaf_is_maximal(selection: set[Correspondence]) -> bool:
+        for corr in contested:
+            if corr in selection:
+                continue
+            if engine.can_add(selection, corr):
+                return False
+        return True
+
+    def backtrack(index: int, selection: set[Correspondence]) -> bool:
+        """Return False when the enumeration limit was hit."""
+        if limit is not None and len(instances) >= limit:
+            return False
+        if index == len(contested):
+            if leaf_is_maximal(selection):
+                instances.append(frozenset(selection))
+            return True
+        corr = contested[index]
+        if engine.can_add(selection, corr):
+            selection.add(corr)
+            if not backtrack(index + 1, selection):
+                return False
+            selection.remove(corr)
+        return backtrack(index + 1, selection)
+
+    backtrack(0, set(base))
+    return tuple(instances)
+
+
+def count_instances(
+    network: MatchingNetwork, feedback: Optional[Feedback] = None
+) -> int:
+    """|Ω(F⁺, F⁻)| via exact enumeration."""
+    return len(enumerate_instances(network, feedback))
+
+
+def exact_probabilities(
+    network: MatchingNetwork, feedback: Optional[Feedback] = None
+) -> dict[Correspondence, float]:
+    """Equation 1: p_c = |{I ∈ Ω : c ∈ I}| / |Ω| by full enumeration."""
+    instances = enumerate_instances(network, feedback)
+    if not instances:
+        raise InconsistentFeedbackError("no matching instance exists")
+    total = len(instances)
+    counts: dict[Correspondence, int] = {c: 0 for c in network.correspondences}
+    for instance in instances:
+        for corr in instance:
+            counts[corr] += 1
+    return {corr: count / total for corr, count in counts.items()}
+
+
+def iter_consistent_subsets(
+    network: MatchingNetwork,
+    feedback: Optional[Feedback] = None,
+) -> Iterator[frozenset[Correspondence]]:
+    """Yield every consistent (not necessarily maximal) feedback-respecting set.
+
+    Exponential; intended for tests on tiny networks.
+    """
+    feedback = feedback or Feedback()
+    engine = network.engine
+    free = [
+        corr
+        for corr in network.correspondences
+        if corr not in feedback.approved and corr not in feedback.disapproved
+    ]
+
+    def backtrack(index: int, selection: set[Correspondence]) -> Iterator[frozenset[Correspondence]]:
+        if index == len(free):
+            yield frozenset(selection)
+            return
+        corr = free[index]
+        yield from backtrack(index + 1, selection)
+        if engine.can_add(selection, corr):
+            selection.add(corr)
+            yield from backtrack(index + 1, selection)
+            selection.remove(corr)
+
+    base = set(feedback.approved)
+    if engine.is_consistent(base):
+        yield from backtrack(0, base)

@@ -1,0 +1,178 @@
+"""Instantiation of an approximate selective matching (paper Section V).
+
+Problem 2 asks for a matching instance with (i) minimal repair distance
+Δ(I, C) and (ii), among those, maximal likelihood u(I) = Π_{c∈I} p_c.  The
+decision version is NP-complete (Theorem 1: reduction from maximum
+independent set), so Algorithm 2 runs a two-step meta-heuristic: greedily
+pick the best sampled instance, then improve it with a tabu-guarded
+randomized local search driven by roulette-wheel selection and `repair()`.
+
+``exact_instantiate`` solves the problem exactly by enumeration and is used
+to validate the heuristic on small networks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from .correspondence import Correspondence
+from .feedback import Feedback
+from .instances import enumerate_instances
+from .network import MatchingNetwork
+from .probability import ProbabilisticNetwork
+from .repair import greedy_maximalize, repair
+from .sampling import symmetric_difference_size
+
+#: Probability floor used inside log-likelihoods so that a sampled zero does
+#: not collapse the whole product (the instance may still be forced to keep
+#: that correspondence for maximality).
+_LIKELIHOOD_FLOOR = 1e-9
+
+
+def repair_distance(
+    instance: Iterable[Correspondence], candidates: Iterable[Correspondence]
+) -> int:
+    """Δ(I, C) — symmetric difference; equals |C| − |I| whenever I ⊆ C."""
+    return symmetric_difference_size(instance, candidates)
+
+
+def log_likelihood(
+    instance: Iterable[Correspondence],
+    probabilities: dict[Correspondence, float],
+) -> float:
+    """log u(I) = Σ log p_c, with probabilities floored at a tiny epsilon."""
+    return sum(
+        math.log(max(probabilities.get(corr, 0.0), _LIKELIHOOD_FLOOR))
+        for corr in instance
+    )
+
+
+def _roulette_wheel(
+    rng: random.Random,
+    weighted: Sequence[tuple[Correspondence, float]],
+) -> Correspondence:
+    """Fitness-proportionate selection; uniform when all weights vanish."""
+    total = sum(weight for _, weight in weighted)
+    if total <= 0.0:
+        return weighted[rng.randrange(len(weighted))][0]
+    pick = rng.random() * total
+    cumulative = 0.0
+    for corr, weight in weighted:
+        cumulative += weight
+        if pick <= cumulative:
+            return corr
+    return weighted[-1][0]
+
+
+def instantiate(
+    pnet: ProbabilisticNetwork,
+    iterations: int = 100,
+    use_likelihood: bool = True,
+    tabu_size: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> frozenset[Correspondence]:
+    """Algorithm 2: derive one trusted matching from ⟨N, P⟩.
+
+    Parameters
+    ----------
+    pnet:
+        The probabilistic matching network (feedback already folded into P).
+    iterations:
+        ``k`` — the local-search step bound; also the tabu-queue capacity
+        unless ``tabu_size`` overrides it.
+    use_likelihood:
+        When False the likelihood tie-break is ignored (the "Without
+        Likelihood" variant of Fig. 11) and roulette weights are uniform.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    rng = rng or random.Random()
+    network = pnet.network
+    engine = network.engine
+    feedback = pnet.feedback
+    probabilities = pnet.probabilities()
+    candidates = network.correspondences
+
+    def better(challenger: set[Correspondence], incumbent: set[Correspondence]) -> bool:
+        challenger_distance = repair_distance(challenger, candidates)
+        incumbent_distance = repair_distance(incumbent, candidates)
+        if challenger_distance != incumbent_distance:
+            return challenger_distance < incumbent_distance
+        if not use_likelihood:
+            return False
+        return log_likelihood(challenger, probabilities) > log_likelihood(
+            incumbent, probabilities
+        )
+
+    # ------------------------------------------------------------------
+    # Step 1: initialisation — greedy pick among the samples.
+    # ------------------------------------------------------------------
+    try:
+        samples = pnet.samples()
+    except TypeError:
+        samples = ()
+    best: Optional[set[Correspondence]] = None
+    for sample in samples:
+        sample_set = set(sample)
+        if best is None or better(sample_set, best):
+            best = sample_set
+    if best is None:
+        seed = greedy_maximalize(
+            feedback.approved, candidates, feedback.disapproved, engine, rng=rng
+        )
+        best = set(seed)
+
+    # ------------------------------------------------------------------
+    # Step 2: optimisation — tabu-guarded randomized local search.
+    # ------------------------------------------------------------------
+    tabu: deque[Correspondence] = deque(maxlen=tabu_size or max(1, iterations))
+    current = set(best)
+    for _ in range(iterations):
+        pool = [
+            corr
+            for corr in candidates
+            if corr not in feedback.disapproved
+            and corr not in current
+            and corr not in tabu
+        ]
+        if not pool:
+            break
+        if use_likelihood:
+            weighted = [(corr, probabilities.get(corr, 0.0)) for corr in pool]
+        else:
+            weighted = [(corr, 1.0) for corr in pool]
+        chosen = _roulette_wheel(rng, weighted)
+        tabu.append(chosen)
+        current = repair(current, chosen, feedback.approved, engine, rng=rng)
+        current = greedy_maximalize(
+            current, candidates, feedback.disapproved, engine, rng=rng
+        )
+        if better(current, best):
+            best = set(current)
+    return frozenset(best)
+
+
+def exact_instantiate(
+    network: MatchingNetwork,
+    probabilities: dict[Correspondence, float],
+    feedback: Optional[Feedback] = None,
+    use_likelihood: bool = True,
+) -> frozenset[Correspondence]:
+    """Solve Problem 2 exactly by enumerating Ω (exponential; tests only)."""
+    feedback = feedback or Feedback()
+    instances = enumerate_instances(network, feedback)
+    if not instances:
+        raise ValueError("no matching instance exists for this feedback")
+    candidates = network.correspondences
+
+    def key(instance: frozenset[Correspondence]) -> tuple[float, float]:
+        distance = repair_distance(instance, candidates)
+        likelihood = (
+            log_likelihood(instance, probabilities) if use_likelihood else 0.0
+        )
+        return (distance, -likelihood)
+
+    return min(instances, key=key)

@@ -1,0 +1,177 @@
+"""Probability computation for a matching network (paper Section III).
+
+:class:`ProbabilisticNetwork` is the paper's ⟨N, P⟩: a matching network plus
+a probability per candidate correspondence, kept up to date as user
+assertions arrive.  Two estimators realise P:
+
+* :class:`ExactEstimator` — Equation 1 by full enumeration of Ω (tiny
+  networks, Fig. 7, tests);
+* :class:`SampledEstimator` — Equation 2 over the view-maintained
+  :class:`~repro.core.sampling.SampleStore` (the production path).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence
+
+from .correspondence import Correspondence
+from .feedback import Feedback
+from .instances import exact_probabilities
+from .network import MatchingNetwork
+from .sampling import InstanceSampler, SampleStore
+
+
+class ProbabilityEstimator(abc.ABC):
+    """Strategy interface producing P for the current feedback state."""
+
+    @abc.abstractmethod
+    def probabilities(self) -> dict[Correspondence, float]:
+        """Current probability of every candidate correspondence."""
+
+    @abc.abstractmethod
+    def record_assertion(self, corr: Correspondence, approved: bool) -> None:
+        """Integrate one user assertion."""
+
+    @property
+    @abc.abstractmethod
+    def feedback(self) -> Feedback:
+        """The assertions integrated so far."""
+
+
+class ExactEstimator(ProbabilityEstimator):
+    """Equation 1 verbatim: enumerate Ω(F⁺, F⁻) after every assertion."""
+
+    def __init__(self, network: MatchingNetwork):
+        self.network = network
+        self._feedback = Feedback()
+        self._cache: Optional[dict[Correspondence, float]] = None
+
+    @property
+    def feedback(self) -> Feedback:
+        return self._feedback
+
+    def probabilities(self) -> dict[Correspondence, float]:
+        if self._cache is None:
+            self._cache = exact_probabilities(self.network, self._feedback)
+        return dict(self._cache)
+
+    def record_assertion(self, corr: Correspondence, approved: bool) -> None:
+        self._feedback.record(corr, approved)
+        self._cache = None
+
+
+class SampledEstimator(ProbabilityEstimator):
+    """Equation 2: probabilities as sample frequencies over Ω*."""
+
+    def __init__(
+        self,
+        network: MatchingNetwork,
+        target_samples: int = 500,
+        walk_steps: int = 5,
+        rng: Optional[random.Random] = None,
+    ):
+        sampler = InstanceSampler(network, walk_steps=walk_steps, rng=rng)
+        self.store = SampleStore(network, sampler, target_samples=target_samples)
+        self.network = network
+
+    @property
+    def feedback(self) -> Feedback:
+        return self.store.feedback
+
+    @property
+    def samples(self) -> Sequence[frozenset[Correspondence]]:
+        return self.store.samples
+
+    def probabilities(self) -> dict[Correspondence, float]:
+        return self.store.frequencies()
+
+    def record_assertion(self, corr: Correspondence, approved: bool) -> None:
+        self.store.record_assertion(corr, approved)
+
+
+class ProbabilisticNetwork:
+    """The paper's probabilistic matching network ⟨N, P⟩.
+
+    Wraps a :class:`MatchingNetwork` and a :class:`ProbabilityEstimator` and
+    offers the operations the reconciliation loop needs: querying P,
+    integrating assertions, and listing the still-uncertain correspondences.
+    """
+
+    def __init__(
+        self,
+        network: MatchingNetwork,
+        estimator: Optional[ProbabilityEstimator] = None,
+        target_samples: int = 500,
+        rng: Optional[random.Random] = None,
+    ):
+        self.network = network
+        self.estimator = estimator or SampledEstimator(
+            network, target_samples=target_samples, rng=rng
+        )
+
+    @property
+    def feedback(self) -> Feedback:
+        return self.estimator.feedback
+
+    @property
+    def correspondences(self) -> tuple[Correspondence, ...]:
+        return self.network.correspondences
+
+    def probabilities(self) -> dict[Correspondence, float]:
+        """P — user assertions are already folded in (p ∈ {0, 1} for them)."""
+        probabilities = self.estimator.probabilities()
+        # Guarantee the paper's invariant even if an estimator's sample pool
+        # momentarily disagrees: asserted correspondences are certain.
+        for corr in self.feedback.approved:
+            probabilities[corr] = 1.0
+        for corr in self.feedback.disapproved:
+            probabilities[corr] = 0.0
+        return probabilities
+
+    def probability(self, corr: Correspondence) -> float:
+        return self.probabilities()[corr]
+
+    def uncertain_correspondences(self) -> list[Correspondence]:
+        """Candidates with 0 < p < 1 — the only ones worth asserting."""
+        return [
+            corr
+            for corr, p in self.probabilities().items()
+            if 0.0 < p < 1.0
+        ]
+
+    def record_assertion(self, corr: Correspondence, approved: bool) -> None:
+        """Feedback step ⟨N,P⟩ →ᶜ ⟨N,P'⟩.
+
+        Raises :class:`~repro.core.instances.InconsistentFeedbackError` when
+        an approval contradicts earlier approvals under the integrity
+        constraints — possible with imperfect experts (e.g.
+        :class:`~repro.core.feedback.NoisyOracle`), and fatal for sampling
+        if left undetected.
+        """
+        if corr not in self.network.candidates:
+            raise KeyError(f"{corr} is not a candidate correspondence")
+        if approved:
+            conflicts = [
+                violation
+                for violation in self.network.engine.violations_involving(corr)
+                if violation.correspondences - {corr} <= self.feedback.approved
+            ]
+            if conflicts:
+                from .instances import InconsistentFeedbackError
+
+                raise InconsistentFeedbackError(
+                    f"approving {corr} contradicts earlier approvals under "
+                    f"the {conflicts[0].constraint} constraint"
+                )
+        self.estimator.record_assertion(corr, approved)
+
+    def samples(self) -> Sequence[frozenset[Correspondence]]:
+        """The sample multiset when a sampling estimator backs the network."""
+        if isinstance(self.estimator, SampledEstimator):
+            return self.estimator.samples
+        raise TypeError("the active estimator does not expose samples")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbabilisticNetwork({self.network!r}, {self.feedback!r})"

@@ -1,0 +1,195 @@
+"""The pay-as-you-go reconciliation loop (paper Algorithm 1 + framework of
+Section II-C).
+
+:class:`ReconciliationSession` wires together the probabilistic network, a
+selection strategy and the (simulated) expert oracle.  Each :meth:`step`
+performs one iteration of Algorithm 1 — select, elicit, integrate — and the
+session records a :class:`ReconciliationTrace` so experiments can plot
+uncertainty/precision against user effort, exactly as Figs. 9–11 do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .correspondence import Correspondence
+from .feedback import Oracle
+from .instantiation import instantiate
+from .probability import ProbabilisticNetwork
+from .selection import RandomSelection, SelectionStrategy
+from .uncertainty import network_uncertainty
+
+
+@dataclass(frozen=True)
+class ReconciliationStep:
+    """One elicitation: which correspondence, the verdict, the new state."""
+
+    index: int
+    correspondence: Correspondence
+    approved: bool
+    uncertainty: float
+    effort: float
+
+
+@dataclass
+class ReconciliationTrace:
+    """The full history of a session, ready for plotting/reporting."""
+
+    initial_uncertainty: float
+    steps: list[ReconciliationStep] = field(default_factory=list)
+
+    @property
+    def uncertainties(self) -> list[float]:
+        """Uncertainty after 0, 1, 2, … assertions."""
+        return [self.initial_uncertainty] + [s.uncertainty for s in self.steps]
+
+    @property
+    def efforts(self) -> list[float]:
+        """Effort after 0, 1, 2, … assertions."""
+        return [0.0] + [s.effort for s in self.steps]
+
+    def effort_to_reach(self, uncertainty_threshold: float) -> Optional[float]:
+        """Smallest recorded effort at which uncertainty ≤ threshold."""
+        for effort, uncertainty in zip(self.efforts, self.uncertainties):
+            if uncertainty <= uncertainty_threshold:
+                return effort
+        return None
+
+
+class ReconciliationSession:
+    """Drives pay-as-you-go reconciliation of one probabilistic network.
+
+    Parameters
+    ----------
+    pnet:
+        The probabilistic matching network ⟨N, P⟩ being reconciled.
+    oracle:
+        Answers assertions (normally a ground-truth-backed simulated expert).
+    strategy:
+        The ``select`` routine of Algorithm 1; defaults to the random
+        baseline.
+    """
+
+    def __init__(
+        self,
+        pnet: ProbabilisticNetwork,
+        oracle: Oracle,
+        strategy: Optional[SelectionStrategy] = None,
+        rng: Optional[random.Random] = None,
+        on_conflict: str = "raise",
+    ):
+        if on_conflict not in ("raise", "disapprove"):
+            raise ValueError("on_conflict must be 'raise' or 'disapprove'")
+        self.pnet = pnet
+        self.oracle = oracle
+        self.strategy = strategy or RandomSelection(rng=rng)
+        self.on_conflict = on_conflict
+        self.conflicts_resolved = 0
+        self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    def uncertainty(self) -> float:
+        """Current network uncertainty H(C, P)."""
+        return network_uncertainty(self.pnet.probabilities())
+
+    def effort(self) -> float:
+        """User effort spent so far, E = |F⁺ ∪ F⁻| / |C|."""
+        return self.pnet.feedback.effort(len(self.pnet.correspondences))
+
+    def is_done(self) -> bool:
+        """True when no uncertain correspondence remains."""
+        return not self.pnet.uncertain_correspondences()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[ReconciliationStep]:
+        """One select→elicit→integrate iteration; None when reconciled.
+
+        With a perfect oracle, approvals never contradict each other.  An
+        imperfect one (e.g. :class:`~repro.core.feedback.NoisyOracle`) may
+        approve correspondences that jointly violate Γ; the ``on_conflict``
+        policy decides whether that raises
+        (:class:`~repro.core.instances.InconsistentFeedbackError`, default)
+        or — trusting the constraints over the answer, as Section III-A
+        argues — records the contradictory approval as a disapproval.
+        """
+        from .instances import InconsistentFeedbackError
+
+        corr = self.strategy.select(self.pnet)
+        if corr is None:
+            return None
+        approved = self.oracle.assert_correspondence(corr)
+        try:
+            self.pnet.record_assertion(corr, approved)
+        except InconsistentFeedbackError:
+            if self.on_conflict == "raise":
+                raise
+            approved = False
+            self.conflicts_resolved += 1
+            self.pnet.record_assertion(corr, approved)
+        record = ReconciliationStep(
+            index=len(self.trace.steps) + 1,
+            correspondence=corr,
+            approved=approved,
+            uncertainty=self.uncertainty(),
+            effort=self.effort(),
+        )
+        self.trace.steps.append(record)
+        return record
+
+    def run(
+        self,
+        budget: Optional[int] = None,
+        effort_budget: Optional[float] = None,
+        uncertainty_goal: Optional[float] = None,
+    ) -> ReconciliationTrace:
+        """Run until the reconciliation goal δ is met.
+
+        The goal is the disjunction of: an absolute assertion ``budget``, a
+        relative ``effort_budget`` (fraction of |C|), an
+        ``uncertainty_goal`` threshold, or full reconciliation when none is
+        given.
+        """
+        total = len(self.pnet.correspondences)
+        while True:
+            if budget is not None and len(self.trace.steps) >= budget:
+                break
+            if (
+                effort_budget is not None
+                and (len(self.trace.steps) + 1) / total > effort_budget + 1e-12
+            ):
+                break
+            if (
+                uncertainty_goal is not None
+                and self.uncertainty() <= uncertainty_goal
+            ):
+                break
+            if self.step() is None:
+                break
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Pay-as-you-go output
+    # ------------------------------------------------------------------
+    def current_matching(
+        self,
+        iterations: int = 100,
+        use_likelihood: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> frozenset[Correspondence]:
+        """Instantiate a trusted matching from the *current* state.
+
+        This is the pay-as-you-go deliverable: callable at any time, whether
+        or not reconciliation has finished.
+        """
+        return instantiate(
+            self.pnet,
+            iterations=iterations,
+            use_likelihood=use_likelihood,
+            rng=rng,
+        )

@@ -1,0 +1,119 @@
+"""Greedy repair of an inconsistent instance (paper Algorithm 4).
+
+``repair`` resolves the violations created by adding a correspondence to an
+instance by repeatedly removing the correspondence involved in the most
+violations, never touching F⁺ and (by preference) not the newly added
+correspondence.  The paper's algorithm excludes the added correspondence from
+removal outright; when a violation consists solely of the added
+correspondence and F⁺ members that rule would loop forever, so we fall back
+to removing the added correspondence itself, and raise when even that cannot
+restore consistency (which means F⁺ is contradictory).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from .constraints import ConstraintEngine
+from .correspondence import Correspondence
+
+
+class UnrepairableError(ValueError):
+    """Raised when violations persist among protected correspondences."""
+
+
+def repair(
+    instance: Iterable[Correspondence],
+    added: Correspondence,
+    approved: Iterable[Correspondence],
+    engine: ConstraintEngine,
+    rng: Optional[random.Random] = None,
+    assume_consistent: bool = True,
+) -> set[Correspondence]:
+    """Return a consistent instance containing ``added`` where possible.
+
+    Parameters mirror the paper's ``repair(I, c, F⁺, Γ)``: ``instance`` is
+    the instance, ``added`` the correspondence whose insertion caused the
+    violations, ``approved`` the protected F⁺ set and ``engine`` the
+    compiled constraint engine standing in for Γ.
+
+    With ``assume_consistent`` (the default, and the paper's setting) the
+    input instance is trusted to satisfy Γ, so only violations involving
+    ``added`` can be active — adding one correspondence activates only
+    violations containing it, and removals never activate new ones (the
+    constraints are anti-monotone).  Pass ``assume_consistent=False`` to
+    repair an arbitrary, possibly inconsistent instance.
+
+    Ties between equally-violating correspondences are broken uniformly at
+    random when ``rng`` is given, deterministically (canonical correspondence
+    order) otherwise.
+    """
+    current: set[Correspondence] = set(instance)
+    current.add(added)
+    protected = frozenset(approved)
+
+    if assume_consistent:
+        active = [
+            violation
+            for violation in engine.violations_involving(added)
+            if violation.is_within(current)
+        ]
+    else:
+        active = engine.violations_within(current)
+
+    while active:
+        counts: dict[Correspondence, int] = {}
+        for violation in active:
+            for corr in violation:
+                counts[corr] = counts.get(corr, 0) + 1
+
+        removable = {
+            corr: count
+            for corr, count in counts.items()
+            if corr not in protected and corr != added
+        }
+        if not removable:
+            # Fall back to sacrificing the added correspondence itself.
+            if added not in protected and counts.get(added):
+                current.discard(added)
+                active = [v for v in active if added not in v.correspondences]
+                continue
+            raise UnrepairableError(
+                "constraint violations persist among approved correspondences"
+            )
+
+        best_count = max(removable.values())
+        best = [corr for corr, count in removable.items() if count == best_count]
+        if rng is not None and len(best) > 1:
+            victim = best[rng.randrange(len(best))]
+        else:
+            victim = min(best)
+        current.discard(victim)
+        active = [v for v in active if victim not in v.correspondences]
+    return current
+
+
+def greedy_maximalize(
+    instance: Iterable[Correspondence],
+    candidates: Iterable[Correspondence],
+    disapproved: Iterable[Correspondence],
+    engine: ConstraintEngine,
+    rng: Optional[random.Random] = None,
+) -> set[Correspondence]:
+    """Extend a consistent instance to a *maximal* one (Definition 1).
+
+    Candidates outside F⁻ are tried in random order (or canonical order when
+    no ``rng`` is given) and added whenever they do not activate a violation.
+    The sampler uses this to turn the random walk's consistent sets into
+    genuine matching instances.
+    """
+    current: set[Correspondence] = set(instance)
+    blocked = frozenset(disapproved)
+    remaining = [c for c in candidates if c not in current and c not in blocked]
+    if rng is not None:
+        rng.shuffle(remaining)
+    for corr in remaining:
+        if engine.can_add(current, corr):
+            current.add(corr)
+    return current

@@ -1,0 +1,239 @@
+"""Non-uniform sampling of matching instances (paper Algorithm 3) and the
+view-maintained sample store (Section III-B).
+
+The sampler explores the instance space with a random walk — add a random
+correspondence, repair the violations it causes — combined with a simulated
+annealing acceptance rule: a proposed instance is accepted with probability
+``1 − e^{−Δ}`` where Δ is the symmetric difference to the current instance.
+Large jumps are therefore favoured, which lets the walk escape dense regions
+of the heavily constrained instance space.
+
+Two notes on fidelity to the paper:
+
+* Definition 1 requires matching instances to be *maximal*; the raw walk
+  only guarantees consistency, so every emitted sample is greedily
+  maximalised first (a step the paper leaves implicit).
+* The paper's view-maintenance equations contain a typo (approval and
+  disapproval both "remove instances containing c"); we implement the
+  evident intent — approval keeps samples containing c, disapproval keeps
+  samples not containing c.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence
+
+from .correspondence import Correspondence
+from .feedback import Feedback
+from .network import MatchingNetwork
+from .repair import greedy_maximalize, repair
+
+
+def symmetric_difference_size(
+    left: Iterable[Correspondence], right: Iterable[Correspondence]
+) -> int:
+    """Δ(A, B) = |A \\ B| + |B \\ A| (paper Section V-A)."""
+    left_set, right_set = set(left), set(right)
+    return len(left_set ^ right_set)
+
+
+class InstanceSampler:
+    """Algorithm 3: non-uniform random-walk sampler over matching instances.
+
+    Parameters
+    ----------
+    network:
+        The matching network whose instances are sampled.
+    walk_steps:
+        ``k`` — the number of add-and-repair random-walk steps per sample.
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        network: MatchingNetwork,
+        walk_steps: int = 5,
+        rng: Optional[random.Random] = None,
+        restart_probability: float = 0.15,
+    ):
+        if walk_steps < 1:
+            raise ValueError("walk_steps must be at least 1")
+        if not 0.0 <= restart_probability <= 1.0:
+            raise ValueError("restart_probability must lie in [0, 1]")
+        self.network = network
+        self.walk_steps = walk_steps
+        self.rng = rng or random.Random()
+        self.restart_probability = restart_probability
+
+    def sample(
+        self, n_samples: int, feedback: Optional[Feedback] = None
+    ) -> list[frozenset[Correspondence]]:
+        """Run ``n_samples`` walk iterations and return the *distinct*
+        matching instances discovered.
+
+        Algorithm 3 accumulates samples with a set union (Ω* ← Ω* ∪ Iᵢ), so
+        the result is a subset of the instance space Ω, in discovery order;
+        it may be shorter than ``n_samples``.
+        """
+        feedback = feedback or Feedback()
+        engine = self.network.engine
+        candidates = self.network.correspondences
+        disapproved = feedback.disapproved
+        approved = feedback.approved
+
+        current: set[Correspondence] = set(approved)
+        discovered: dict[frozenset[Correspondence], None] = {}
+        for _ in range(n_samples):
+            # Occasional restart from the feedback core: the constraint
+            # structure splits the instance space into regions the local
+            # walk crosses only slowly (the annealing acceptance helps but
+            # does not guarantee mixing); restarts make every region
+            # reachable regardless of the walk's current position.
+            if current != approved and self.rng.random() < self.restart_probability:
+                current = set(approved)
+            for _ in range(self.walk_steps):
+                available = [
+                    c for c in candidates if c not in disapproved and c not in current
+                ]
+                if not available:
+                    break
+                chosen = available[self.rng.randrange(len(available))]
+                proposal = repair(current, chosen, approved, engine, rng=self.rng)
+                distance = symmetric_difference_size(current, proposal)
+                acceptance = 1.0 - math.exp(-distance)
+                if self.rng.random() < acceptance:
+                    current = proposal
+            maximal = greedy_maximalize(
+                current, candidates, disapproved, engine, rng=self.rng
+            )
+            discovered[frozenset(maximal)] = None
+        return list(discovered)
+
+
+class SampleStore:
+    """The maintained sample multiset Ω* with pay-as-you-go view maintenance.
+
+    On each assertion the store filters the existing samples instead of
+    re-sampling from scratch, topping up from the sampler whenever fewer than
+    ``min_samples`` survive.  Ω* is a *set* of discovered instances
+    (Algorithm 3 accumulates with set union), so probabilities are fractions
+    over distinct instances.  Following Section III-B, if two consecutive
+    sampling rounds still leave the store short of ``min_samples``, the
+    instance space itself is deemed that small and the store is marked
+    exhausted (Ω* = Ω).
+    """
+
+    def __init__(
+        self,
+        network: MatchingNetwork,
+        sampler: Optional[InstanceSampler] = None,
+        target_samples: int = 500,
+        min_samples: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if target_samples < 1:
+            raise ValueError("target_samples must be positive")
+        self.network = network
+        self.sampler = sampler or InstanceSampler(network, rng=rng)
+        self.target_samples = target_samples
+        self.min_samples = min_samples if min_samples is not None else target_samples // 2
+        self.feedback = Feedback()
+        self._samples: list[frozenset[Correspondence]] = []
+        self._consecutive_shortfalls = 0
+        self._exhausted = False
+        self._frequency_cache: Optional[dict[Correspondence, float]] = None
+        self.refresh()
+
+    @property
+    def samples(self) -> Sequence[frozenset[Correspondence]]:
+        """The current sample set Ω* (distinct instances, discovery order)."""
+        return tuple(self._samples)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the store believes it holds *all* matching instances."""
+        return self._exhausted
+
+    def refresh(self) -> None:
+        """(Re-)fill the store up to ``target_samples`` for current feedback."""
+        if len(self._samples) < self.target_samples and not self._exhausted:
+            self._top_up(goal=self.target_samples)
+        self._frequency_cache = None
+
+    def _merge(self, fresh: Sequence[frozenset[Correspondence]]) -> int:
+        """Union new samples into the store; return how many were new."""
+        existing = set(self._samples)
+        added = 0
+        for sample in fresh:
+            if sample not in existing:
+                existing.add(sample)
+                self._samples.append(sample)
+                added += 1
+        return added
+
+    def record_assertion(self, corr: Correspondence, approved: bool) -> None:
+        """View maintenance for one assertion, then top up if short."""
+        self.feedback.record(corr, approved)
+        if approved:
+            self._samples = [s for s in self._samples if corr in s]
+        else:
+            self._samples = [s for s in self._samples if corr not in s]
+        self._frequency_cache = None
+        if self._exhausted:
+            # Filtering a complete instance space stays complete: the
+            # instances under the stronger feedback are exactly the
+            # surviving ones.
+            return
+        if len(self._samples) < self.min_samples:
+            self._top_up(goal=self.target_samples)
+
+    def _top_up(self, goal: int) -> None:
+        """Sample towards ``goal`` distinct instances; detect exhaustion.
+
+        Per Section III-B, when two consecutive sampling rounds fail to
+        reach ``min_samples`` distinct instances, the instance space itself
+        is deemed that small and the store is marked exhausted (Ω* = Ω).
+        """
+        shortfall_runs = 0
+        while len(self._samples) < goal:
+            fresh = self.sampler.sample(
+                max(goal - len(self._samples), self.min_samples), self.feedback
+            )
+            self._merge(fresh)
+            if len(self._samples) < self.min_samples:
+                shortfall_runs += 1
+                if shortfall_runs >= 2:
+                    self._exhausted = True
+                    break
+            else:
+                break
+        self._frequency_cache = None
+
+    def frequencies(self) -> dict[Correspondence, float]:
+        """Sample frequency of each candidate: the estimated probabilities.
+
+        Cached between mutations — the reconciliation loop reads the
+        distribution several times per assertion.
+        """
+        if self._frequency_cache is not None:
+            return dict(self._frequency_cache)
+        total = len(self._samples)
+        counts: dict[Correspondence, int] = {
+            corr: 0 for corr in self.network.correspondences
+        }
+        if total:
+            for sample in self._samples:
+                for corr in sample:
+                    counts[corr] += 1
+        self._frequency_cache = {
+            corr: (count / total if total else 0.0)
+            for corr, count in counts.items()
+        }
+        return dict(self._frequency_cache)
+
+    def __len__(self) -> int:
+        return len(self._samples)

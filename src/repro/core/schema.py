@@ -1,0 +1,175 @@
+"""Schemas and attributes.
+
+The paper (Section II-B) models a schema as a finite set of attributes with
+globally unique identifiers: ``si ∩ sj = ∅`` for distinct schemas.  We realise
+uniqueness by qualifying every attribute with the name of the schema it
+belongs to, so two schemas may both expose a ``date`` column while the
+attribute objects remain distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class Attribute:
+    """A single schema attribute, globally unique via its schema name.
+
+    Attributes are immutable value objects; identity (equality, hashing,
+    ordering) is the ``(schema, name)`` pair.  The hash is precomputed —
+    attributes are the keys of every hot dictionary in the system.
+
+    Attributes
+    ----------
+    schema:
+        Name of the schema the attribute belongs to.
+    name:
+        Attribute name, unique within its schema.
+    data_type:
+        Optional declared type (``"string"``, ``"date"``, ...), used by the
+        data-type matcher.  Excluded from equality so that renaming a type
+        does not change attribute identity.
+    """
+
+    __slots__ = ("schema", "name", "data_type", "_hash")
+
+    def __init__(self, schema: str, name: str, data_type: Optional[str] = None):
+        self.schema = schema
+        self.name = name
+        self.data_type = data_type
+        self._hash = hash((schema, name))
+
+    @property
+    def qualified_name(self) -> str:
+        """Return the globally unique ``schema.name`` identifier."""
+        return f"{self.schema}.{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.schema == other.schema and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Attribute") -> bool:
+        return (self.schema, self.name) < (other.schema, other.name)
+
+    def __le__(self, other: "Attribute") -> bool:
+        return (self.schema, self.name) <= (other.schema, other.name)
+
+    def __gt__(self, other: "Attribute") -> bool:
+        return (self.schema, self.name) > (other.schema, other.name)
+
+    def __ge__(self, other: "Attribute") -> bool:
+        return (self.schema, self.name) >= (other.schema, other.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Attribute(schema={self.schema!r}, name={self.name!r}, "
+            f"data_type={self.data_type!r})"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qualified_name
+
+
+class Schema:
+    """A named, ordered collection of :class:`Attribute` objects.
+
+    Iteration order is insertion order, which keeps experiment runs
+    deterministic.  Lookup by attribute name is O(1).
+    """
+
+    def __init__(self, name: str, attributes: Iterable[Attribute] = ()):
+        self.name = name
+        self._attributes: dict[str, Attribute] = {}
+        for attribute in attributes:
+            self.add(attribute)
+
+    @classmethod
+    def from_names(
+        cls,
+        name: str,
+        attribute_names: Iterable[str],
+        data_types: Optional[dict[str, str]] = None,
+    ) -> "Schema":
+        """Build a schema from bare attribute names.
+
+        ``data_types`` optionally maps attribute names to declared types.
+        """
+        data_types = data_types or {}
+        schema = cls(name)
+        for attribute_name in attribute_names:
+            schema.add(
+                Attribute(
+                    schema=name,
+                    name=attribute_name,
+                    data_type=data_types.get(attribute_name),
+                )
+            )
+        return schema
+
+    def add(self, attribute: Attribute) -> None:
+        """Add an attribute; it must belong to this schema and be fresh."""
+        if attribute.schema != self.name:
+            raise ValueError(
+                f"attribute {attribute.qualified_name!r} does not belong to "
+                f"schema {self.name!r}"
+            )
+        if attribute.name in self._attributes:
+            raise ValueError(
+                f"duplicate attribute {attribute.name!r} in schema {self.name!r}"
+            )
+        self._attributes[attribute.name] = attribute
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """All attributes in insertion order."""
+        return tuple(self._attributes.values())
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by unqualified name."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Attribute):
+            return self._attributes.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._attributes
+        return False
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes.values())
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({self.name!r}, {len(self)} attributes)"
+
+
+def validate_disjoint(schemas: Iterable[Schema]) -> None:
+    """Raise :class:`ValueError` unless all schema names are unique.
+
+    Name uniqueness is what guarantees the paper's global attribute
+    disjointness under our qualified-name identity scheme.
+    """
+    seen: set[str] = set()
+    for schema in schemas:
+        if schema.name in seen:
+            raise ValueError(f"duplicate schema name {schema.name!r}")
+        seen.add(schema.name)

@@ -1,0 +1,187 @@
+"""Correspondence selection strategies — the ``select`` routine of
+Algorithm 1.
+
+The paper evaluates two strategies: **Random** (the unaided-expert baseline)
+and the **information-gain heuristic** of Section IV-D.  We provide both plus
+two further baselines that are natural ablations of the heuristic: picking
+the correspondence with maximal marginal entropy (probability closest to ½,
+i.e. information gain without the network coupling) and picking the
+correspondence with the lowest matcher confidence.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from .correspondence import Correspondence
+from .probability import ProbabilisticNetwork, SampledEstimator
+from .uncertainty import binary_entropy, information_gains
+
+
+class SelectionStrategy(abc.ABC):
+    """Chooses the next correspondence to show to the expert."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        """The next correspondence to assert, or None when nothing is left.
+
+        Only uncertain correspondences (0 < p < 1) qualify: certain ones have
+        zero information gain (Section IV-D).
+        """
+
+
+def _unasserted(pnet: ProbabilisticNetwork) -> list[Correspondence]:
+    """Candidates the expert has not yet looked at."""
+    feedback = pnet.feedback
+    return [c for c in pnet.correspondences if not feedback.is_asserted(c)]
+
+
+class RandomSelection(SelectionStrategy):
+    """The paper's baseline: an expert working without support tools.
+
+    Selects uniformly among *unasserted* correspondences — including ones
+    that the constraint network has already made certain, which is exactly
+    the wasted effort the guided strategies avoid.
+    """
+
+    name = "random"
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random()
+
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        unasserted = _unasserted(pnet)
+        if not unasserted:
+            return None
+        return unasserted[self.rng.randrange(len(unasserted))]
+
+
+class InformationGainSelection(SelectionStrategy):
+    """The paper's heuristic: argmax_c IG(c), ties broken at random.
+
+    Requires a sampling estimator, since the gains are estimated from the
+    sample multiset.  ``max_candidates`` optionally restricts the ranking to
+    the highest-marginal-entropy candidates to bound per-step cost on very
+    large networks (the ranking is then a two-stage filter; with the default
+    ``None`` every uncertain correspondence is scored, exactly as in the
+    paper).
+    """
+
+    name = "information-gain"
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        max_candidates: Optional[int] = None,
+    ):
+        self.rng = rng or random.Random()
+        self.max_candidates = max_candidates
+
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        uncertain = pnet.uncertain_correspondences()
+        if not uncertain:
+            # Nothing informative left: fall back to any unasserted
+            # correspondence (zero gain) so effort sweeps can continue, or
+            # report completion.
+            unasserted = _unasserted(pnet)
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        if not isinstance(pnet.estimator, SampledEstimator):
+            raise TypeError(
+                "information-gain selection needs a SampledEstimator; use "
+                "EntropySelection with exact estimators instead"
+            )
+        if self.max_candidates is not None and len(uncertain) > self.max_candidates:
+            probabilities = pnet.probabilities()
+            uncertain = sorted(
+                uncertain,
+                key=lambda c: binary_entropy(probabilities[c]),
+                reverse=True,
+            )[: self.max_candidates]
+        gains = information_gains(
+            pnet.estimator.samples, pnet.correspondences, restrict_to=uncertain
+        )
+        best_gain = max(gains.values())
+        best = [corr for corr, gain in gains.items() if gain == best_gain]
+        return best[self.rng.randrange(len(best))]
+
+
+def rank_by_information_gain(
+    pnet: ProbabilisticNetwork, k: Optional[int] = None
+) -> list[tuple[Correspondence, float]]:
+    """The top-k uncertain correspondences by information gain.
+
+    Useful for *batch elicitation* — handing an expert a worklist instead of
+    one question at a time.  Note that gains are estimated against the
+    current network state: after the expert answers any item, the remaining
+    gains shift, so the list is a prioritisation, not a guarantee of
+    additive gain.
+    """
+    uncertain = pnet.uncertain_correspondences()
+    if not uncertain:
+        return []
+    if not isinstance(pnet.estimator, SampledEstimator):
+        raise TypeError("information-gain ranking needs a SampledEstimator")
+    gains = information_gains(
+        pnet.estimator.samples, pnet.correspondences, restrict_to=uncertain
+    )
+    ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k] if k is not None else ranked
+
+
+class EntropySelection(SelectionStrategy):
+    """Ablation: maximal *marginal* entropy (p closest to ½).
+
+    This is information gain with the cross-correspondence coupling removed;
+    comparing it against :class:`InformationGainSelection` isolates the value
+    of modelling the constraint network.
+    """
+
+    name = "entropy"
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random()
+
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        probabilities = pnet.probabilities()
+        uncertain = [c for c, p in probabilities.items() if 0.0 < p < 1.0]
+        if not uncertain:
+            unasserted = _unasserted(pnet)
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        best_entropy = max(binary_entropy(probabilities[c]) for c in uncertain)
+        best = [
+            c for c in uncertain if binary_entropy(probabilities[c]) == best_entropy
+        ]
+        return best[self.rng.randrange(len(best))]
+
+
+class ConfidenceSelection(SelectionStrategy):
+    """Ablation: lowest matcher confidence first.
+
+    A plausible manual-tooling policy — review the matches the matcher was
+    least sure about — that ignores the network structure entirely.
+    """
+
+    name = "confidence"
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random()
+
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        uncertain = pnet.uncertain_correspondences()
+        if not uncertain:
+            unasserted = _unasserted(pnet)
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        confidence = pnet.network.candidates.confidence
+        lowest = min(confidence(c) for c in uncertain)
+        best = [c for c in uncertain if confidence(c) == lowest]
+        return best[self.rng.randrange(len(best))]

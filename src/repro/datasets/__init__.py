@@ -1,0 +1,43 @@
+"""Synthetic schema corpora with ground truth (Table II stand-ins)."""
+
+from .corpora import (
+    CORPORA,
+    business_partner,
+    purchase_order,
+    university_application,
+    webform,
+)
+from .generator import Corpus, generate_corpus
+from .perturbation import NameStyle, RenderProfile, apply_style, render_name
+from .vocabulary import (
+    VOCABULARIES,
+    Concept,
+    business_partner_vocabulary,
+    purchase_order_vocabulary,
+    qualified,
+    university_application_vocabulary,
+    validate_vocabulary,
+    webform_vocabulary,
+)
+
+__all__ = [
+    "CORPORA",
+    "Concept",
+    "Corpus",
+    "NameStyle",
+    "RenderProfile",
+    "VOCABULARIES",
+    "apply_style",
+    "business_partner",
+    "business_partner_vocabulary",
+    "generate_corpus",
+    "purchase_order",
+    "purchase_order_vocabulary",
+    "qualified",
+    "render_name",
+    "university_application",
+    "university_application_vocabulary",
+    "validate_vocabulary",
+    "webform",
+    "webform_vocabulary",
+]

@@ -1,0 +1,89 @@
+"""The four named corpora of the paper's Table II, as synthetic stand-ins.
+
+==============  ========  ====================  =====================
+Dataset         #Schemas  #Attributes(Min/Max)  Domain
+==============  ========  ====================  =====================
+BP              3         80/106                business partners
+PO              10        35/408                purchase orders
+UAF             15        65/228                university forms
+WebForm         89        10/120                extracted web forms
+==============  ========  ====================  =====================
+
+``scale`` shrinks both the schema count and the attribute ranges so that the
+full experiment matrix stays laptop-friendly; ``scale=1.0`` reproduces the
+paper's published statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .generator import Corpus, generate_corpus
+from .vocabulary import (
+    business_partner_vocabulary,
+    purchase_order_vocabulary,
+    university_application_vocabulary,
+    webform_vocabulary,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, round(value * scale))
+
+
+def business_partner(scale: float = 1.0, seed: int = 0) -> Corpus:
+    """BP: 3 enterprise business-partner schemas, 80–106 attributes."""
+    return generate_corpus(
+        name="BP",
+        vocabulary=business_partner_vocabulary(),
+        n_schemas=max(3, round(3 * min(scale, 1.0))),
+        min_attributes=_scaled(80, scale, 5),
+        max_attributes=_scaled(106, scale, 8),
+        seed=seed,
+    )
+
+
+def purchase_order(scale: float = 1.0, seed: int = 0) -> Corpus:
+    """PO: 10 e-business purchase-order schemas, 35–408 attributes."""
+    return generate_corpus(
+        name="PO",
+        vocabulary=purchase_order_vocabulary(),
+        n_schemas=_scaled(10, scale, 3),
+        min_attributes=_scaled(35, scale, 4),
+        max_attributes=_scaled(408, scale, 10),
+        seed=seed,
+    )
+
+
+def university_application(scale: float = 1.0, seed: int = 0) -> Corpus:
+    """UAF: 15 university application-form schemas, 65–228 attributes."""
+    return generate_corpus(
+        name="UAF",
+        vocabulary=university_application_vocabulary(),
+        n_schemas=_scaled(15, scale, 3),
+        min_attributes=_scaled(65, scale, 4),
+        max_attributes=_scaled(228, scale, 8),
+        seed=seed,
+    )
+
+
+def webform(scale: float = 1.0, seed: int = 0) -> Corpus:
+    """WebForm: 89 auto-extracted web-form schemas, 10–120 attributes."""
+    return generate_corpus(
+        name="WebForm",
+        vocabulary=webform_vocabulary(),
+        n_schemas=_scaled(89, scale, 3),
+        min_attributes=_scaled(10, scale, 3),
+        max_attributes=_scaled(120, scale, 6),
+        seed=seed,
+        web_form=True,
+    )
+
+
+#: Registry of corpus builders keyed by the paper's dataset names.
+CORPORA: dict[str, Callable[..., Corpus]] = {
+    "BP": business_partner,
+    "PO": purchase_order,
+    "UAF": university_application,
+    "WebForm": webform,
+}

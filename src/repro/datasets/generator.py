@@ -1,0 +1,150 @@
+"""Synthetic corpus generation with exact ground truth.
+
+A :class:`Corpus` bundles generated schemas, the concept behind every
+attribute, and derived artefacts: the ground-truth *selective matching* for
+any interaction graph, and an :class:`~repro.core.feedback.Oracle` that
+answers assertions from it.  By construction the ground truth satisfies the
+paper's constraints: every concept occurs at most once per schema (one-to-one
+holds) and same-concept correspondences compose transitively (cycles close).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.correspondence import Correspondence, correspondence
+from ..core.feedback import Oracle
+from ..core.graphs import InteractionGraph, complete_graph
+from ..core.schema import Attribute, Schema
+from .perturbation import RenderProfile, render_name
+from .vocabulary import Concept, validate_vocabulary
+
+
+@dataclass
+class Corpus:
+    """Generated schemas plus per-attribute concept annotations."""
+
+    name: str
+    schemas: tuple[Schema, ...]
+    concept_of: dict[Attribute, str] = field(repr=False)
+
+    def graph(self) -> InteractionGraph:
+        """The default (complete) interaction graph over the schemas."""
+        return complete_graph([s.name for s in self.schemas])
+
+    def ground_truth(
+        self, graph: Optional[InteractionGraph] = None
+    ) -> frozenset[Correspondence]:
+        """The selective matching M for a given interaction graph.
+
+        For every edge, attributes denoting the same concept correspond.
+        """
+        graph = graph or self.graph()
+        by_schema_concept: dict[str, dict[str, Attribute]] = {}
+        for schema in self.schemas:
+            concept_to_attr: dict[str, Attribute] = {}
+            for attribute in schema:
+                concept_to_attr[self.concept_of[attribute]] = attribute
+            by_schema_concept[schema.name] = concept_to_attr
+        matches: set[Correspondence] = set()
+        for left_name, right_name in graph.edges:
+            left_concepts = by_schema_concept[left_name]
+            right_concepts = by_schema_concept[right_name]
+            for concept_key, left_attr in left_concepts.items():
+                right_attr = right_concepts.get(concept_key)
+                if right_attr is not None:
+                    matches.add(correspondence(left_attr, right_attr))
+        return frozenset(matches)
+
+    def oracle(self, graph: Optional[InteractionGraph] = None) -> Oracle:
+        """A simulated expert answering from the ground truth."""
+        return Oracle(self.ground_truth(graph))
+
+    def stats(self) -> dict[str, int]:
+        """Table II-style statistics."""
+        counts = [len(schema) for schema in self.schemas]
+        return {
+            "schemas": len(self.schemas),
+            "attributes_min": min(counts) if counts else 0,
+            "attributes_max": max(counts) if counts else 0,
+            "attributes_total": sum(counts),
+        }
+
+
+def generate_corpus(
+    name: str,
+    vocabulary: Sequence[Concept],
+    n_schemas: int,
+    min_attributes: int,
+    max_attributes: int,
+    seed: int = 0,
+    web_form: bool = False,
+    profiles: Optional[Sequence[RenderProfile]] = None,
+) -> Corpus:
+    """Generate a corpus of schemas from a concept vocabulary.
+
+    Each schema draws a size uniformly from ``[min_attributes,
+    max_attributes]`` (capped by the vocabulary size), samples that many
+    concepts without replacement, and renders their names through a
+    per-schema :class:`RenderProfile`.  Collisions inside a schema (two
+    concepts rendering identically) are resolved by retrying with other
+    synonym variants and, as a last resort, skipping the concept.
+    """
+    if n_schemas < 1:
+        raise ValueError("n_schemas must be positive")
+    if not 1 <= min_attributes <= max_attributes:
+        raise ValueError("need 1 <= min_attributes <= max_attributes")
+    vocabulary = list(vocabulary)
+    validate_vocabulary(vocabulary)
+    if profiles is not None and len(profiles) != n_schemas:
+        raise ValueError("one profile per schema required")
+
+    rng = random.Random(seed)
+    schemas: list[Schema] = []
+    concept_of: dict[Attribute, str] = {}
+    for index in range(n_schemas):
+        schema_name = f"{name}_{index:03d}"
+        profile = (
+            profiles[index]
+            if profiles is not None
+            else RenderProfile.random_profile(rng, web_form=web_form)
+        )
+        upper = min(max_attributes, len(vocabulary))
+        lower = min(min_attributes, upper)
+        size = rng.randint(lower, upper)
+        concepts = rng.sample(vocabulary, size)
+        schema = Schema(schema_name)
+        used_names: set[str] = set()
+        for concept in concepts:
+            attribute = _render_attribute(
+                schema_name, concept, profile, rng, used_names
+            )
+            if attribute is None:
+                continue
+            used_names.add(attribute.name)
+            schema.add(attribute)
+            concept_of[attribute] = concept.key
+        schemas.append(schema)
+    return Corpus(name=name, schemas=tuple(schemas), concept_of=concept_of)
+
+
+def _render_attribute(
+    schema_name: str,
+    concept: Concept,
+    profile: RenderProfile,
+    rng: random.Random,
+    used_names: set[str],
+) -> Optional[Attribute]:
+    """Render a collision-free attribute, or None if every variant collides."""
+    rendered = render_name(concept, profile, rng)
+    if rendered not in used_names:
+        return Attribute(schema=schema_name, name=rendered, data_type=concept.data_type)
+    for variant_index in range(len(concept.variants)):
+        rendered = render_name(concept, profile, rng, variant_index=variant_index)
+        if rendered not in used_names:
+            return Attribute(
+                schema=schema_name, name=rendered, data_type=concept.data_type
+            )
+    return None

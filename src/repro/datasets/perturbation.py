@@ -1,0 +1,155 @@
+"""Attribute-name rendering: turning concepts into realistic schema names.
+
+Each schema in a corpus gets a :class:`RenderProfile` (a naming convention:
+casing style, abbreviation-happiness, widget prefixes, typo rate) and every
+sampled concept is rendered through it.  The perturbations mirror what the
+paper's real corpora exhibit — the same field appearing as ``releaseDate``,
+``release_date``, ``dtRelease`` or ``relese date`` across providers — which
+is precisely what makes automatic matchers err and reconciliation necessary.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import string
+from dataclasses import dataclass
+
+from ..matchers.tokenization import ABBREVIATIONS
+from .vocabulary import Concept
+
+#: Reverse abbreviation map: expansion → abbreviation (first writer wins).
+_REVERSE_ABBREVIATIONS: dict[str, str] = {}
+for _abbr, _full in ABBREVIATIONS.items():
+    _REVERSE_ABBREVIATIONS.setdefault(_full, _abbr)
+
+
+class NameStyle(enum.Enum):
+    """Identifier conventions observed across schema providers."""
+
+    CAMEL = "camel"  # releaseDate
+    SNAKE = "snake"  # release_date
+    KEBAB = "kebab"  # release-date
+    LOWER = "lower"  # releasedate
+    TITLE = "title"  # ReleaseDate
+    SPACED = "spaced"  # release date (web-form labels)
+
+
+def apply_style(words: list[str], style: NameStyle) -> str:
+    """Join lowercase words according to a naming convention."""
+    if not words:
+        raise ValueError("cannot style an empty word list")
+    if style is NameStyle.CAMEL:
+        return words[0] + "".join(w.capitalize() for w in words[1:])
+    if style is NameStyle.SNAKE:
+        return "_".join(words)
+    if style is NameStyle.KEBAB:
+        return "-".join(words)
+    if style is NameStyle.LOWER:
+        return "".join(words)
+    if style is NameStyle.TITLE:
+        return "".join(w.capitalize() for w in words)
+    if style is NameStyle.SPACED:
+        return " ".join(words)
+    raise ValueError(f"unknown style {style!r}")  # pragma: no cover
+
+
+def introduce_typo(word: str, rng: random.Random) -> str:
+    """One character-level typo: drop, double, swap, or substitute."""
+    if len(word) < 3:
+        return word
+    kind = rng.randrange(4)
+    position = rng.randrange(1, len(word) - 1)
+    if kind == 0:  # drop
+        return word[:position] + word[position + 1 :]
+    if kind == 1:  # double
+        return word[:position] + word[position] + word[position:]
+    if kind == 2:  # swap adjacent
+        return (
+            word[:position]
+            + word[position + 1]
+            + word[position]
+            + word[position + 2 :]
+        )
+    # substitute with a random lowercase letter
+    replacement = rng.choice(string.ascii_lowercase)
+    return word[:position] + replacement + word[position + 1 :]
+
+
+@dataclass(frozen=True)
+class RenderProfile:
+    """A schema provider's naming convention.
+
+    Attributes
+    ----------
+    style:
+        Identifier convention used for every attribute of the schema.
+    abbreviation_rate:
+        Per-word probability of abbreviating (``quantity`` → ``qty``).
+    widget_prefix:
+        Optional UI prefix glued to every name (``txt``, ``fld``, ...).
+    typo_rate:
+        Per-name probability of a single character typo.
+    variant_bias:
+        Probability of choosing the concept's *first* (canonical) variant;
+        the remaining mass is spread over all variants uniformly.
+    """
+
+    style: NameStyle = NameStyle.CAMEL
+    abbreviation_rate: float = 0.0
+    widget_prefix: str | None = None
+    typo_rate: float = 0.0
+    variant_bias: float = 0.5
+
+    @staticmethod
+    def random_profile(rng: random.Random, web_form: bool = False) -> "RenderProfile":
+        """Sample a plausible provider profile."""
+        styles = list(NameStyle) if web_form else [
+            NameStyle.CAMEL,
+            NameStyle.SNAKE,
+            NameStyle.LOWER,
+            NameStyle.TITLE,
+        ]
+        prefix = None
+        if web_form and rng.random() < 0.3:
+            prefix = rng.choice(["txt", "fld", "inp", "ctl"])
+        return RenderProfile(
+            style=rng.choice(styles),
+            abbreviation_rate=rng.choice([0.0, 0.1, 0.2]),
+            widget_prefix=prefix,
+            typo_rate=rng.choice([0.0, 0.0, 0.02]),
+            variant_bias=rng.uniform(0.78, 0.92),
+        )
+
+
+def render_name(
+    concept: Concept,
+    profile: RenderProfile,
+    rng: random.Random,
+    variant_index: int | None = None,
+) -> str:
+    """Render one concept through a provider profile.
+
+    ``variant_index`` pins the synonym choice (used when retrying after a
+    name collision inside a schema).
+    """
+    if variant_index is None:
+        if rng.random() < profile.variant_bias:
+            variant_index = 0
+        else:
+            variant_index = rng.randrange(len(concept.variants))
+    variant = concept.variants[variant_index % len(concept.variants)]
+    words = variant.lower().split()
+    if profile.abbreviation_rate > 0.0:
+        words = [
+            _REVERSE_ABBREVIATIONS.get(word, word)
+            if rng.random() < profile.abbreviation_rate
+            else word
+            for word in words
+        ]
+    if profile.typo_rate > 0.0 and rng.random() < profile.typo_rate:
+        target = rng.randrange(len(words))
+        words[target] = introduce_typo(words[target], rng)
+    if profile.widget_prefix:
+        words = [profile.widget_prefix] + words
+    return apply_style(words, profile.style)

@@ -1,0 +1,592 @@
+"""Domain concept vocabularies for the synthetic schema corpora.
+
+The paper evaluates on four real-world corpora (Table II) that are no longer
+publicly retrievable, so we regenerate statistically comparable corpora from
+*concept vocabularies*: each concept is a real-world field with several
+alternative surface names (synonyms the different providers plausibly used)
+and a declared data type.  Schemas are then rendered by sampling concepts
+and perturbing their names (see :mod:`repro.datasets.perturbation`), and the
+ground-truth selective matching links same-concept attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One real-world field: a stable key, surface variants, a type.
+
+    ``variants`` are space-separated word sequences; the renderer later
+    chooses casing/delimiters/abbreviations.
+    """
+
+    key: str
+    variants: tuple[str, ...]
+    data_type: str = "string"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"concept {self.key!r} needs at least one variant")
+
+
+def _concept(key: str, *variants: str, data_type: str = "string") -> Concept:
+    return Concept(key=key, variants=tuple(variants), data_type=data_type)
+
+
+def qualified(
+    qualifiers: Sequence[tuple[str, tuple[str, ...]]],
+    bases: Sequence[Concept],
+) -> list[Concept]:
+    """Cross qualifiers with base concepts.
+
+    Each qualifier is ``(key_prefix, variant_prefixes)``; each base variant
+    is combined with each qualifier variant-prefix (one is chosen per
+    rendering, so the cross-product only enlarges the synonym pool, not the
+    schema).
+    """
+    concepts: list[Concept] = []
+    for qualifier_key, qualifier_variants in qualifiers:
+        for base in bases:
+            variants = tuple(
+                f"{prefix} {variant}"
+                for prefix in qualifier_variants
+                for variant in base.variants
+            )
+            concepts.append(
+                Concept(
+                    key=f"{qualifier_key}.{base.key}",
+                    variants=variants,
+                    data_type=base.data_type,
+                )
+            )
+    return concepts
+
+
+# ---------------------------------------------------------------------------
+# Shared building blocks
+# ---------------------------------------------------------------------------
+
+PERSON_NAME_FIELDS: tuple[Concept, ...] = (
+    _concept("first_name", "first name", "given name", "forename"),
+    _concept("last_name", "last name", "surname", "family name"),
+    _concept("middle_name", "middle name", "middle initial"),
+    _concept("salutation", "salutation", "title", "prefix"),
+    _concept("full_name", "full name", "name", "complete name"),
+)
+
+ADDRESS_FIELDS: tuple[Concept, ...] = (
+    _concept("street", "street", "street address", "address line 1", "road"),
+    _concept("street2", "address line 2", "street 2", "apartment", "suite"),
+    _concept("city", "city", "town", "municipality"),
+    _concept("state", "state", "province", "region"),
+    _concept("zip", "zip code", "postal code", "postcode"),
+    _concept("country", "country", "nation", "country name"),
+    _concept("po_box", "po box", "post office box", "mailbox"),
+)
+
+CONTACT_FIELDS: tuple[Concept, ...] = (
+    _concept("phone", "phone", "telephone", "phone number", "contact number"),
+    _concept("mobile", "mobile", "cell phone", "mobile number"),
+    _concept("fax", "fax", "fax number", "facsimile"),
+    _concept("email", "email", "email address", "e mail"),
+    _concept("website", "website", "web site", "homepage", "url"),
+)
+
+DATE_FIELDS: tuple[Concept, ...] = (
+    _concept("created_date", "created date", "creation date", "date created", data_type="date"),
+    _concept("modified_date", "modified date", "last updated", "update date", data_type="date"),
+    _concept("valid_from", "valid from", "effective date", "start date", data_type="date"),
+    _concept("valid_to", "valid to", "expiry date", "end date", data_type="date"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Business Partner (BP): enterprise master-data schemas
+# ---------------------------------------------------------------------------
+
+def business_partner_vocabulary() -> list[Concept]:
+    """Concepts for the BP corpus (enterprise business-partner schemas)."""
+    core = [
+        _concept("partner_id", "partner id", "business partner number", "bp identifier"),
+        _concept("partner_type", "partner type", "partner category", "bp kind"),
+        _concept("company_name", "company name", "organization name", "firm name", "legal name"),
+        _concept("trading_name", "trading name", "doing business as", "brand name"),
+        _concept("legal_form", "legal form", "company type", "incorporation type"),
+        _concept("industry", "industry", "industry sector", "line of business"),
+        _concept("tax_number", "tax number", "vat number", "tax id", "fiscal code"),
+        _concept("duns_number", "duns number", "duns id"),
+        _concept("registration_number", "registration number", "commercial register number"),
+        _concept("language", "language", "correspondence language", "preferred language"),
+        _concept("currency", "currency", "default currency", "trading currency"),
+        _concept("payment_terms", "payment terms", "terms of payment"),
+        _concept("credit_limit", "credit limit", "maximum credit", data_type="decimal"),
+        _concept("credit_rating", "credit rating", "creditworthiness", "risk class"),
+        _concept("status", "status", "partner status", "account state"),
+        _concept("blocked_flag", "blocked", "blocked flag", "on hold", data_type="boolean"),
+        _concept("notes", "notes", "comments", "remarks"),
+        _concept("account_group", "account group", "partner group", "customer group"),
+        _concept("sales_region", "sales region", "sales district", "territory"),
+        _concept("employee_count", "employee count", "number of employees", "headcount", data_type="integer"),
+        _concept("annual_revenue", "annual revenue", "yearly turnover", "sales volume", data_type="decimal"),
+        _concept("founding_year", "founding year", "year established", data_type="integer"),
+        _concept("parent_company", "parent company", "holding company", "group"),
+        _concept("sales_rep", "sales representative", "account manager", "sales agent"),
+        _concept("delivery_terms", "delivery terms", "incoterms", "shipping terms"),
+        _concept("price_list", "price list", "pricing schedule", "tariff"),
+        _concept("discount_class", "discount class", "rebate group", "discount group"),
+        _concept("dunning_level", "dunning level", "reminder level", data_type="integer"),
+        _concept("invoice_frequency", "invoice frequency", "billing cycle"),
+        _concept("tax_exempt", "tax exempt", "vat exempt", data_type="boolean"),
+        _concept("marketing_consent", "marketing consent", "opt in", "allow marketing", data_type="boolean"),
+        _concept("loyalty_tier", "loyalty tier", "customer tier", "membership level"),
+        _concept("source_channel", "source channel", "acquisition channel", "lead source"),
+        _concept("relationship_start", "relationship start", "customer since", data_type="date"),
+        _concept("last_order_date", "last order date", "most recent order", data_type="date"),
+        _concept("preferred_shipper", "preferred shipper", "default carrier"),
+        _concept("stock_symbol", "stock symbol", "ticker", "stock ticker"),
+    ]
+    bank = [
+        _concept("bank_name", "bank name", "bank"),
+        _concept("bank_country", "bank country", "bank nation"),
+        _concept("account_number", "account number", "bank account", "account no"),
+        _concept("iban", "iban", "international bank account number"),
+        _concept("swift", "swift code", "bic", "bank identifier code"),
+        _concept("account_holder", "account holder", "account owner"),
+    ]
+    contact_person = qualified(
+        [
+            ("primary_contact", ("primary contact", "main contact")),
+            ("secondary_contact", ("secondary contact", "alternate contact")),
+            ("purchasing_contact", ("purchasing contact", "procurement contact")),
+        ],
+        PERSON_NAME_FIELDS + CONTACT_FIELDS[:4],
+    )
+    addresses = qualified(
+        [
+            ("head_office", ("head office", "headquarters", "main")),
+            ("billing", ("billing", "invoice")),
+            ("shipping", ("shipping", "delivery", "ship to")),
+            ("registered", ("registered", "legal", "official")),
+        ],
+        ADDRESS_FIELDS,
+    )
+    return (
+        core
+        + bank
+        + contact_person
+        + addresses
+        + list(CONTACT_FIELDS)
+        + list(DATE_FIELDS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Purchase Order (PO): e-business order schemas
+# ---------------------------------------------------------------------------
+
+def purchase_order_vocabulary(line_items: int = 40) -> list[Concept]:
+    """Concepts for the PO corpus.
+
+    ``line_items`` controls how many repeated item blocks exist; the paper's
+    largest PO schema has 408 attributes, which the default reaches.
+    """
+    header = [
+        _concept("po_number", "po number", "purchase order number", "order id"),
+        _concept("order_date", "order date", "po date", "date of order", data_type="date"),
+        _concept("delivery_date", "delivery date", "requested delivery", "ship date", data_type="date"),
+        _concept("order_status", "order status", "po status", "state"),
+        _concept("order_total", "order total", "total amount", "grand total", data_type="decimal"),
+        _concept("subtotal", "subtotal", "net amount", "amount before tax", data_type="decimal"),
+        _concept("tax_total", "tax total", "vat amount", "total tax", data_type="decimal"),
+        _concept("shipping_cost", "shipping cost", "freight charge", "delivery fee", data_type="decimal"),
+        _concept("discount_total", "discount total", "total rebate", "discount amount", data_type="decimal"),
+        _concept("currency", "currency", "currency code"),
+        _concept("payment_terms", "payment terms", "terms of payment"),
+        _concept("payment_method", "payment method", "mode of payment"),
+        _concept("shipping_method", "shipping method", "delivery method", "carrier"),
+        _concept("incoterms", "incoterms", "delivery terms"),
+        _concept("buyer_reference", "buyer reference", "customer reference", "your reference"),
+        _concept("contract_number", "contract number", "agreement id"),
+        _concept("requisition_number", "requisition number", "purchase requisition"),
+        _concept("approval_status", "approval status", "approved flag"),
+        _concept("approver", "approver", "approved by", "authorizer"),
+        _concept("notes", "notes", "comments", "special instructions"),
+        _concept("priority", "priority", "urgency"),
+        _concept("warehouse", "warehouse", "distribution center", "depot"),
+    ]
+    parties = qualified(
+        [
+            ("buyer", ("buyer", "purchaser", "customer")),
+            ("supplier", ("supplier", "vendor", "seller")),
+            ("ship_to", ("ship to", "delivery", "consignee")),
+            ("bill_to", ("bill to", "invoice", "payer")),
+        ],
+        (
+            _concept("name", "name", "company name"),
+            _concept("contact", "contact person", "contact name"),
+            *ADDRESS_FIELDS[:6],
+            CONTACT_FIELDS[0],
+            CONTACT_FIELDS[3],
+            _concept("tax_id", "tax id", "vat number"),
+        ),
+    )
+    item_fields = (
+        _concept("sku", "item number", "sku", "product code", "article number"),
+        _concept("description", "description", "item description", "product name"),
+        _concept("quantity", "quantity", "qty ordered", "order quantity", data_type="integer"),
+        _concept("unit", "unit", "unit of measure", "uom"),
+        _concept("unit_price", "unit price", "price per unit", "price each", data_type="decimal"),
+        _concept("discount", "discount", "rebate percent", data_type="decimal"),
+        _concept("tax_rate", "tax rate", "vat rate", data_type="decimal"),
+        _concept("line_total", "line total", "extended price", "amount", data_type="decimal"),
+        _concept("delivery_date", "delivery date", "requested date", data_type="date"),
+    )
+    items = qualified(
+        [
+            (f"item{i}", (f"item {i}", f"line {i}", f"position {i}"))
+            for i in range(1, line_items + 1)
+        ],
+        item_fields,
+    )
+    return header + parties + items + list(DATE_FIELDS)
+
+
+# ---------------------------------------------------------------------------
+# University Application Form (UAF)
+# ---------------------------------------------------------------------------
+
+def university_application_vocabulary() -> list[Concept]:
+    """Concepts for the UAF corpus (American university application forms)."""
+    personal = [
+        _concept("applicant_id", "applicant id", "application number", "student id"),
+        _concept("birth_date", "birth date", "date of birth", "birthday", data_type="date"),
+        _concept("birth_place", "birth place", "place of birth", "city of birth"),
+        _concept("gender", "gender", "sex"),
+        _concept("citizenship", "citizenship", "nationality", "country of citizenship"),
+        _concept("ssn", "social security number", "ssn"),
+        _concept("ethnicity", "ethnicity", "ethnic background", "race"),
+        _concept("marital_status", "marital status", "civil status"),
+        _concept("visa_type", "visa type", "visa status", "immigration status"),
+        _concept("native_language", "native language", "first language", "mother tongue"),
+    ]
+    enrollment = [
+        _concept("intended_major", "intended major", "major", "field of study", "program"),
+        _concept("second_major", "second major", "minor", "secondary field"),
+        _concept("degree_sought", "degree sought", "degree objective", "intended degree"),
+        _concept("entry_term", "entry term", "starting semester", "term of entry"),
+        _concept("entry_year", "entry year", "starting year", data_type="integer"),
+        _concept("enrollment_status", "enrollment status", "full or part time"),
+        _concept("housing_needed", "housing needed", "campus housing", "dormitory request", data_type="boolean"),
+        _concept("financial_aid", "financial aid", "aid requested", "scholarship application", data_type="boolean"),
+        _concept("application_fee", "application fee", "fee amount", data_type="decimal"),
+        _concept("application_date", "application date", "date submitted", data_type="date"),
+    ]
+    tests = qualified(
+        [
+            ("sat", ("sat",)),
+            ("act", ("act",)),
+            ("toefl", ("toefl",)),
+            ("gre", ("gre",)),
+        ],
+        (
+            _concept("total", "total score", "composite score", "overall score", data_type="integer"),
+            _concept("math", "math score", "quantitative score", data_type="integer"),
+            _concept("verbal", "verbal score", "reading score", data_type="integer"),
+            _concept("writing", "writing score", "essay score", data_type="integer"),
+            _concept("date", "test date", "date taken", data_type="date"),
+        ),
+    )
+    schools = qualified(
+        [
+            ("high_school", ("high school", "secondary school")),
+            ("college1", ("college 1", "previous college", "prior institution")),
+            ("college2", ("college 2", "second college")),
+        ],
+        (
+            _concept("name", "name", "school name", "institution name"),
+            _concept("city", "city", "town"),
+            _concept("state", "state", "province"),
+            _concept("country", "country", "nation"),
+            _concept("start_date", "start date", "from date", data_type="date"),
+            _concept("end_date", "end date", "to date", "graduation date", data_type="date"),
+            _concept("gpa", "gpa", "grade point average", "average grade", data_type="decimal"),
+            _concept("degree", "degree earned", "diploma", "qualification"),
+            _concept("class_rank", "class rank", "rank in class", data_type="integer"),
+        ),
+    )
+    family = qualified(
+        [
+            ("father", ("father", "parent 1")),
+            ("mother", ("mother", "parent 2")),
+            ("guardian", ("guardian", "legal guardian")),
+        ],
+        (
+            *PERSON_NAME_FIELDS[:2],
+            _concept("occupation", "occupation", "profession", "job title"),
+            _concept("employer", "employer", "company"),
+            _concept("education_level", "education level", "highest degree"),
+            _concept("alumnus", "alumnus", "attended this university", data_type="boolean"),
+            CONTACT_FIELDS[0],
+            CONTACT_FIELDS[3],
+        ),
+    )
+    recommenders = qualified(
+        [
+            ("recommender1", ("recommender 1", "first reference")),
+            ("recommender2", ("recommender 2", "second reference")),
+        ],
+        (
+            _concept("name", "name", "full name"),
+            _concept("title", "title", "position"),
+            _concept("institution", "institution", "organization", "school"),
+            CONTACT_FIELDS[3],
+            CONTACT_FIELDS[0],
+        ),
+    )
+    addresses = qualified(
+        [
+            ("permanent", ("permanent", "home")),
+            ("mailing", ("mailing", "current", "correspondence")),
+        ],
+        ADDRESS_FIELDS[:6],
+    )
+    essays = [
+        _concept("personal_statement", "personal statement", "essay", "statement of purpose"),
+        _concept("honors", "honors", "awards", "distinctions"),
+        _concept("emergency_contact", "emergency contact", "contact in case of emergency"),
+        _concept("disciplinary_record", "disciplinary record", "conduct record"),
+        _concept("criminal_record", "criminal record", "felony conviction", data_type="boolean"),
+        _concept("military_service", "military service", "veteran status", data_type="boolean"),
+        _concept("disability", "disability", "accommodation needed", data_type="boolean"),
+        _concept("campus_visit", "campus visit", "visited campus", data_type="boolean"),
+        _concept("interview_date", "interview date", "interview scheduled", data_type="date"),
+        _concept("early_decision", "early decision", "early action", data_type="boolean"),
+        _concept("deferral", "deferral requested", "defer enrollment", data_type="boolean"),
+        _concept("transfer_credits", "transfer credits", "credits transferred", data_type="integer"),
+    ]
+    activities = qualified(
+        [
+            (f"activity{i}", (f"activity {i}", f"extracurricular {i}"))
+            for i in range(1, 9)
+        ],
+        (
+            _concept("name", "name", "activity name", "description"),
+            _concept("position", "position", "role", "leadership position"),
+            _concept("years", "years participated", "years involved", data_type="integer"),
+            _concept("hours", "hours per week", "weekly hours", data_type="integer"),
+        ),
+    )
+    ap_courses = qualified(
+        [(f"ap{i}", (f"ap course {i}", f"ap exam {i}")) for i in range(1, 11)],
+        (
+            _concept("subject", "subject", "course name", "exam name"),
+            _concept("score", "score", "exam score", "grade", data_type="integer"),
+            _concept("year", "year taken", "exam year", data_type="integer"),
+        ),
+    )
+    employment = qualified(
+        [
+            (f"employer{i}", (f"employer {i}", f"job {i}", f"work experience {i}"))
+            for i in range(1, 4)
+        ],
+        (
+            _concept("name", "name", "company name", "organization"),
+            _concept("position", "position", "job title", "role"),
+            _concept("start_date", "start date", "from date", data_type="date"),
+            _concept("end_date", "end date", "to date", data_type="date"),
+            _concept("hours", "hours per week", "weekly hours", data_type="integer"),
+        ),
+    )
+    scholarships = qualified(
+        [
+            (f"scholarship{i}", (f"scholarship {i}", f"grant {i}"))
+            for i in range(1, 4)
+        ],
+        (
+            _concept("name", "name", "scholarship name", "award name"),
+            _concept("amount", "amount", "award amount", data_type="decimal"),
+            _concept("year", "year awarded", "award year", data_type="integer"),
+        ),
+    )
+    languages = qualified(
+        [(f"language{i}", (f"language {i}", f"foreign language {i}")) for i in range(1, 4)],
+        (
+            _concept("name", "name", "language name"),
+            _concept("proficiency", "proficiency", "fluency level"),
+            _concept("years_studied", "years studied", "years of study", data_type="integer"),
+        ),
+    )
+    return (
+        personal
+        + [c for c in PERSON_NAME_FIELDS]
+        + list(CONTACT_FIELDS[:4])
+        + enrollment
+        + tests
+        + schools
+        + family
+        + recommenders
+        + addresses
+        + essays
+        + activities
+        + ap_courses
+        + employment
+        + scholarships
+        + languages
+    )
+
+
+# ---------------------------------------------------------------------------
+# WebForm: heterogeneous web-form schemas
+# ---------------------------------------------------------------------------
+
+def webform_vocabulary() -> list[Concept]:
+    """Concepts for the WebForm corpus (auto-extracted web interfaces)."""
+    account = [
+        _concept("username", "username", "user name", "login", "user id"),
+        _concept("password", "password", "pass word", "pwd"),
+        _concept("password_confirm", "confirm password", "retype password", "password again"),
+        _concept("security_question", "security question", "secret question"),
+        _concept("security_answer", "security answer", "secret answer"),
+        _concept("newsletter", "newsletter", "subscribe to newsletter", "mailing list", data_type="boolean"),
+        _concept("terms_accepted", "accept terms", "agree to terms", "terms and conditions", data_type="boolean"),
+        _concept("captcha", "captcha", "verification code", "security code"),
+        _concept("referral", "referral", "how did you hear about us", "referral source"),
+        _concept("timezone", "timezone", "time zone"),
+        _concept("age", "age", "your age", data_type="integer"),
+        _concept("birth_date", "birth date", "date of birth", "birthday", data_type="date"),
+        _concept("gender", "gender", "sex"),
+        _concept("occupation", "occupation", "profession", "job"),
+        _concept("company", "company", "organization", "employer"),
+        _concept("comments", "comments", "message", "your message", "feedback"),
+        _concept("subject", "subject", "topic", "regarding"),
+        _concept("rating", "rating", "score", "stars", data_type="integer"),
+    ]
+    booking = [
+        _concept("checkin_date", "check in date", "arrival date", "from date", data_type="date"),
+        _concept("checkout_date", "check out date", "departure date", "to date", data_type="date"),
+        _concept("adults", "adults", "number of adults", data_type="integer"),
+        _concept("children", "children", "number of children", data_type="integer"),
+        _concept("rooms", "rooms", "number of rooms", data_type="integer"),
+        _concept("destination", "destination", "location", "where to"),
+        _concept("origin", "origin", "departure city", "from"),
+        _concept("travel_class", "travel class", "cabin class", "seat class"),
+        _concept("promo_code", "promo code", "coupon code", "discount code"),
+        _concept("budget", "budget", "price range", "maximum price", data_type="decimal"),
+    ]
+    payment = [
+        _concept("card_number", "card number", "credit card number", "cc number"),
+        _concept("card_type", "card type", "credit card type", "payment card"),
+        _concept("card_expiry", "expiry date", "expiration date", "valid until", data_type="date"),
+        _concept("card_cvv", "cvv", "security code", "card verification"),
+        _concept("card_holder", "card holder", "name on card", "cardholder name"),
+    ]
+    search = [
+        _concept("keywords", "keywords", "search terms", "query"),
+        _concept("category", "category", "section", "department"),
+        _concept("sort_order", "sort by", "order by", "sort order"),
+        _concept("results_per_page", "results per page", "items per page", data_type="integer"),
+        _concept("min_price", "minimum price", "price from", data_type="decimal"),
+        _concept("max_price", "maximum price", "price to", data_type="decimal"),
+        _concept("brand", "brand", "manufacturer", "make"),
+        _concept("model", "model", "model number"),
+        _concept("condition", "condition", "item condition"),
+        _concept("color", "color", "colour"),
+    ]
+    addresses = qualified(
+        [
+            ("billing", ("billing", "payment")),
+            ("shipping", ("shipping", "delivery")),
+        ],
+        ADDRESS_FIELDS[:6],
+    )
+    survey = [
+        _concept("satisfaction", "satisfaction", "overall satisfaction", data_type="integer"),
+        _concept("recommend", "would recommend", "recommendation likelihood", data_type="integer"),
+        _concept("visit_frequency", "visit frequency", "how often do you visit"),
+        _concept("improvement", "improvement suggestions", "what can we improve"),
+        _concept("heard_from", "heard from", "referral source", "how did you find us"),
+        _concept("education", "education level", "highest education"),
+        _concept("income_range", "income range", "annual income", "household income"),
+        _concept("marital_status", "marital status", "relationship status"),
+        _concept("household_size", "household size", "people in household", data_type="integer"),
+        _concept("interests", "interests", "areas of interest", "preferences"),
+    ]
+    order = [
+        _concept("order_number", "order number", "order id", "confirmation number"),
+        _concept("order_date", "order date", "date ordered", data_type="date"),
+        _concept("quantity", "quantity", "number of items", "qty", data_type="integer"),
+        _concept("size", "size", "item size"),
+        _concept("gift_wrap", "gift wrap", "gift wrapping", data_type="boolean"),
+        _concept("gift_message", "gift message", "card message"),
+        _concept("delivery_instructions", "delivery instructions", "special instructions"),
+        _concept("tracking_number", "tracking number", "shipment tracking"),
+        _concept("return_reason", "return reason", "reason for return"),
+        _concept("warranty", "warranty", "extended warranty", data_type="boolean"),
+    ]
+    job_application = [
+        _concept("position_applied", "position applied for", "desired position", "job title"),
+        _concept("desired_salary", "desired salary", "salary expectation", data_type="decimal"),
+        _concept("available_from", "available from", "earliest start date", data_type="date"),
+        _concept("resume", "resume", "cv", "curriculum vitae"),
+        _concept("cover_letter", "cover letter", "motivation letter"),
+        _concept("years_experience", "years of experience", "work experience years", data_type="integer"),
+        _concept("current_employer", "current employer", "present company"),
+        _concept("notice_period", "notice period", "availability notice"),
+        _concept("willing_to_relocate", "willing to relocate", "relocation", data_type="boolean"),
+        _concept("driver_license", "driver license", "driving licence", data_type="boolean"),
+        _concept("work_permit", "work permit", "authorized to work", data_type="boolean"),
+        _concept("linkedin", "linkedin", "linkedin profile", "professional profile"),
+        _concept("portfolio", "portfolio", "portfolio url", "work samples"),
+        _concept("skills", "skills", "key skills", "competencies"),
+        _concept("certifications", "certifications", "professional certificates"),
+        _concept("references_available", "references available", "references on request", data_type="boolean"),
+        _concept("shift_preference", "shift preference", "preferred shift"),
+        _concept("employment_type", "employment type", "full time or part time"),
+    ]
+    events = [
+        _concept("event_name", "event name", "event title"),
+        _concept("event_date", "event date", "date of event", data_type="date"),
+        _concept("event_time", "event time", "start time"),
+        _concept("attendees", "attendees", "number of guests", data_type="integer"),
+        _concept("dietary", "dietary requirements", "food preferences", "allergies"),
+        _concept("session", "session", "workshop", "track"),
+        _concept("ticket_type", "ticket type", "admission type"),
+        _concept("seat_preference", "seat preference", "seating choice"),
+        _concept("parking_needed", "parking needed", "require parking", data_type="boolean"),
+        _concept("special_needs", "special needs", "accessibility requirements"),
+    ]
+    return (
+        [c for c in PERSON_NAME_FIELDS]
+        + list(CONTACT_FIELDS)
+        + list(ADDRESS_FIELDS)
+        + account
+        + booking
+        + payment
+        + search
+        + addresses
+        + survey
+        + order
+        + job_application
+        + events
+    )
+
+
+#: Registry mapping corpus names to vocabulary builders.
+VOCABULARIES = {
+    "business_partner": business_partner_vocabulary,
+    "purchase_order": purchase_order_vocabulary,
+    "university_application": university_application_vocabulary,
+    "webform": webform_vocabulary,
+}
+
+
+def validate_vocabulary(concepts: Iterable[Concept]) -> None:
+    """Ensure concept keys are unique (ground truth relies on it)."""
+    seen: set[str] = set()
+    for concept in concepts:
+        if concept.key in seen:
+            raise ValueError(f"duplicate concept key {concept.key!r}")
+        seen.add(concept.key)

@@ -1,0 +1,42 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` with size parameters
+that default to the paper's settings; the CLI (:mod:`repro.experiments.cli`)
+and the ``benchmarks/`` suite are thin wrappers over these runners.
+"""
+
+from . import (
+    fig6_sampling_time,
+    fig7_kl_ratio,
+    fig8_probability_correctness,
+    fig9_uncertainty_reduction,
+    fig10_ordering_instantiation,
+    fig11_likelihood,
+    table2_datasets,
+    table3_violations,
+)
+from .harness import (
+    NetworkFixture,
+    build_fixture,
+    conflicted_subnetwork,
+    synthetic_network,
+)
+from .reporting import ExperimentResult, render_markdown, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "NetworkFixture",
+    "build_fixture",
+    "conflicted_subnetwork",
+    "fig10_ordering_instantiation",
+    "fig11_likelihood",
+    "fig6_sampling_time",
+    "fig7_kl_ratio",
+    "fig8_probability_correctness",
+    "fig9_uncertainty_reduction",
+    "render_markdown",
+    "render_table",
+    "synthetic_network",
+    "table2_datasets",
+    "table3_violations",
+]

@@ -1,0 +1,136 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Examples
+--------
+Run everything at reduced scale (quick sanity pass)::
+
+    repro-experiments all --quick
+
+Run one experiment at paper scale and append to EXPERIMENTS-style output::
+
+    repro-experiments fig9 --scale 1.0 --runs 5 --markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from . import (
+    fig6_sampling_time,
+    fig7_kl_ratio,
+    fig8_probability_correctness,
+    fig9_uncertainty_reduction,
+    fig10_ordering_instantiation,
+    fig11_likelihood,
+    table2_datasets,
+    table3_violations,
+)
+from .reporting import ExperimentResult
+
+#: experiment name → (runner, quick-mode keyword overrides)
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
+    "table2": (table2_datasets.run, {"scale": 0.3}),
+    "table3": (
+        table3_violations.run,
+        {"scale": 0.25, "datasets": ("BP", "PO", "UAF", "WebForm")},
+    ),
+    "fig6": (fig6_sampling_time.run, {"sizes": (128, 256, 512), "n_samples": 50}),
+    "fig7": (fig7_kl_ratio.run, {"sizes": tuple(range(10, 17, 2))}),
+    "fig8": (fig8_probability_correctness.run, {"target_samples": 200}),
+    "fig9": (
+        fig9_uncertainty_reduction.run,
+        {"runs": 1, "target_samples": 150, "efforts": (0.0, 0.25, 0.5, 1.0)},
+    ),
+    "fig10": (fig10_ordering_instantiation.run, {"runs": 1, "target_samples": 150}),
+    "fig11": (fig11_likelihood.run, {"runs": 1, "target_samples": 150}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the ICDE'14 paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="corpus scale")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--runs", type=int, default=None, help="repetitions")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced sizes for a fast smoke run",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of ASCII"
+    )
+    return parser
+
+
+def run_experiment(
+    name: str,
+    quick: bool = False,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    runs: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment by id with optional overrides."""
+    try:
+        runner, quick_overrides = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    kwargs: dict = dict(quick_overrides) if quick else {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    if runs is not None and "runs" in _runner_parameters(runner):
+        kwargs["runs"] = runs
+    kwargs = {
+        key: value
+        for key, value in kwargs.items()
+        if key in _runner_parameters(runner)
+    }
+    return runner(**kwargs)
+
+
+def _runner_parameters(runner: Callable) -> frozenset[str]:
+    import inspect
+
+    return frozenset(inspect.signature(runner).parameters)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    exit_code = 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment: {name}", file=sys.stderr)
+            exit_code = 2
+            continue
+        started = time.perf_counter()
+        result = run_experiment(
+            name,
+            quick=args.quick,
+            scale=args.scale,
+            seed=args.seed,
+            runs=args.runs,
+        )
+        elapsed = time.perf_counter() - started
+        print(result.to_markdown() if args.markdown else result.to_text())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Fig. 10 — effect of the ordering strategy on the instantiated matching.
+
+With a small effort budget (0–15% of the candidates) spent via either the
+Random baseline or the information-gain heuristic, Algorithm 2 instantiates
+a trusted matching H; we report precision and recall of H against the
+selective matching.  The paper finds the heuristic ahead by ~0.12 precision
+and ~0.08 recall on average, with both strategies coinciding at 0% effort.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.instantiation import instantiate
+from ..core.probability import ProbabilisticNetwork
+from ..core.reconciliation import ReconciliationSession
+from ..core.selection import InformationGainSelection, RandomSelection
+from ..metrics import precision, recall
+from .harness import NetworkFixture, build_fixture
+from .reporting import ExperimentResult
+
+DEFAULT_EFFORTS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15)
+
+
+def _instantiation_quality(
+    fixture: NetworkFixture,
+    strategy_name: str,
+    efforts: Sequence[float],
+    target_samples: int,
+    instantiation_iterations: int,
+    seed: int,
+    use_likelihood: bool = True,
+) -> list[tuple[float, float]]:
+    """(precision, recall) of the instantiated matching per effort level."""
+    pnet = ProbabilisticNetwork(
+        fixture.network, target_samples=target_samples, rng=random.Random(seed)
+    )
+    strategy = (
+        RandomSelection(rng=random.Random(seed + 1))
+        if strategy_name == "random"
+        else InformationGainSelection(rng=random.Random(seed + 1))
+    )
+    session = ReconciliationSession(pnet, fixture.oracle(), strategy)
+    total = len(fixture.network.correspondences)
+    truth = fixture.ground_truth
+
+    points: list[tuple[float, float]] = []
+    steps_done = 0
+    for effort in efforts:
+        target = round(effort * total)
+        while steps_done < target:
+            if session.step() is None:
+                break
+            steps_done += 1
+        matching = instantiate(
+            pnet,
+            iterations=instantiation_iterations,
+            use_likelihood=use_likelihood,
+            rng=random.Random(seed + 2),
+        )
+        points.append((precision(matching, truth), recall(matching, truth)))
+    return points
+
+
+def run(
+    corpus_name: str = "BP",
+    scale: float = 1.0,
+    seed: int = 0,
+    pipeline: str = "coma_like",
+    efforts: Sequence[float] = DEFAULT_EFFORTS,
+    runs: int = 3,
+    target_samples: int = 300,
+    instantiation_iterations: int = 100,
+) -> ExperimentResult:
+    """Average P/R of the instantiated matching for both orderings."""
+    fixture = build_fixture(
+        corpus_name=corpus_name, scale=scale, seed=seed, pipeline=pipeline
+    )
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Effect of ordering strategies on instantiation",
+        columns=(
+            "effort(%)",
+            "Prec random",
+            "Prec heuristic",
+            "Rec random",
+            "Rec heuristic",
+        ),
+        notes=f"{corpus_name} × {pipeline}, avg over {runs} runs; H = Algorithm 2 output",
+    )
+    curves: dict[str, list[list[tuple[float, float]]]] = {
+        "random": [],
+        "heuristic": [],
+    }
+    for strategy_name in ("random", "heuristic"):
+        for run_index in range(runs):
+            curves[strategy_name].append(
+                _instantiation_quality(
+                    fixture,
+                    strategy_name,
+                    efforts,
+                    target_samples,
+                    instantiation_iterations,
+                    seed=seed + 29 * run_index + (0 if strategy_name == "random" else 11),
+                )
+            )
+
+    def mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values)
+
+    for index, effort in enumerate(efforts):
+        random_points = [run_points[index] for run_points in curves["random"]]
+        heuristic_points = [run_points[index] for run_points in curves["heuristic"]]
+        result.add_row(
+            100.0 * effort,
+            mean([p[0] for p in random_points]),
+            mean([p[0] for p in heuristic_points]),
+            mean([p[1] for p in random_points]),
+            mean([p[1] for p in heuristic_points]),
+        )
+    return result

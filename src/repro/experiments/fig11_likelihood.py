@@ -1,0 +1,105 @@
+"""Fig. 11 — effect of the maximal-likelihood criterion on instantiation.
+
+Algorithm 2 prefers instances with minimal repair distance and breaks ties
+by likelihood u(I) = Π p_c (and uses the probabilities for its roulette
+wheel).  This experiment compares instantiation with the likelihood
+criterion against a variant that ignores it; the paper finds likelihood-
+guided instantiation ahead on both precision and recall.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.instantiation import instantiate
+from ..core.probability import ProbabilisticNetwork
+from ..core.reconciliation import ReconciliationSession
+from ..core.selection import InformationGainSelection
+from ..metrics import precision, recall
+from .harness import build_fixture
+from .reporting import ExperimentResult
+
+DEFAULT_EFFORTS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15)
+
+
+def run(
+    corpus_name: str = "BP",
+    scale: float = 1.0,
+    seed: int = 0,
+    pipeline: str = "coma_like",
+    efforts: Sequence[float] = DEFAULT_EFFORTS,
+    runs: int = 3,
+    target_samples: int = 300,
+    instantiation_iterations: int = 100,
+) -> ExperimentResult:
+    """Average P/R with and without the likelihood criterion."""
+    fixture = build_fixture(
+        corpus_name=corpus_name, scale=scale, seed=seed, pipeline=pipeline
+    )
+    total = len(fixture.network.correspondences)
+    truth = fixture.ground_truth
+    result = ExperimentResult(
+        experiment="fig11",
+        title="Effect of the likelihood function on instantiation",
+        columns=(
+            "effort(%)",
+            "Prec without",
+            "Prec with",
+            "Rec without",
+            "Rec with",
+        ),
+        notes=(
+            f"{corpus_name} × {pipeline}, avg over {runs} runs; heuristic "
+            "ordering for feedback in both variants"
+        ),
+    )
+
+    per_run: list[list[tuple[float, float, float, float]]] = []
+    for run_index in range(runs):
+        run_seed = seed + 31 * run_index
+        pnet = ProbabilisticNetwork(
+            fixture.network,
+            target_samples=target_samples,
+            rng=random.Random(run_seed),
+        )
+        session = ReconciliationSession(
+            pnet,
+            fixture.oracle(),
+            InformationGainSelection(rng=random.Random(run_seed + 1)),
+        )
+        rows: list[tuple[float, float, float, float]] = []
+        steps_done = 0
+        for effort in efforts:
+            target = round(effort * total)
+            while steps_done < target:
+                if session.step() is None:
+                    break
+                steps_done += 1
+            without = instantiate(
+                pnet,
+                iterations=instantiation_iterations,
+                use_likelihood=False,
+                rng=random.Random(run_seed + 2),
+            )
+            with_likelihood = instantiate(
+                pnet,
+                iterations=instantiation_iterations,
+                use_likelihood=True,
+                rng=random.Random(run_seed + 2),
+            )
+            rows.append(
+                (
+                    precision(without, truth),
+                    precision(with_likelihood, truth),
+                    recall(without, truth),
+                    recall(with_likelihood, truth),
+                )
+            )
+        per_run.append(rows)
+
+    for index, effort in enumerate(efforts):
+        cells = [run_rows[index] for run_rows in per_run]
+        averaged = [sum(values) / len(values) for values in zip(*cells)]
+        result.add_row(100.0 * effort, *averaged)
+    return result

@@ -1,0 +1,65 @@
+"""Fig. 8 — relation between probability and correctness.
+
+Histogram of sampled correspondence probabilities, split into correct
+(member of the selective matching) and incorrect candidates.  The paper's
+finding: high-probability buckets are dominated by correct correspondences,
+and the correct/incorrect ratio grows with the probability.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.probability import ProbabilisticNetwork
+from .harness import build_fixture
+from .reporting import ExperimentResult
+
+
+def run(
+    corpus_name: str = "BP",
+    scale: float = 1.0,
+    seed: int = 0,
+    target_samples: int = 500,
+    bins: int = 10,
+) -> ExperimentResult:
+    """Bucket candidate probabilities by correctness."""
+    fixture = build_fixture(corpus_name=corpus_name, scale=scale, seed=seed)
+    pnet = ProbabilisticNetwork(
+        fixture.network, target_samples=target_samples, rng=random.Random(seed)
+    )
+    probabilities = pnet.probabilities()
+    truth = fixture.ground_truth
+    total = len(probabilities)
+
+    correct_counts = [0] * bins
+    incorrect_counts = [0] * bins
+    for corr, probability in probabilities.items():
+        bucket = min(int(probability * bins), bins - 1)
+        if corr in truth:
+            correct_counts[bucket] += 1
+        else:
+            incorrect_counts[bucket] += 1
+
+    result = ExperimentResult(
+        experiment="fig8",
+        title="Relation between probability and correctness",
+        columns=("bucket", "correct(%)", "incorrect(%)", "ratio"),
+        notes=(
+            f"{corpus_name}, {target_samples} samples; frequency as % of all "
+            f"{total} candidates"
+        ),
+    )
+    for bucket in range(bins):
+        low = bucket / bins
+        high = (bucket + 1) / bins
+        correct_pct = 100.0 * correct_counts[bucket] / total
+        incorrect_pct = 100.0 * incorrect_counts[bucket] / total
+        ratio = (
+            correct_counts[bucket] / incorrect_counts[bucket]
+            if incorrect_counts[bucket]
+            else float("inf")
+            if correct_counts[bucket]
+            else 0.0
+        )
+        result.add_row(f"[{low:.1f},{high:.1f})", correct_pct, incorrect_pct, ratio)
+    return result

@@ -1,0 +1,86 @@
+"""Result containers and plain-text rendering for the experiment harness.
+
+Every experiment returns an :class:`ExperimentResult` — a table of rows that
+mirrors the series/axes of the paper's figure or table — which renders to
+aligned ASCII for the console and to Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly cell formatting (floats to 4 significant places)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(column)) for column in columns]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in formatted
+    )
+    return "\n".join([header, rule, body]) if rows else "\n".join([header, rule])
+
+
+def render_markdown(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "| " + " | ".join("---" for _ in columns) + " |"
+    body = "\n".join(
+        "| " + " | ".join(format_cell(cell) for cell in row) + " |"
+        for row in rows
+    )
+    return "\n".join([header, rule, body]) if rows else "\n".join([header, rule])
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure, as data."""
+
+    experiment: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(tuple(values))
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.append(render_table(self.columns, self.rows))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"### {self.experiment}: {self.title}", ""]
+        parts.append(render_markdown(self.columns, self.rows))
+        if self.notes:
+            parts.extend(["", f"*{self.notes}*"])
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """Extract one column as a list (for assertions in tests/benches)."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]

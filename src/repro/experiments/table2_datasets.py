@@ -1,0 +1,48 @@
+"""Table II — descriptive statistics of the four corpora."""
+
+from __future__ import annotations
+
+from ..datasets.corpora import CORPORA
+from .reporting import ExperimentResult
+
+#: The statistics the paper reports, for side-by-side comparison.
+PAPER_TABLE2 = {
+    "BP": (3, 80, 106),
+    "PO": (10, 35, 408),
+    "UAF": (15, 65, 228),
+    "WebForm": (89, 10, 120),
+}
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Generate every corpus and report its Table II row.
+
+    At ``scale=1.0`` the schema counts match the paper exactly and the
+    attribute ranges fall inside the published min/max bounds.
+    """
+    result = ExperimentResult(
+        experiment="table2",
+        title="Real datasets (synthetic stand-ins)",
+        columns=(
+            "Dataset",
+            "#Schemas",
+            "Attrs(Min)",
+            "Attrs(Max)",
+            "Paper#Schemas",
+            "PaperAttrs(Min/Max)",
+        ),
+        notes=f"scale={scale}; paper columns quoted from Table II for comparison",
+    )
+    for name, builder in CORPORA.items():
+        corpus = builder(scale=scale, seed=seed)
+        stats = corpus.stats()
+        paper_schemas, paper_min, paper_max = PAPER_TABLE2[name]
+        result.add_row(
+            name,
+            stats["schemas"],
+            stats["attributes_min"],
+            stats["attributes_max"],
+            paper_schemas,
+            f"{paper_min}/{paper_max}",
+        )
+    return result

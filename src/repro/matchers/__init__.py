@@ -1,0 +1,77 @@
+"""Schema-matcher substrate: the COMA++/AMC stand-ins of the evaluation.
+
+First-line matchers score attribute pairs; ensembles aggregate them;
+selectors extract candidate correspondences; pipelines run the whole stack
+over schema pairs or entire networks.
+"""
+
+from .base import CachedMatcher, Matcher, SimilarityMatrix, matrix_from_scores
+from .ensemble import (
+    EnsembleMatcher,
+    MaxDeltaSelector,
+    Selector,
+    StableMarriageSelector,
+    ThresholdSelector,
+    TopKSelector,
+    harmonic_mean,
+    match_pair,
+    maximum,
+    weighted_average,
+)
+from .name_matchers import (
+    EditDistanceMatcher,
+    JaroWinklerMatcher,
+    MongeElkanMatcher,
+    NGramMatcher,
+    PrefixSuffixMatcher,
+    SubstringMatcher,
+    TokenMatcher,
+)
+from .pipeline import (
+    PIPELINES,
+    MatcherPipeline,
+    amc_like,
+    coma_like,
+    simple_threshold,
+)
+from .semantic import (
+    DEFAULT_SYNONYM_RINGS,
+    DataTypeMatcher,
+    SynonymMatcher,
+    Thesaurus,
+)
+from .tfidf import TfIdfTokenMatcher
+
+__all__ = [
+    "CachedMatcher",
+    "DEFAULT_SYNONYM_RINGS",
+    "DataTypeMatcher",
+    "EditDistanceMatcher",
+    "EnsembleMatcher",
+    "JaroWinklerMatcher",
+    "Matcher",
+    "MatcherPipeline",
+    "MaxDeltaSelector",
+    "MongeElkanMatcher",
+    "NGramMatcher",
+    "PIPELINES",
+    "PrefixSuffixMatcher",
+    "Selector",
+    "SimilarityMatrix",
+    "StableMarriageSelector",
+    "SubstringMatcher",
+    "SynonymMatcher",
+    "TfIdfTokenMatcher",
+    "Thesaurus",
+    "ThresholdSelector",
+    "TokenMatcher",
+    "TopKSelector",
+    "amc_like",
+    "coma_like",
+    "harmonic_mean",
+    "match_pair",
+    "matrix_from_scores",
+    "maximum",
+    "simple_threshold",
+    "weighted_average",
+]

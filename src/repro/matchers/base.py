@@ -1,0 +1,115 @@
+"""Matcher interfaces and the similarity-matrix container.
+
+A *first-line matcher* maps a pair of attributes to a similarity in [0, 1];
+running one over two schemas yields a :class:`SimilarityMatrix`.  Second-line
+components (ensembles, selectors — see :mod:`repro.matchers.ensemble`)
+combine and threshold matrices into candidate correspondences.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Mapping
+
+from ..core.correspondence import Correspondence, correspondence
+from ..core.schema import Attribute, Schema
+
+
+class SimilarityMatrix:
+    """Dense pairwise similarities between two schemas' attributes."""
+
+    def __init__(self, left: Schema, right: Schema):
+        self.left = left
+        self.right = right
+        self._scores: dict[tuple[Attribute, Attribute], float] = {}
+
+    def set(self, left_attr: Attribute, right_attr: Attribute, score: float) -> None:
+        if not 0.0 <= score <= 1.0:
+            raise ValueError(f"similarity {score} outside [0, 1]")
+        self._scores[(left_attr, right_attr)] = score
+
+    def get(self, left_attr: Attribute, right_attr: Attribute) -> float:
+        return self._scores.get((left_attr, right_attr), 0.0)
+
+    def items(self) -> Iterator[tuple[tuple[Attribute, Attribute], float]]:
+        return iter(self._scores.items())
+
+    def pairs_above(
+        self, threshold: float
+    ) -> list[tuple[Attribute, Attribute, float]]:
+        """All attribute pairs whose similarity meets ``threshold``."""
+        return [
+            (left_attr, right_attr, score)
+            for (left_attr, right_attr), score in self._scores.items()
+            if score >= threshold
+        ]
+
+    def to_correspondences(
+        self, threshold: float
+    ) -> dict[Correspondence, float]:
+        """Thresholded conversion into correspondence → confidence."""
+        return {
+            correspondence(left_attr, right_attr): score
+            for left_attr, right_attr, score in self.pairs_above(threshold)
+        }
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+
+class Matcher(abc.ABC):
+    """A first-line matcher: attribute-pair similarity in [0, 1]."""
+
+    name: str = "matcher"
+
+    @abc.abstractmethod
+    def similarity(self, left: Attribute, right: Attribute) -> float:
+        """Similarity of two attributes."""
+
+    def match(self, left: Schema, right: Schema) -> SimilarityMatrix:
+        """Score every attribute pair of two schemas."""
+        matrix = SimilarityMatrix(left, right)
+        for left_attr in left:
+            for right_attr in right:
+                matrix.set(left_attr, right_attr, self.similarity(left_attr, right_attr))
+        return matrix
+
+
+class CachedMatcher(Matcher):
+    """Mixin-style base caching name-level similarities.
+
+    Most first-line matchers depend only on the attribute *names*; schemas
+    in a network reuse names heavily, so a name-level cache removes the bulk
+    of repeated metric computation across the O(n²) schema pairs.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def similarity(self, left: Attribute, right: Attribute) -> float:
+        key = (
+            (left.name, right.name)
+            if left.name <= right.name
+            else (right.name, left.name)
+        )
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._name_similarity(key[0], key[1])
+            self._cache[key] = cached
+        return cached
+
+    @abc.abstractmethod
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        """Similarity of two attribute names (order-canonicalised)."""
+
+
+def matrix_from_scores(
+    left: Schema,
+    right: Schema,
+    scores: Mapping[tuple[Attribute, Attribute], float],
+) -> SimilarityMatrix:
+    """Build a matrix from an explicit score mapping (tests, fixtures)."""
+    matrix = SimilarityMatrix(left, right)
+    for (left_attr, right_attr), score in scores.items():
+        matrix.set(left_attr, right_attr, score)
+    return matrix

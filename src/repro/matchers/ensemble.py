@@ -1,0 +1,223 @@
+"""Second-line matching: ensemble aggregation and candidate selection.
+
+COMA++ and AMC — the tools the paper feeds its networks from — are both
+*ensembles*: they run several first-line matchers, aggregate the similarity
+matrices, and then select attribute pairs from the combined matrix.  This
+module provides those two stages: :class:`EnsembleMatcher` with pluggable
+aggregation, and a family of selectors (threshold, top-k per attribute,
+max-delta, stable marriage).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+from ..core.correspondence import Correspondence, correspondence
+from ..core.schema import Attribute, Schema
+from .base import Matcher, SimilarityMatrix
+
+Aggregation = Callable[[Sequence[float], Sequence[float]], float]
+
+
+def weighted_average(scores: Sequence[float], weights: Sequence[float]) -> float:
+    """Σ wᵢsᵢ / Σ wᵢ — COMA's default aggregation."""
+    total_weight = sum(weights)
+    if total_weight == 0.0:
+        return 0.0
+    return sum(s * w for s, w in zip(scores, weights)) / total_weight
+
+
+def maximum(scores: Sequence[float], weights: Sequence[float]) -> float:
+    """max sᵢ — optimistic aggregation."""
+    return max(scores) if scores else 0.0
+
+
+def harmonic_mean(scores: Sequence[float], weights: Sequence[float]) -> float:
+    """Harmonic mean; punishes disagreement between matchers."""
+    if not scores or any(s == 0.0 for s in scores):
+        return 0.0
+    return len(scores) / sum(1.0 / s for s in scores)
+
+
+class EnsembleMatcher(Matcher):
+    """Combine several first-line matchers into one similarity score.
+
+    Results are cached by attribute name and declared type: attribute names
+    repeat heavily across the O(n²) schema pairs of a network, so the cache
+    collapses most of the repeated metric work.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        matchers: Sequence[Matcher],
+        weights: Optional[Sequence[float]] = None,
+        aggregation: Aggregation = weighted_average,
+    ):
+        if not matchers:
+            raise ValueError("an ensemble needs at least one matcher")
+        self.matchers = tuple(matchers)
+        if weights is None:
+            weights = [1.0] * len(self.matchers)
+        if len(weights) != len(self.matchers):
+            raise ValueError("one weight per matcher required")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self.weights = tuple(weights)
+        self.aggregation = aggregation
+        self._cache: dict[tuple, float] = {}
+
+    def similarity(self, left: Attribute, right: Attribute) -> float:
+        left_key = (left.name, left.data_type)
+        right_key = (right.name, right.data_type)
+        key = (left_key, right_key) if left_key <= right_key else (right_key, left_key)
+        cached = self._cache.get(key)
+        if cached is None:
+            scores = [m.similarity(left, right) for m in self.matchers]
+            cached = min(1.0, max(0.0, self.aggregation(scores, self.weights)))
+            self._cache[key] = cached
+        return cached
+
+    def fit(self, schemas: Sequence["Schema"]) -> "EnsembleMatcher":
+        """Fit every corpus-dependent member matcher (e.g. TF-IDF)."""
+        for member in self.matchers:
+            fit = getattr(member, "fit", None)
+            if callable(fit):
+                fit(schemas)
+        self._cache.clear()
+        return self
+
+
+class Selector(abc.ABC):
+    """Extracts candidate correspondences from a similarity matrix."""
+
+    name: str = "selector"
+
+    @abc.abstractmethod
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        """Chosen correspondences with their confidence values."""
+
+
+class ThresholdSelector(Selector):
+    """Every pair at or above a fixed similarity threshold."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self.threshold = threshold
+
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        return matrix.to_correspondences(self.threshold)
+
+
+class TopKSelector(Selector):
+    """The k best partners per attribute (both directions), above a floor.
+
+    Deliberately produces one-to-one violations when k > 1 — exactly the
+    noisy output reconciliation has to clean up.
+    """
+
+    name = "top-k"
+
+    def __init__(self, k: int = 2, threshold: float = 0.3):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.threshold = threshold
+
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        per_left: dict[Attribute, list[tuple[float, Attribute]]] = {}
+        per_right: dict[Attribute, list[tuple[float, Attribute]]] = {}
+        for (left_attr, right_attr), score in matrix.items():
+            if score < self.threshold:
+                continue
+            per_left.setdefault(left_attr, []).append((score, right_attr))
+            per_right.setdefault(right_attr, []).append((score, left_attr))
+
+        chosen: dict[Correspondence, float] = {}
+        for left_attr, partners in per_left.items():
+            partners.sort(key=lambda pair: (-pair[0], pair[1]))
+            for score, right_attr in partners[: self.k]:
+                chosen[correspondence(left_attr, right_attr)] = score
+        for right_attr, partners in per_right.items():
+            partners.sort(key=lambda pair: (-pair[0], pair[1]))
+            for score, left_attr in partners[: self.k]:
+                chosen[correspondence(left_attr, right_attr)] = score
+        return chosen
+
+
+class MaxDeltaSelector(Selector):
+    """Pairs within ``delta`` of each attribute's best score (COMA-style)."""
+
+    name = "max-delta"
+
+    def __init__(self, delta: float = 0.1, threshold: float = 0.3):
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        self.delta = delta
+        self.threshold = threshold
+
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        best_left: dict[Attribute, float] = {}
+        best_right: dict[Attribute, float] = {}
+        for (left_attr, right_attr), score in matrix.items():
+            best_left[left_attr] = max(best_left.get(left_attr, 0.0), score)
+            best_right[right_attr] = max(best_right.get(right_attr, 0.0), score)
+        chosen: dict[Correspondence, float] = {}
+        for (left_attr, right_attr), score in matrix.items():
+            if score < self.threshold:
+                continue
+            if (
+                score >= best_left[left_attr] - self.delta
+                or score >= best_right[right_attr] - self.delta
+            ):
+                chosen[correspondence(left_attr, right_attr)] = score
+        return chosen
+
+
+class StableMarriageSelector(Selector):
+    """A greedy one-to-one extraction (highest scores first).
+
+    Produces a violation-free (w.r.t. one-to-one) matching per schema pair;
+    useful as the "clean" extreme when studying how much network constraints
+    matter.
+    """
+
+    name = "stable-marriage"
+
+    def __init__(self, threshold: float = 0.3):
+        self.threshold = threshold
+
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        scored = sorted(
+            (
+                (score, left_attr, right_attr)
+                for (left_attr, right_attr), score in matrix.items()
+                if score >= self.threshold
+            ),
+            key=lambda triple: (-triple[0], triple[1], triple[2]),
+        )
+        used_left: set[Attribute] = set()
+        used_right: set[Attribute] = set()
+        chosen: dict[Correspondence, float] = {}
+        for score, left_attr, right_attr in scored:
+            if left_attr in used_left or right_attr in used_right:
+                continue
+            used_left.add(left_attr)
+            used_right.add(right_attr)
+            chosen[correspondence(left_attr, right_attr)] = score
+        return chosen
+
+
+def match_pair(
+    left: Schema,
+    right: Schema,
+    matcher: Matcher,
+    selector: Selector,
+) -> dict[Correspondence, float]:
+    """Run one matcher+selector over a schema pair."""
+    return selector.select(matcher.match(left, right))

@@ -1,0 +1,81 @@
+"""Domain lexicon for identifier word segmentation.
+
+Matcher toolkits ship dictionaries so that concatenated identifiers
+(``billingstate``, ``firstname``) can be segmented into words before token
+comparison.  This lexicon covers the business/e-commerce/academic/web-form
+vocabulary of the corpora plus general identifier glue words; it is a plain
+frozenset so callers can extend it (``LEXICON | {"mytoken"}``) and hand the
+result to :func:`repro.matchers.tokenization.tokenize`.
+"""
+
+from __future__ import annotations
+
+#: Atomic (single-word) domain vocabulary used by the greedy segmenter.
+LEXICON: frozenset[str] = frozenset(
+    """
+    about accept accessibility accommodation account acquisition act action
+    activity address admission adults again age agent agree agreement aid
+    allergies allow alternate alumnus amount and annual answer apartment
+    applicant application applied approval approved approver areas arrival
+    article attended attendees authorized authorizer availability available
+    average award awarded awards background bank before bic bill billing
+    birth birthday blocked box brand budget business buyer cabin campus can
+    captcha card cardholder carrier case category cell center certificates
+    certifications channel charge check children choice citizenship city
+    civil class code college color colour comment comments commercial
+    company competencies complete composite condition conditions conduct
+    confirm confirmation consent consignee contact contract conviction
+    correspondence cost count country county coupon course cover created
+    creation credit creditworthiness criminal currency current curriculum
+    customer cycle date day decision default degree delivery department
+    departure depot description desired destination dietary diploma
+    disability disciplinary discount distinctions distribution district
+    dormitory driver driving dunning duns each earliest early earned
+    education effective email emergency employee employees employer
+    employment end enrollment entry essay established ethnic ethnicity
+    event exam exempt expectation experience expiration expiry extended
+    extracurricular facsimile family father fax fee feedback felony field
+    financial find firm first fiscal flag fluency food for foreign forename
+    form founding freight frequency from full gender gift given grade
+    graduation grand grant group guardian guests head headcount
+    headquarters hear heard high highest hold holder holding home homepage
+    honors hours household housing how iban identifier immigration improve
+    improvement income incorporation incoterms industry info information
+    initial institution instructions intended interest interests
+    international interview invoice involved item items job key keywords
+    kind language last lead leadership legal letter level licence license
+    likelihood limit line linkedin list location login loyalty mail mailbox
+    mailing main major make manager manufacturer marital marketing math
+    maximum measure membership message method middle military minimum minor
+    mobile mode model modified most mother motivation municipality name
+    nation nationality native needed needs net newsletter notes notice
+    number objective occupation of office official often one opt order
+    ordered organization origin out overall owner page parent parking part
+    participated partner pass password payer payment people per percent
+    period permanent permit person personal phone place point portfolio
+    position post postal postcode preference preferences preferred prefix
+    present previous price pricing primary prior priority procurement
+    product profession professional proficiency profile program promo
+    province purchase purchaser purchasing purpose qualification
+    quantitative quantity query question race range rank rate rating
+    reading reason rebate recent recommend recommendation recommender
+    record reference references referral regarding region register
+    registered registration relationship relocate relocation remark
+    remarks reminder representative request requested require requirements
+    requisition results resume return retype revenue risk road role rooms
+    salary sales salutation samples sat satisfaction schedule scheduled
+    scholarship school score search seat seating second secondary secret
+    section sector security seller semester service session sex shift ship
+    shipment shipper shipping since site size skills sku social sort sought
+    source special stars start starting state statement status stock street
+    student studied study subject submitted subscribe subtotal suggestions
+    suite supplier surname swift symbol taken tariff tax telephone term
+    terms territory test ticker ticket tier time timezone title to toefl
+    tongue topic total town track tracking trading travel turnover two type
+    unit university until update updated urgency user username valid vat
+    vendor verbal verification veteran visa visit visited vitae volume
+    warehouse warranty web website week weekly what where willing word work
+    workshop would wrap wrapping writing year yearly years you your zip
+    zone
+    """.split()
+)

@@ -1,0 +1,106 @@
+"""First-line matchers over attribute names.
+
+Each matcher wraps one string metric from
+:mod:`repro.matchers.string_metrics`, applied to the normalised name or the
+token sequence produced by :mod:`repro.matchers.tokenization`.
+"""
+
+from __future__ import annotations
+
+from . import string_metrics, tokenization
+from .base import CachedMatcher
+
+
+class EditDistanceMatcher(CachedMatcher):
+    """Normalised Levenshtein similarity over normalised names."""
+
+    name = "edit-distance"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.levenshtein_similarity(
+            tokenization.normalize(left_name), tokenization.normalize(right_name)
+        )
+
+
+class JaroWinklerMatcher(CachedMatcher):
+    """Jaro-Winkler over normalised names; favours shared prefixes."""
+
+    name = "jaro-winkler"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.jaro_winkler_similarity(
+            tokenization.normalize(left_name), tokenization.normalize(right_name)
+        )
+
+
+class TokenMatcher(CachedMatcher):
+    """Jaccard overlap of the expanded token sets."""
+
+    name = "token-jaccard"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.jaccard_similarity(
+            tokenization.tokenize(left_name), tokenization.tokenize(right_name)
+        )
+
+
+class MongeElkanMatcher(CachedMatcher):
+    """Monge-Elkan over tokens with a Jaro-Winkler inner metric.
+
+    Robust to token reordering and partial abbreviation, the classic hybrid
+    measure used by matcher toolkits.
+    """
+
+    name = "monge-elkan"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.monge_elkan_similarity(
+            tokenization.tokenize(left_name), tokenization.tokenize(right_name)
+        )
+
+
+class NGramMatcher(CachedMatcher):
+    """Dice coefficient of padded character trigrams."""
+
+    name = "ngram"
+
+    def __init__(self, q: int = 3):
+        super().__init__()
+        self.q = q
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.qgram_similarity(
+            tokenization.normalize(left_name),
+            tokenization.normalize(right_name),
+            q=self.q,
+        )
+
+
+class SubstringMatcher(CachedMatcher):
+    """Longest-common-substring similarity over normalised names."""
+
+    name = "substring"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        return string_metrics.lcs_similarity(
+            tokenization.normalize(left_name), tokenization.normalize(right_name)
+        )
+
+
+class PrefixSuffixMatcher(CachedMatcher):
+    """Maximum of common-prefix and common-suffix ratios.
+
+    Catches truncation-style naming (``description`` vs ``desc``) and
+    suffix-style naming (``orderDate`` vs ``shipDate`` score low here, while
+    ``billingDate`` vs ``date`` score high).
+    """
+
+    name = "prefix-suffix"
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        normalized_left = tokenization.normalize(left_name, expand=False)
+        normalized_right = tokenization.normalize(right_name, expand=False)
+        return max(
+            string_metrics.prefix_similarity(normalized_left, normalized_right),
+            string_metrics.suffix_similarity(normalized_left, normalized_right),
+        )

@@ -1,0 +1,143 @@
+"""Synonym-aware and data-type first-line matchers.
+
+``SynonymMatcher`` scores token overlap modulo a thesaurus of synonym rings
+(two tokens in the same ring count as equal), the classic dictionary-based
+component of matcher toolkits.  ``DataTypeMatcher`` compares declared
+attribute types through a compatibility table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.schema import Attribute
+from . import tokenization
+from .base import CachedMatcher, Matcher
+
+#: Built-in synonym rings covering the domains of the paper's four datasets
+#: (business partners, purchase orders, university application forms, web
+#: forms).  Each inner tuple is one ring of interchangeable tokens.
+#: Rings are over *atomic* tokens — the tokenizer segments concatenated
+#: identifiers (``postalcode`` → ``postal code``) before ring lookup.
+DEFAULT_SYNONYM_RINGS: tuple[tuple[str, ...], ...] = (
+    ("account", "acct"),
+    ("address", "location", "residence"),
+    ("amount", "total", "sum", "value"),
+    ("birth", "birthday"),
+    ("buyer", "purchaser", "customer", "client", "consumer"),
+    ("category", "type", "kind", "class"),
+    ("city", "town", "municipality"),
+    ("comment", "note", "remark", "memo", "remarks", "comments", "notes"),
+    ("company", "organization", "firm", "business", "enterprise"),
+    ("cost", "price", "charge", "fee", "rate"),
+    ("country", "nation"),
+    ("county", "district", "region", "province"),
+    ("date", "day"),
+    ("delivery", "shipping", "shipment", "dispatch"),
+    ("description", "details", "info", "information"),
+    ("discount", "rebate", "reduction"),
+    ("email", "mail"),
+    ("employee", "staff", "worker"),
+    ("end", "finish", "close", "expiry", "expiration"),
+    ("gender", "sex"),
+    ("grade", "score", "mark", "result"),
+    ("identifier", "id", "code", "key", "number"),
+    ("invoice", "bill", "billing"),
+    ("item", "product", "article", "good", "goods", "position"),
+    ("major", "concentration", "discipline", "program"),
+    ("manager", "supervisor", "lead"),
+    ("mobile", "cell"),
+    ("name", "title", "label"),
+    ("payment", "remittance"),
+    ("phone", "telephone", "tel"),
+    ("quantity", "count", "units"),
+    ("salutation", "greeting", "prefix"),
+    ("school", "college", "university", "institution"),
+    ("start", "begin", "open", "effective", "commencement"),
+    ("status", "state", "condition"),
+    ("street", "road", "avenue"),
+    ("supplier", "vendor", "seller", "provider"),
+    ("surname", "last", "family"),
+    ("tax", "vat", "duty", "levy"),
+    ("term", "semester", "session", "quarter"),
+    ("zip", "postal", "post", "postcode"),
+)
+
+
+class Thesaurus:
+    """Token → synonym-ring lookup built from synonym rings."""
+
+    def __init__(self, rings: Iterable[tuple[str, ...]] = DEFAULT_SYNONYM_RINGS):
+        self._ring_of: dict[str, int] = {}
+        for ring_id, ring in enumerate(rings):
+            for token in ring:
+                # A token may appear in several rings ("state"); the first
+                # ring wins, which keeps lookup deterministic.
+                self._ring_of.setdefault(token.lower(), ring_id)
+
+    def canonical(self, token: str) -> str:
+        """The token's ring id (as a string) or the token itself."""
+        ring = self._ring_of.get(token.lower())
+        return f"ring:{ring}" if ring is not None else token.lower()
+
+    def are_synonyms(self, left: str, right: str) -> bool:
+        """Whether two tokens share a ring (or are equal)."""
+        if left.lower() == right.lower():
+            return True
+        left_ring = self._ring_of.get(left.lower())
+        return left_ring is not None and left_ring == self._ring_of.get(right.lower())
+
+
+class SynonymMatcher(CachedMatcher):
+    """Jaccard of token sets after folding synonyms to ring identifiers."""
+
+    name = "synonym"
+
+    def __init__(self, thesaurus: Thesaurus | None = None):
+        super().__init__()
+        self.thesaurus = thesaurus or Thesaurus()
+
+    def _name_similarity(self, left_name: str, right_name: str) -> float:
+        left_tokens = {
+            self.thesaurus.canonical(t) for t in tokenization.tokenize(left_name)
+        }
+        right_tokens = {
+            self.thesaurus.canonical(t) for t in tokenization.tokenize(right_name)
+        }
+        if not left_tokens and not right_tokens:
+            return 1.0
+        union = left_tokens | right_tokens
+        if not union:
+            return 0.0
+        return len(left_tokens & right_tokens) / len(union)
+
+
+#: Pairs of distinct-but-compatible type families.
+_COMPATIBLE_TYPES: frozenset[frozenset[str]] = frozenset(
+    {
+        frozenset({"integer", "decimal"}),
+        frozenset({"integer", "string"}),
+        frozenset({"decimal", "string"}),
+        frozenset({"date", "datetime"}),
+        frozenset({"date", "string"}),
+        frozenset({"boolean", "string"}),
+    }
+)
+
+
+class DataTypeMatcher(Matcher):
+    """Declared-type compatibility: 1.0 equal, 0.5 compatible, else 0.
+
+    Attributes without a declared type score the neutral 0.5 so the ensemble
+    neither rewards nor punishes missing metadata.
+    """
+
+    name = "data-type"
+
+    def similarity(self, left: Attribute, right: Attribute) -> float:
+        if left.data_type is None or right.data_type is None:
+            return 0.5
+        if left.data_type == right.data_type:
+            return 1.0
+        pair = frozenset({left.data_type, right.data_type})
+        return 0.5 if pair in _COMPATIBLE_TYPES else 0.0

@@ -1,0 +1,216 @@
+"""String similarity metrics, implemented from scratch.
+
+These are the classic first-line measures schema matchers are built from
+(cf. the COMA and AMC matcher libraries the paper uses): edit distance,
+Jaro/Jaro-Winkler, q-grams, token-set overlap, longest common substring and
+Monge-Elkan.  All similarity functions are symmetric and map into [0, 1]
+with 1 meaning identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic edit distance (insert/delete/substitute, unit costs)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner dimension for cache friendliness.
+    if len(right) > len(left):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """1 − distance / max length; 1.0 for two empty strings."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity: transposition-aware common-character ratio."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matches = [False] * len(left)
+    right_matches = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(right))
+        for j in range(start, end):
+            if right_matches[j] or right[j] != char:
+                continue
+            left_matches[i] = True
+            right_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matches):
+        if not matched:
+            continue
+        while not right_matches[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    left: str, right: str, prefix_weight: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError("prefix_weight must lie in [0, 0.25]")
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for left_char, right_char in zip(left, right):
+        if left_char != right_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """The q-gram multiset of ``text``, optionally padded with ``#``."""
+    if q < 1:
+        raise ValueError("q must be positive")
+    if pad:
+        text = "#" * (q - 1) + text + "#" * (q - 1)
+    if len(text) < q:
+        return [text] if text else []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def qgram_similarity(left: str, right: str, q: int = 3) -> float:
+    """Dice coefficient over padded q-gram multisets."""
+    left_grams = qgrams(left, q)
+    right_grams = qgrams(right, q)
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    overlap = 0
+    counts: dict[str, int] = {}
+    for gram in left_grams:
+        counts[gram] = counts.get(gram, 0) + 1
+    for gram in right_grams:
+        remaining = counts.get(gram, 0)
+        if remaining:
+            overlap += 1
+            counts[gram] = remaining - 1
+    return 2.0 * overlap / (len(left_grams) + len(right_grams))
+
+
+def jaccard_similarity(left: Sequence[str], right: Sequence[str]) -> float:
+    """Jaccard index of two token collections (as sets)."""
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    union = left_set | right_set
+    return len(left_set & right_set) / len(union)
+
+
+def dice_similarity(left: Sequence[str], right: Sequence[str]) -> float:
+    """Dice coefficient of two token collections (as sets)."""
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    if not left_set or not right_set:
+        return 0.0
+    return 2.0 * len(left_set & right_set) / (len(left_set) + len(right_set))
+
+
+def longest_common_substring(left: str, right: str) -> int:
+    """Length of the longest contiguous common substring."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    best = 0
+    for left_char in left:
+        current = [0] * (len(right) + 1)
+        for j, right_char in enumerate(right, start=1):
+            if left_char == right_char:
+                current[j] = previous[j - 1] + 1
+                best = max(best, current[j])
+        previous = current
+    return best
+
+
+def lcs_similarity(left: str, right: str) -> float:
+    """Longest common substring normalised by the shorter length."""
+    shortest = min(len(left), len(right))
+    if shortest == 0:
+        return 1.0 if not left and not right else 0.0
+    return longest_common_substring(left, right) / shortest
+
+
+def monge_elkan_similarity(
+    left_tokens: Sequence[str],
+    right_tokens: Sequence[str],
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+) -> float:
+    """Monge-Elkan: average best inner similarity per left token, symmetrised.
+
+    The raw Monge-Elkan measure is asymmetric; we take the mean of both
+    directions so the result can back a symmetric matcher.
+    """
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+
+    def directed(a: Sequence[str], b: Sequence[str]) -> float:
+        return sum(max(inner(x, y) for y in b) for x in a) / len(a)
+
+    return (directed(left_tokens, right_tokens) + directed(right_tokens, left_tokens)) / 2.0
+
+
+def prefix_similarity(left: str, right: str) -> float:
+    """Common-prefix length over the shorter string length."""
+    shortest = min(len(left), len(right))
+    if shortest == 0:
+        return 1.0 if not left and not right else 0.0
+    prefix = 0
+    for left_char, right_char in zip(left, right):
+        if left_char != right_char:
+            break
+        prefix += 1
+    return prefix / shortest
+
+
+def suffix_similarity(left: str, right: str) -> float:
+    """Common-suffix length over the shorter string length."""
+    return prefix_similarity(left[::-1], right[::-1])

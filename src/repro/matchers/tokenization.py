@@ -1,0 +1,195 @@
+"""Attribute-name tokenization and normalisation for first-line matchers.
+
+Schema attribute names arrive in wildly mixed conventions — ``camelCase``,
+``snake_case``, ``kebab-case``, abbreviated (``qty``, ``addr``), prefixed
+(``txtFirstName``) — and the string matchers must compare them on a common
+footing.  This module splits names into lowercase token sequences, strips
+widget prefixes, and expands a curated abbreviation dictionary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+#: Form-widget prefixes frequently glued onto attribute names by UI
+#: extraction tools such as OntoBuilder (the paper's WebForm dataset).
+WIDGET_PREFIXES: frozenset[str] = frozenset(
+    {"txt", "fld", "inp", "input", "ctl", "cb", "chk", "sel", "ddl", "lbl"}
+)
+
+#: Common database/e-business abbreviations mapped to their expansions.
+#: Multi-word expansions are space-separated; they become several tokens so
+#: that e.g. ``fname`` and ``first_name`` produce identical token sequences.
+ABBREVIATIONS: dict[str, str] = {
+    "acct": "account",
+    "addr": "address",
+    "amt": "amount",
+    "apt": "apartment",
+    "attn": "attention",
+    "avg": "average",
+    "bday": "birthday",
+    "bldg": "building",
+    "cat": "category",
+    "cmt": "comment",
+    "cnt": "count",
+    "co": "company",
+    "ctry": "country",
+    "cty": "city",
+    "curr": "currency",
+    "cust": "customer",
+    "del": "delivery",
+    "dept": "department",
+    "desc": "description",
+    "dob": "birth date",
+    "doc": "document",
+    "dt": "date",
+    "eml": "email",
+    "fname": "first name",
+    "gpa": "grade point average",
+    "hs": "high school",
+    "id": "identifier",
+    "inst": "institution",
+    "intl": "international",
+    "inv": "invoice",
+    "lang": "language",
+    "lname": "last name",
+    "loc": "location",
+    "mgr": "manager",
+    "mi": "middle initial",
+    "mname": "middle name",
+    "mob": "mobile",
+    "msg": "message",
+    "nbr": "number",
+    "no": "number",
+    "num": "number",
+    "ord": "order",
+    "org": "organization",
+    "pmt": "payment",
+    "po": "purchase order",
+    "pref": "preference",
+    "prod": "product",
+    "qty": "quantity",
+    "ref": "reference",
+    "reg": "registration",
+    "req": "required",
+    "sem": "semester",
+    "ssn": "social security number",
+    "st": "street",
+    "std": "standard",
+    "tel": "telephone",
+    "univ": "university",
+    "uom": "unit of measure",
+    "ven": "vendor",
+}
+
+_CAMEL_BOUNDARY = re.compile(
+    r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])|(?<=[A-Za-z])(?=[0-9])|(?<=[0-9])(?=[A-Za-z])"
+)
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def split_identifier(name: str) -> list[str]:
+    """Split an identifier on delimiters and camel-case boundaries.
+
+    >>> split_identifier("billingAddressLine1")
+    ['billing', 'address', 'line', '1']
+    >>> split_identifier("PO_total_amt")
+    ['po', 'total', 'amt']
+    """
+    pieces = [piece for piece in _NON_ALNUM.split(name) if piece]
+    tokens: list[str] = []
+    for piece in pieces:
+        tokens.extend(t.lower() for t in _CAMEL_BOUNDARY.split(piece) if t)
+    return tokens
+
+
+def strip_widget_prefix(tokens: list[str]) -> list[str]:
+    """Drop a leading UI-widget prefix token (``txtName`` → ``name``)."""
+    if len(tokens) > 1 and tokens[0] in WIDGET_PREFIXES:
+        return tokens[1:]
+    return tokens
+
+
+def expand_abbreviations(tokens: list[str]) -> list[str]:
+    """Replace known abbreviations with their (possibly multi-word)
+    expansions, token-wise."""
+    expanded: list[str] = []
+    for token in tokens:
+        expansion = ABBREVIATIONS.get(token)
+        if expansion is None:
+            expanded.append(token)
+        else:
+            expanded.extend(expansion.split())
+    return expanded
+
+
+def segment_token(
+    token: str, lexicon: frozenset[str] | set[str], min_piece: int = 2
+) -> list[str]:
+    """Split a concatenated identifier into lexicon words.
+
+    Dynamic program minimising the number of pieces under the constraint
+    that every piece is a lexicon word of at least ``min_piece`` characters.
+    Tokens that are lexicon words themselves, or that admit no full
+    segmentation, are returned unchanged.
+
+    >>> from repro.matchers.lexicon import LEXICON
+    >>> segment_token("billingstate", LEXICON)
+    ['billing', 'state']
+    """
+    if token in lexicon or len(token) < 2 * min_piece:
+        return [token]
+    n = len(token)
+    best: list[Optional[list[str]]] = [None] * (n + 1)
+    best[0] = []
+    for end in range(min_piece, n + 1):
+        for start in range(max(0, end - 24), end - min_piece + 1):
+            prefix = best[start]
+            if prefix is None:
+                continue
+            piece = token[start:end]
+            if piece in lexicon:
+                candidate = prefix + [piece]
+                if best[end] is None or len(candidate) < len(best[end]):
+                    best[end] = candidate
+    return best[n] if best[n] is not None else [token]
+
+
+def tokenize(
+    name: str,
+    expand: bool = True,
+    lexicon: Optional[frozenset[str]] = None,
+) -> list[str]:
+    """Full pipeline: split, strip widget prefix, expand, segment.
+
+    This is the canonical token view every token-level matcher uses.  The
+    segmentation step recovers word boundaries from concatenated styles
+    (``billingstate`` → ``billing state``) using the domain ``lexicon``
+    (default :data:`repro.matchers.lexicon.LEXICON`).
+    """
+    if lexicon is None:
+        lexicon = _default_lexicon()
+    tokens = strip_widget_prefix(split_identifier(name))
+    if expand:
+        tokens = expand_abbreviations(tokens)
+    segmented: list[str] = []
+    for token in tokens:
+        segmented.extend(segment_token(token, lexicon))
+    return segmented
+
+
+def _default_lexicon() -> frozenset[str]:
+    # Imported lazily to keep module import order simple.
+    from .lexicon import LEXICON
+
+    return LEXICON
+
+
+def normalize(name: str, expand: bool = True) -> str:
+    """Concatenated token form, the canonical string view of a name.
+
+    >>> normalize("Cust_Addr")
+    'customeraddress'
+    """
+    return "".join(tokenize(name, expand=expand))

@@ -1,0 +1,110 @@
+"""Evaluation measures (paper Section VI-A/B).
+
+Precision/recall against the ground-truth selective matching, the user-effort
+ratio, and the K-L divergence machinery used for the sampling-effectiveness
+study (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, TypeVar
+
+T = TypeVar("T")
+
+#: Probability floor applied to the approximating distribution in KL terms,
+#: so that a sampled zero against a positive exact probability yields a
+#: large-but-finite penalty instead of infinity.
+KL_EPSILON = 1e-12
+
+
+def precision(predicted: Iterable[T], truth: Iterable[T]) -> float:
+    """Prec(V) = |V ∩ M| / |V|; defined as 1.0 for an empty prediction."""
+    predicted_set, truth_set = set(predicted), set(truth)
+    if not predicted_set:
+        return 1.0
+    return len(predicted_set & truth_set) / len(predicted_set)
+
+
+def recall(predicted: Iterable[T], truth: Iterable[T]) -> float:
+    """Rec(V) = |V ∩ M| / |M|; defined as 1.0 for an empty ground truth."""
+    predicted_set, truth_set = set(predicted), set(truth)
+    if not truth_set:
+        return 1.0
+    return len(predicted_set & truth_set) / len(truth_set)
+
+
+def f_measure(predicted: Iterable[T], truth: Iterable[T]) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    predicted_set, truth_set = set(predicted), set(truth)
+    p = precision(predicted_set, truth_set)
+    r = recall(predicted_set, truth_set)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def user_effort(asserted_count: int, total_candidates: int) -> float:
+    """E = |F⁺ ∪ F⁻| / |C| (paper Section VI-A)."""
+    if total_candidates <= 0:
+        raise ValueError("total_candidates must be positive")
+    if asserted_count < 0:
+        raise ValueError("asserted_count must be non-negative")
+    return asserted_count / total_candidates
+
+
+def _bernoulli_kl(p: float, q: float) -> float:
+    """KL between two Bernoulli distributions, with q floored."""
+    q = min(max(q, KL_EPSILON), 1.0 - KL_EPSILON)
+    total = 0.0
+    if p > 0.0:
+        total += p * math.log(p / q)
+    if p < 1.0:
+        total += (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
+    return total
+
+
+def kl_divergence(
+    exact: Mapping[T, float], approximate: Mapping[T, float]
+) -> float:
+    """D_KL(P‖Q) summed over the per-correspondence Bernoulli variables.
+
+    The paper's Equation 6 writes only the Σ p log p/q terms; we use the full
+    Bernoulli divergence (including the complementary outcome) so the measure
+    is a proper divergence of the inclusion indicators: non-negative and zero
+    iff the distributions agree.
+    """
+    total = 0.0
+    for key, p in exact.items():
+        total += _bernoulli_kl(p, approximate.get(key, 0.0))
+    return total
+
+
+def kl_ratio(
+    exact: Mapping[T, float],
+    approximate: Mapping[T, float],
+    baseline_probability: float = 0.5,
+) -> float:
+    """KL_ratio = D_KL(P‖Q) / D_KL(P‖U) (paper Section VI-B).
+
+    U is the maximum-entropy baseline assigning ``baseline_probability`` to
+    every correspondence.  Returns 0.0 when the baseline divergence vanishes
+    (exact distribution already uniform) and the sampled one does too.
+    """
+    baseline = {key: baseline_probability for key in exact}
+    denominator = kl_divergence(exact, baseline)
+    numerator = kl_divergence(exact, approximate)
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else math.inf
+    return numerator / denominator
+
+
+def mean_absolute_error(
+    exact: Mapping[T, float], approximate: Mapping[T, float]
+) -> float:
+    """Average |p_c − q_c|; a robust secondary view on sampling quality."""
+    if not exact:
+        return 0.0
+    return sum(
+        abs(p - approximate.get(key, 0.0)) for key, p in exact.items()
+    ) / len(exact)

@@ -1,0 +1,100 @@
+"""Shared fixtures: the paper's motivating example and small corpora."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    MatchingNetwork,
+    Oracle,
+    Schema,
+    correspondence,
+)
+
+
+@pytest.fixture
+def movie_schemas():
+    """The three video-provider schemas of the paper's Figure 1."""
+    sa = Schema.from_names("SA", ["productionDate"], {"productionDate": "date"})
+    sb = Schema.from_names("SB", ["date"], {"date": "date"})
+    sc = Schema.from_names(
+        "SC",
+        ["releaseDate", "screenDate"],
+        {"releaseDate": "date", "screenDate": "date"},
+    )
+    return sa, sb, sc
+
+
+@pytest.fixture
+def movie_correspondences(movie_schemas):
+    """c1..c5 as named in the paper's running example."""
+    sa, sb, sc = movie_schemas
+    production = sa.attribute("productionDate")
+    date = sb.attribute("date")
+    release = sc.attribute("releaseDate")
+    screen = sc.attribute("screenDate")
+    return {
+        "c1": correspondence(production, date),
+        "c2": correspondence(production, release),
+        "c3": correspondence(date, release),
+        "c4": correspondence(production, screen),
+        "c5": correspondence(date, screen),
+    }
+
+
+@pytest.fixture
+def movie_network(movie_schemas, movie_correspondences):
+    """The motivating-example matching network (Figure 1)."""
+    return MatchingNetwork(
+        list(movie_schemas), list(movie_correspondences.values())
+    )
+
+
+@pytest.fixture
+def movie_truth(movie_correspondences):
+    """The selective matching of the example: {c1, c2, c3}."""
+    c = movie_correspondences
+    return frozenset({c["c1"], c["c2"], c["c3"]})
+
+
+@pytest.fixture
+def movie_oracle(movie_truth):
+    return Oracle(movie_truth)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20140331)
+
+
+@pytest.fixture
+def small_fixture():
+    """A small matcher-generated corpus network (module-cached)."""
+    return _small_fixture_cached()
+
+
+_CACHE = {}
+
+
+def _small_fixture_cached():
+    if "small" not in _CACHE:
+        from repro.experiments.harness import build_fixture
+
+        _CACHE["small"] = build_fixture(
+            corpus_name="BP", scale=0.35, seed=11, pipeline="coma_like"
+        )
+    return _CACHE["small"]
+
+
+@pytest.fixture
+def bp_fixture():
+    """A mid-size BP fixture with real conflict structure (module-cached)."""
+    if "bp" not in _CACHE:
+        from repro.experiments.harness import build_fixture
+
+        _CACHE["bp"] = build_fixture(
+            corpus_name="BP", scale=0.6, seed=3, pipeline="coma_like"
+        )
+    return _CACHE["bp"]

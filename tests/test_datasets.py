@@ -1,0 +1,258 @@
+"""Unit tests for vocabularies, perturbation and corpus generation."""
+
+import random
+
+import pytest
+
+from repro.core import MatchingNetwork, complete_graph
+from repro.datasets import (
+    CORPORA,
+    Concept,
+    NameStyle,
+    RenderProfile,
+    apply_style,
+    business_partner,
+    business_partner_vocabulary,
+    generate_corpus,
+    purchase_order_vocabulary,
+    qualified,
+    render_name,
+    university_application_vocabulary,
+    validate_vocabulary,
+    webform,
+    webform_vocabulary,
+)
+from repro.datasets.perturbation import introduce_typo
+
+
+class TestConcept:
+    def test_requires_variants(self):
+        with pytest.raises(ValueError, match="at least one variant"):
+            Concept(key="x", variants=())
+
+    def test_qualified_cross_product(self):
+        base = [Concept("street", ("street", "road"))]
+        expanded = qualified([("billing", ("billing", "invoice"))], base)
+        assert len(expanded) == 1
+        assert expanded[0].key == "billing.street"
+        assert set(expanded[0].variants) == {
+            "billing street",
+            "billing road",
+            "invoice street",
+            "invoice road",
+        }
+
+
+class TestVocabularies:
+    @pytest.mark.parametrize(
+        "builder,minimum",
+        [
+            (business_partner_vocabulary, 106),
+            (purchase_order_vocabulary, 408),
+            (university_application_vocabulary, 228),
+            (webform_vocabulary, 120),
+        ],
+    )
+    def test_size_covers_paper_maximum(self, builder, minimum):
+        assert len(builder()) >= minimum
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            business_partner_vocabulary,
+            purchase_order_vocabulary,
+            university_application_vocabulary,
+            webform_vocabulary,
+        ],
+    )
+    def test_unique_keys(self, builder):
+        validate_vocabulary(builder())
+
+    def test_validate_rejects_duplicates(self):
+        concept = Concept("x", ("x",))
+        with pytest.raises(ValueError, match="duplicate concept key"):
+            validate_vocabulary([concept, concept])
+
+    def test_po_line_items_parameter(self):
+        small = purchase_order_vocabulary(line_items=5)
+        large = purchase_order_vocabulary(line_items=10)
+        assert len(large) > len(small)
+
+
+class TestStyles:
+    def test_all_styles(self):
+        words = ["release", "date"]
+        assert apply_style(words, NameStyle.CAMEL) == "releaseDate"
+        assert apply_style(words, NameStyle.SNAKE) == "release_date"
+        assert apply_style(words, NameStyle.KEBAB) == "release-date"
+        assert apply_style(words, NameStyle.LOWER) == "releasedate"
+        assert apply_style(words, NameStyle.TITLE) == "ReleaseDate"
+        assert apply_style(words, NameStyle.SPACED) == "release date"
+
+    def test_empty_words_rejected(self):
+        with pytest.raises(ValueError):
+            apply_style([], NameStyle.CAMEL)
+
+
+class TestTypos:
+    def test_short_words_untouched(self):
+        assert introduce_typo("ab", random.Random(1)) == "ab"
+
+    def test_typo_changes_word(self):
+        rng = random.Random(3)
+        word = "shipping"
+        mutated = {introduce_typo(word, rng) for _ in range(20)}
+        assert any(m != word for m in mutated)
+
+
+class TestRenderName:
+    def test_deterministic_with_seed(self):
+        concept = Concept("street", ("street address", "road"))
+        profile = RenderProfile(style=NameStyle.SNAKE)
+        left = render_name(concept, profile, random.Random(5))
+        right = render_name(concept, profile, random.Random(5))
+        assert left == right
+
+    def test_variant_pinning(self):
+        concept = Concept("street", ("street address", "road"))
+        profile = RenderProfile(style=NameStyle.SNAKE, variant_bias=0.0)
+        rendered = render_name(concept, profile, random.Random(1), variant_index=1)
+        assert rendered == "road"
+
+    def test_widget_prefix(self):
+        concept = Concept("name", ("name",))
+        profile = RenderProfile(style=NameStyle.CAMEL, widget_prefix="txt")
+        assert render_name(concept, profile, random.Random(1)) == "txtName"
+
+    def test_abbreviation_applied(self):
+        concept = Concept("quantity", ("quantity",))
+        profile = RenderProfile(style=NameStyle.LOWER, abbreviation_rate=1.0)
+        assert render_name(concept, profile, random.Random(1)) == "qty"
+
+    def test_random_profile_fields(self):
+        profile = RenderProfile.random_profile(random.Random(2))
+        assert 0.0 <= profile.abbreviation_rate <= 1.0
+        assert 0.0 <= profile.variant_bias <= 1.0
+
+
+class TestGenerateCorpus:
+    def test_shapes(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 4, 10, 20, seed=2
+        )
+        assert len(corpus.schemas) == 4
+        for schema in corpus.schemas:
+            assert 10 <= len(schema) <= 20
+
+    def test_concept_annotation_total(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 10, 15, seed=2
+        )
+        assert len(corpus.concept_of) == sum(len(s) for s in corpus.schemas)
+
+    def test_concepts_unique_within_schema(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 30, 40, seed=2
+        )
+        for schema in corpus.schemas:
+            keys = [corpus.concept_of[a] for a in schema]
+            assert len(keys) == len(set(keys))
+
+    def test_invalid_parameters(self):
+        vocabulary = business_partner_vocabulary()
+        with pytest.raises(ValueError):
+            generate_corpus("T", vocabulary, 0, 5, 10)
+        with pytest.raises(ValueError):
+            generate_corpus("T", vocabulary, 2, 10, 5)
+
+    def test_profiles_length_checked(self):
+        with pytest.raises(ValueError, match="one profile per schema"):
+            generate_corpus(
+                "T",
+                business_partner_vocabulary(),
+                2,
+                5,
+                10,
+                profiles=[RenderProfile()],
+            )
+
+    def test_deterministic(self):
+        left = generate_corpus("T", business_partner_vocabulary(), 3, 10, 15, seed=9)
+        right = generate_corpus("T", business_partner_vocabulary(), 3, 10, 15, seed=9)
+        assert [s.attributes for s in left.schemas] == [
+            s.attributes for s in right.schemas
+        ]
+
+
+class TestGroundTruth:
+    def test_links_same_concepts(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 40, 50, seed=4
+        )
+        truth = corpus.ground_truth()
+        for corr in truth:
+            assert (
+                corpus.concept_of[corr.source] == corpus.concept_of[corr.target]
+            )
+
+    def test_satisfies_constraints(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 4, 30, 40, seed=4
+        )
+        truth = corpus.ground_truth()
+        network = MatchingNetwork(list(corpus.schemas), truth)
+        assert network.violation_count() == 0
+
+    def test_respects_interaction_graph(self):
+        from repro.core import path_graph
+
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 20, 30, seed=4
+        )
+        names = [s.name for s in corpus.schemas]
+        truth = corpus.ground_truth(path_graph(names))
+        pairs = {corr.schema_pair for corr in truth}
+        assert (names[0], names[2]) not in pairs
+
+    def test_oracle_consistency(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 20, 30, seed=4
+        )
+        oracle = corpus.oracle()
+        truth = corpus.ground_truth()
+        sample = next(iter(truth))
+        assert oracle.assert_correspondence(sample)
+
+    def test_stats(self):
+        corpus = generate_corpus(
+            "T", business_partner_vocabulary(), 3, 20, 30, seed=4
+        )
+        stats = corpus.stats()
+        assert stats["schemas"] == 3
+        assert stats["attributes_min"] <= stats["attributes_max"]
+
+
+class TestNamedCorpora:
+    def test_registry(self):
+        assert set(CORPORA) == {"BP", "PO", "UAF", "WebForm"}
+
+    def test_bp_full_scale_matches_table2(self):
+        corpus = business_partner(scale=1.0, seed=0)
+        stats = corpus.stats()
+        assert stats["schemas"] == 3
+        assert stats["attributes_min"] >= 80 * 0.9  # rendering may skip a few
+        assert stats["attributes_max"] <= 106
+
+    def test_scaled_down(self):
+        corpus = business_partner(scale=0.2, seed=0)
+        assert corpus.stats()["attributes_max"] <= 30
+
+    def test_webform_small_scale(self):
+        corpus = webform(scale=0.1, seed=0)
+        assert corpus.stats()["schemas"] >= 3
+
+    @pytest.mark.parametrize("name", ["BP", "PO", "UAF", "WebForm"])
+    def test_all_corpora_generate_at_small_scale(self, name):
+        corpus = CORPORA[name](scale=0.15, seed=1)
+        assert len(corpus.schemas) >= 3
+        assert len(corpus.ground_truth()) > 0

@@ -1,0 +1,199 @@
+"""Unit tests for ensemble aggregation and candidate selectors."""
+
+import pytest
+
+from repro.core.correspondence import correspondence
+from repro.core.schema import Attribute, Schema
+from repro.matchers import (
+    EditDistanceMatcher,
+    EnsembleMatcher,
+    MaxDeltaSelector,
+    StableMarriageSelector,
+    ThresholdSelector,
+    TokenMatcher,
+    TopKSelector,
+    harmonic_mean,
+    match_pair,
+    matrix_from_scores,
+    maximum,
+    weighted_average,
+)
+from repro.matchers.base import SimilarityMatrix
+
+
+@pytest.fixture
+def schemas():
+    return (
+        Schema.from_names("S1", ["a", "b"]),
+        Schema.from_names("S2", ["x", "y"]),
+    )
+
+
+@pytest.fixture
+def matrix(schemas):
+    s1, s2 = schemas
+    return matrix_from_scores(
+        s1,
+        s2,
+        {
+            (s1.attribute("a"), s2.attribute("x")): 0.9,
+            (s1.attribute("a"), s2.attribute("y")): 0.85,
+            (s1.attribute("b"), s2.attribute("x")): 0.4,
+            (s1.attribute("b"), s2.attribute("y")): 0.2,
+        },
+    )
+
+
+class TestAggregations:
+    def test_weighted_average(self):
+        assert weighted_average([1.0, 0.0], [1.0, 1.0]) == 0.5
+        assert weighted_average([1.0, 0.0], [3.0, 1.0]) == 0.75
+
+    def test_weighted_average_zero_weights(self):
+        assert weighted_average([1.0], [0.0]) == 0.0
+
+    def test_maximum(self):
+        assert maximum([0.2, 0.9], [1, 1]) == 0.9
+        assert maximum([], []) == 0.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([0.5, 0.5], [1, 1]) == pytest.approx(0.5)
+        assert harmonic_mean([1.0, 0.0], [1, 1]) == 0.0
+        assert harmonic_mean([], []) == 0.0
+
+
+class TestEnsembleMatcher:
+    def test_requires_matchers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EnsembleMatcher([])
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError, match="one weight per matcher"):
+            EnsembleMatcher([EditDistanceMatcher()], weights=[1, 2])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EnsembleMatcher([EditDistanceMatcher()], weights=[-1])
+
+    def test_combines_scores(self):
+        ensemble = EnsembleMatcher(
+            [EditDistanceMatcher(), TokenMatcher()], weights=[1.0, 1.0]
+        )
+        a = Attribute("S1", "billing_street")
+        b = Attribute("S2", "billing_city")
+        edit = EditDistanceMatcher().similarity(a, b)
+        token = TokenMatcher().similarity(a, b)
+        assert ensemble.similarity(a, b) == pytest.approx((edit + token) / 2)
+
+    def test_caches_by_name_and_type(self):
+        ensemble = EnsembleMatcher([EditDistanceMatcher()])
+        a = Attribute("S1", "x")
+        b = Attribute("S2", "x")
+        assert ensemble.similarity(a, b) == ensemble.similarity(b, a) == 1.0
+
+    def test_match_produces_full_matrix(self, schemas):
+        s1, s2 = schemas
+        matrix = EnsembleMatcher([EditDistanceMatcher()]).match(s1, s2)
+        assert len(matrix) == 4
+
+    def test_fit_propagates(self, schemas):
+        from repro.matchers import TfIdfTokenMatcher
+
+        inner = TfIdfTokenMatcher()
+        ensemble = EnsembleMatcher([inner])
+        ensemble.fit(list(schemas))
+        assert inner.is_fitted
+
+
+class TestSimilarityMatrix:
+    def test_set_get(self, schemas):
+        s1, s2 = schemas
+        matrix = SimilarityMatrix(s1, s2)
+        matrix.set(s1.attribute("a"), s2.attribute("x"), 0.7)
+        assert matrix.get(s1.attribute("a"), s2.attribute("x")) == 0.7
+        assert matrix.get(s1.attribute("b"), s2.attribute("y")) == 0.0
+
+    def test_rejects_bad_score(self, schemas):
+        s1, s2 = schemas
+        matrix = SimilarityMatrix(s1, s2)
+        with pytest.raises(ValueError):
+            matrix.set(s1.attribute("a"), s2.attribute("x"), 1.2)
+
+    def test_pairs_above(self, matrix):
+        assert len(matrix.pairs_above(0.5)) == 2
+        assert len(matrix.pairs_above(0.0)) == 4
+
+    def test_to_correspondences(self, matrix):
+        chosen = matrix.to_correspondences(0.85)
+        assert len(chosen) == 2
+        assert all(conf >= 0.85 for conf in chosen.values())
+
+
+class TestThresholdSelector:
+    def test_selects_above_threshold(self, matrix):
+        chosen = ThresholdSelector(0.5).select(matrix)
+        assert len(chosen) == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdSelector(-0.1)
+
+
+class TestTopKSelector:
+    def test_k1_keeps_best_per_attribute(self, matrix, schemas):
+        s1, s2 = schemas
+        chosen = TopKSelector(k=1, threshold=0.0).select(matrix)
+        # a→x best for a; x's best is a; y's best is a (0.85); b→x best for b.
+        assert correspondence(s1.attribute("a"), s2.attribute("x")) in chosen
+        assert correspondence(s1.attribute("a"), s2.attribute("y")) in chosen
+        assert correspondence(s1.attribute("b"), s2.attribute("x")) in chosen
+
+    def test_k2_overgenerates(self, matrix):
+        chosen = TopKSelector(k=2, threshold=0.0).select(matrix)
+        assert len(chosen) == 4
+
+    def test_threshold_floor(self, matrix):
+        chosen = TopKSelector(k=2, threshold=0.5).select(matrix)
+        assert all(conf >= 0.5 for conf in chosen.values())
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopKSelector(k=0)
+
+
+class TestMaxDeltaSelector:
+    def test_keeps_near_best(self, matrix, schemas):
+        s1, s2 = schemas
+        chosen = MaxDeltaSelector(delta=0.1, threshold=0.0).select(matrix)
+        # 0.85 is within 0.1 of a's best 0.9.
+        assert correspondence(s1.attribute("a"), s2.attribute("y")) in chosen
+
+    def test_excludes_below_threshold(self, matrix):
+        chosen = MaxDeltaSelector(delta=0.1, threshold=0.5).select(matrix)
+        assert all(conf >= 0.5 for conf in chosen.values())
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            MaxDeltaSelector(delta=-0.1)
+
+
+class TestStableMarriageSelector:
+    def test_one_to_one_output(self, matrix):
+        chosen = StableMarriageSelector(threshold=0.0).select(matrix)
+        used = [a for corr in chosen for a in corr.attributes]
+        assert len(used) == len(set(used))
+
+    def test_greedy_best_first(self, matrix, schemas):
+        s1, s2 = schemas
+        chosen = StableMarriageSelector(threshold=0.0).select(matrix)
+        assert correspondence(s1.attribute("a"), s2.attribute("x")) in chosen
+        assert correspondence(s1.attribute("b"), s2.attribute("y")) in chosen
+
+
+class TestMatchPair:
+    def test_end_to_end(self, schemas):
+        s1, s2 = schemas
+        chosen = match_pair(
+            s1, s2, EditDistanceMatcher(), ThresholdSelector(0.99)
+        )
+        assert chosen == {}

@@ -1,0 +1,273 @@
+"""Tests for the experiment harness: reporting, fixtures and runners.
+
+Runner tests use deliberately tiny sizes — correctness of the shapes, not
+the paper-scale numbers, is what is asserted here; paper-scale runs live in
+``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    build_fixture,
+    conflicted_subnetwork,
+    render_markdown,
+    render_table,
+    synthetic_network,
+)
+from repro.experiments import (
+    fig6_sampling_time,
+    fig7_kl_ratio,
+    fig8_probability_correctness,
+    fig9_uncertainty_reduction,
+    fig10_ordering_instantiation,
+    fig11_likelihood,
+    table2_datasets,
+    table3_violations,
+)
+from repro.experiments.cli import EXPERIMENTS, main, run_experiment
+
+
+class TestReporting:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "t", ("a", "b"))
+        with pytest.raises(ValueError, match="cells"):
+            result.add_row(1)
+
+    def test_render_table_alignment(self):
+        text = render_table(("col", "value"), [("x", 1.5), ("longer", 2)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_render_markdown(self):
+        text = render_markdown(("a",), [(1,)])
+        assert text.splitlines()[0] == "| a |"
+        assert "| --- |" in text
+
+    def test_to_text_includes_notes(self):
+        result = ExperimentResult("x", "t", ("a",), notes="hello")
+        result.add_row(1)
+        assert "hello" in result.to_text()
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t", ("a", "b"))
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+
+    def test_column_unknown_raises(self):
+        result = ExperimentResult("x", "t", ("a",))
+        with pytest.raises(ValueError):
+            result.column("zz")
+
+
+class TestHarness:
+    def test_build_fixture_unknown_corpus(self):
+        with pytest.raises(KeyError, match="unknown corpus"):
+            build_fixture(corpus_name="nope")
+
+    def test_build_fixture_unknown_pipeline(self):
+        with pytest.raises(KeyError, match="unknown pipeline"):
+            build_fixture(corpus_name="BP", scale=0.1, pipeline="nope")
+
+    def test_synthetic_network_size(self):
+        network = synthetic_network(100, n_schemas=8, seed=1)
+        assert len(network.candidates) == 100
+
+    def test_synthetic_network_has_conflicts(self):
+        network = synthetic_network(150, n_schemas=8, seed=1)
+        assert network.violation_count() > 0
+
+    def test_synthetic_network_rejects_zero(self):
+        with pytest.raises(ValueError):
+            synthetic_network(0)
+
+    def test_conflicted_subnetwork_size(self, small_fixture):
+        subnetwork = conflicted_subnetwork(small_fixture.network, 12, seed=2)
+        assert len(subnetwork.candidates) == 12
+
+    def test_conflicted_subnetwork_whole_network(self, small_fixture):
+        size = len(small_fixture.network.candidates)
+        assert (
+            conflicted_subnetwork(small_fixture.network, size + 10)
+            is small_fixture.network
+        )
+
+    def test_conflict_fraction_validated(self, small_fixture):
+        with pytest.raises(ValueError):
+            conflicted_subnetwork(small_fixture.network, 5, conflict_fraction=2.0)
+
+    def test_fixture_oracle_answers_truth(self, small_fixture):
+        oracle = small_fixture.oracle()
+        truth_member = next(iter(small_fixture.ground_truth))
+        assert oracle.assert_correspondence(truth_member)
+
+
+class TestTable2:
+    def test_rows_per_dataset(self):
+        result = table2_datasets.run(scale=0.15, seed=1)
+        assert result.column("Dataset") == ["BP", "PO", "UAF", "WebForm"]
+
+    def test_paper_columns_quoted(self):
+        result = table2_datasets.run(scale=0.15, seed=1)
+        assert result.column("Paper#Schemas") == [3, 10, 15, 89]
+
+
+class TestTable3:
+    def test_structure(self):
+        result = table3_violations.run(
+            scale=0.3, seed=1, datasets=("BP",), pipelines=("coma_like",)
+        )
+        assert result.columns[0] == "Dataset"
+        assert len(result.rows) == 1
+
+    def test_violations_counted(self):
+        result = table3_violations.run(
+            scale=0.35, seed=3, datasets=("BP",), pipelines=("coma_like", "amc_like")
+        )
+        violations = result.column("Violations")
+        assert all(isinstance(v, int) for v in violations)
+        assert any(v > 0 for v in violations)
+
+
+class TestFig6:
+    def test_times_positive_and_rows_complete(self):
+        result = fig6_sampling_time.run(sizes=(64, 128), n_samples=10, seed=1)
+        times = result.column("ms/sample")
+        assert len(times) == 2
+        assert all(t > 0 for t in times)
+
+
+class TestFig7:
+    def test_kl_ratio_small(self, small_fixture):
+        result = fig7_kl_ratio.run(sizes=(10, 12), scale=0.35, seed=11)
+        ratios = result.column("KLratio(%)")
+        assert all(r < 50.0 for r in ratios)
+        assert all(math.isfinite(r) for r in ratios)
+
+    def test_instances_counted(self):
+        result = fig7_kl_ratio.run(sizes=(10,), scale=0.35, seed=11)
+        assert all(i >= 1 for i in result.column("instances"))
+
+
+class TestFig8:
+    def test_percentages_sum_to_100(self):
+        result = fig8_probability_correctness.run(
+            scale=0.5, seed=3, target_samples=80
+        )
+        total = sum(result.column("correct(%)")) + sum(
+            result.column("incorrect(%)")
+        )
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_high_bucket_dominated_by_correct(self):
+        result = fig8_probability_correctness.run(
+            scale=0.5, seed=3, target_samples=80
+        )
+        top = result.rows[-1]
+        correct_pct, incorrect_pct = top[1], top[2]
+        assert correct_pct > incorrect_pct
+
+
+class TestFig9:
+    def test_curves_shape(self):
+        result = fig9_uncertainty_reduction.run(
+            scale=0.5,
+            seed=3,
+            efforts=(0.0, 0.5, 1.0),
+            runs=1,
+            target_samples=60,
+        )
+        random_curve = result.column("H/H0 random")
+        heuristic_curve = result.column("H/H0 heuristic")
+        assert random_curve[0] == pytest.approx(1.0)
+        assert heuristic_curve[0] == pytest.approx(1.0)
+        # Both strategies end fully reconciled.
+        assert random_curve[-1] == pytest.approx(0.0, abs=1e-6)
+        assert heuristic_curve[-1] == pytest.approx(0.0, abs=1e-6)
+        # The heuristic is never worse at the midpoint.
+        assert heuristic_curve[1] <= random_curve[1] + 1e-9
+
+    def test_effort_savings_helper(self):
+        result = fig9_uncertainty_reduction.run(
+            scale=0.5,
+            seed=3,
+            efforts=(0.0, 0.5, 1.0),
+            runs=1,
+            target_samples=60,
+        )
+        savings = fig9_uncertainty_reduction.effort_savings(result)
+        assert savings >= 0.0
+
+
+class TestFig10:
+    def test_precision_recall_ranges(self):
+        result = fig10_ordering_instantiation.run(
+            scale=0.5,
+            seed=3,
+            efforts=(0.0, 0.1),
+            runs=1,
+            target_samples=60,
+            instantiation_iterations=30,
+        )
+        for column in result.columns[1:]:
+            for value in result.column(column):
+                assert 0.0 <= value <= 1.0
+
+
+class TestFig11:
+    def test_structure(self):
+        result = fig11_likelihood.run(
+            scale=0.5,
+            seed=3,
+            efforts=(0.0, 0.1),
+            runs=1,
+            target_samples=60,
+            instantiation_iterations=30,
+        )
+        assert len(result.rows) == 2
+        assert result.columns == (
+            "effort(%)",
+            "Prec without",
+            "Prec with",
+            "Rec without",
+            "Rec with",
+        )
+
+
+class TestCli:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+        }
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_run_experiment_quick(self):
+        result = run_experiment("table2", quick=True)
+        assert len(result.rows) == 4
+
+    def test_main_quick(self, capsys):
+        exit_code = main(["table2", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "table2" in captured.out
+
+    def test_main_markdown(self, capsys):
+        main(["table2", "--quick", "--markdown"])
+        assert "| Dataset |" in capsys.readouterr().out
+
+    def test_main_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2

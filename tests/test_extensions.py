@@ -1,0 +1,253 @@
+"""Tests for the extension features beyond the paper's core protocol:
+noisy/crowd oracles, user-declared exclusion constraints, and batch
+information-gain ranking."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Feedback,
+    InformationGainSelection,
+    MajorityOracle,
+    MatchingNetwork,
+    MutualExclusionConstraint,
+    NoisyOracle,
+    OneToOneConstraint,
+    ProbabilisticNetwork,
+    ReconciliationSession,
+    default_constraints,
+    enumerate_instances,
+    rank_by_information_gain,
+)
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_truthful(self, movie_truth, movie_correspondences):
+        oracle = NoisyOracle(movie_truth, error_rate=0.0, rng=random.Random(1))
+        c = movie_correspondences
+        assert oracle.assert_correspondence(c["c1"]) is True
+        assert oracle.assert_correspondence(c["c5"]) is False
+
+    def test_full_noise_inverts(self, movie_truth, movie_correspondences):
+        oracle = NoisyOracle(movie_truth, error_rate=1.0, rng=random.Random(1))
+        c = movie_correspondences
+        assert oracle.assert_correspondence(c["c1"]) is False
+        assert oracle.assert_correspondence(c["c5"]) is True
+
+    def test_verdicts_memoised(self, movie_truth, movie_correspondences):
+        oracle = NoisyOracle(movie_truth, error_rate=0.5, rng=random.Random(3))
+        c1 = movie_correspondences["c1"]
+        first = oracle.assert_correspondence(c1)
+        for _ in range(10):
+            assert oracle.assert_correspondence(c1) == first
+
+    def test_error_rate_validated(self, movie_truth):
+        with pytest.raises(ValueError):
+            NoisyOracle(movie_truth, error_rate=1.5)
+
+    def test_intermediate_rate_flips_some(self, movie_truth, movie_correspondences):
+        flipped = 0
+        for seed in range(30):
+            oracle = NoisyOracle(
+                movie_truth, error_rate=0.4, rng=random.Random(seed)
+            )
+            if oracle.assert_correspondence(movie_correspondences["c1"]) is False:
+                flipped += 1
+        assert 0 < flipped < 30
+
+
+class TestMajorityOracle:
+    def test_requires_workers(self):
+        with pytest.raises(ValueError):
+            MajorityOracle([])
+
+    def test_majority_overrides_noise(self, movie_truth, movie_correspondences):
+        """Five mildly-noisy workers together answer almost perfectly."""
+        workers = [
+            NoisyOracle(movie_truth, error_rate=0.2, rng=random.Random(seed))
+            for seed in range(5)
+        ]
+        oracle = MajorityOracle(workers)
+        c = movie_correspondences
+        correct = sum(
+            oracle.assert_correspondence(c[key]) == (c[key] in movie_truth)
+            for key in ("c1", "c2", "c3", "c4", "c5")
+        )
+        assert correct >= 4
+
+    def test_tie_breaks_to_disapproval(self, movie_truth, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        yes = NoisyOracle(movie_truth, error_rate=0.0)
+        no = NoisyOracle(movie_truth, error_rate=1.0)
+        oracle = MajorityOracle([yes, no])
+        assert oracle.assert_correspondence(c1) is False
+
+    def test_counts_questions_not_answers(self, movie_truth, movie_correspondences):
+        workers = [NoisyOracle(movie_truth, 0.0) for _ in range(3)]
+        oracle = MajorityOracle(workers)
+        oracle.assert_correspondence(movie_correspondences["c1"])
+        assert oracle.assertions_made == 1
+
+    def test_reconciliation_with_noisy_crowd(self, movie_network, movie_truth):
+        """End to end: a noisy crowd still reconciles the movie network to
+        the right matching."""
+        workers = [
+            NoisyOracle(movie_truth, error_rate=0.15, rng=random.Random(seed))
+            for seed in range(5)
+        ]
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(8)
+        )
+        session = ReconciliationSession(
+            pnet,
+            MajorityOracle(workers),
+            InformationGainSelection(rng=random.Random(9)),
+        )
+        session.run()
+        assert session.current_matching(rng=random.Random(10)) == movie_truth
+
+
+class TestConflictPolicy:
+    def test_invalid_policy_rejected(self, movie_network, movie_truth):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=40, rng=random.Random(1)
+        )
+        from repro.core import Oracle
+
+        with pytest.raises(ValueError, match="on_conflict"):
+            ReconciliationSession(pnet, Oracle(movie_truth), on_conflict="ignore")
+
+    def test_raise_policy_propagates(self, movie_network, movie_truth):
+        """An always-approving oracle eventually contradicts itself."""
+
+        class YesOracle(NoisyOracle):
+            def assert_correspondence(self, corr):
+                self.assertions_made += 1
+                return True
+
+        from repro.core import InconsistentFeedbackError, RandomSelection
+
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=40, rng=random.Random(2)
+        )
+        session = ReconciliationSession(
+            pnet,
+            YesOracle(movie_truth, 0.0),
+            RandomSelection(rng=random.Random(3)),
+        )
+        with pytest.raises(InconsistentFeedbackError):
+            for _ in range(5):
+                session.step()
+
+    def test_disapprove_policy_recovers(self, movie_network, movie_truth):
+        class YesOracle(NoisyOracle):
+            def assert_correspondence(self, corr):
+                self.assertions_made += 1
+                return True
+
+        from repro.core import RandomSelection
+
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=40, rng=random.Random(2)
+        )
+        session = ReconciliationSession(
+            pnet,
+            YesOracle(movie_truth, 0.0),
+            RandomSelection(rng=random.Random(3)),
+            on_conflict="disapprove",
+        )
+        session.run()
+        assert session.conflicts_resolved > 0
+        # Feedback stays internally consistent throughout.
+        assert movie_network.engine.is_consistent(pnet.feedback.approved)
+
+
+class TestMutualExclusion:
+    def test_requires_two_members(self, movie_correspondences):
+        with pytest.raises(ValueError, match="at least two"):
+            MutualExclusionConstraint([[movie_correspondences["c1"]]])
+
+    def test_declared_pair_becomes_violation(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        constraints = list(default_constraints()) + [
+            MutualExclusionConstraint([[c["c1"], c["c2"]]])
+        ]
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(movie_correspondences.values()),
+            constraints=constraints,
+        )
+        assert not network.engine.is_consistent({c["c1"], c["c2"]})
+        # Every instance avoids the excluded pair.
+        for instance in enumerate_instances(network):
+            assert not {c["c1"], c["c2"]} <= instance
+
+    def test_exclusion_only_when_all_present(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        constraint = MutualExclusionConstraint([[c["c1"], c["c2"], c["c3"]]])
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(movie_correspondences.values()),
+            constraints=[constraint],
+        )
+        assert network.engine.is_consistent({c["c1"], c["c2"]})
+        assert not network.engine.is_consistent({c["c1"], c["c2"], c["c3"]})
+
+    def test_exclusions_outside_candidates_ignored(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        constraint = MutualExclusionConstraint([[c["c1"], c["c2"]]])
+        network = MatchingNetwork(
+            list(movie_schemas),
+            [c["c3"], c["c4"]],
+            constraints=[OneToOneConstraint(), constraint],
+        )
+        assert network.violation_count() == 0
+
+
+class TestBatchRanking:
+    def test_ranked_descending(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(4)
+        )
+        ranked = rank_by_information_gain(pnet)
+        gains = [gain for _, gain in ranked]
+        assert gains == sorted(gains, reverse=True)
+        assert len(ranked) == 5
+
+    def test_top_k(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(4)
+        )
+        assert len(rank_by_information_gain(pnet, k=2)) == 2
+
+    def test_empty_when_certain(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        network = MatchingNetwork(list(movie_schemas), [c["c1"]])
+        pnet = ProbabilisticNetwork(network, target_samples=20, rng=random.Random(4))
+        assert rank_by_information_gain(pnet) == []
+
+    def test_requires_sampled_estimator(self, movie_network):
+        from repro.core import ExactEstimator
+
+        pnet = ProbabilisticNetwork(
+            movie_network, estimator=ExactEstimator(movie_network)
+        )
+        with pytest.raises(TypeError):
+            rank_by_information_gain(pnet)
+
+    def test_batch_head_matches_strategy_choice(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(4)
+        )
+        ranked = rank_by_information_gain(pnet)
+        top_gain = ranked[0][1]
+        chosen = InformationGainSelection(rng=random.Random(5)).select(pnet)
+        gains = dict(ranked)
+        assert gains[chosen] == pytest.approx(top_gain)

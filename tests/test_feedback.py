@@ -1,0 +1,111 @@
+"""Unit tests for Feedback and Oracle."""
+
+import pytest
+
+from repro.core import Feedback, Oracle
+
+
+class TestFeedback:
+    def test_starts_empty(self):
+        feedback = Feedback()
+        assert len(feedback) == 0
+        assert feedback.approved == frozenset()
+        assert feedback.disapproved == frozenset()
+
+    def test_approve(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        feedback = Feedback()
+        feedback.approve(c1)
+        assert c1 in feedback.approved
+        assert feedback.is_asserted(c1)
+
+    def test_disapprove(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        feedback = Feedback()
+        feedback.disapprove(c1)
+        assert c1 in feedback.disapproved
+
+    def test_approve_is_idempotent(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        feedback = Feedback()
+        feedback.approve(c1)
+        feedback.approve(c1)
+        assert len(feedback) == 1
+
+    def test_contradiction_raises(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        feedback = Feedback()
+        feedback.approve(c1)
+        with pytest.raises(ValueError, match="already approved"):
+            feedback.disapprove(c1)
+
+    def test_reverse_contradiction_raises(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        feedback = Feedback()
+        feedback.disapprove(c1)
+        with pytest.raises(ValueError, match="already disapproved"):
+            feedback.approve(c1)
+
+    def test_constructor_rejects_overlap(self, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        with pytest.raises(ValueError, match="both approved and disapproved"):
+            Feedback(approved=[c1], disapproved=[c1])
+
+    def test_record_routes(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback()
+        feedback.record(c["c1"], True)
+        feedback.record(c["c2"], False)
+        assert c["c1"] in feedback.approved
+        assert c["c2"] in feedback.disapproved
+
+    def test_asserted_union(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c2"]])
+        assert feedback.asserted == {c["c1"], c["c2"]}
+        assert set(feedback) == {c["c1"], c["c2"]}
+
+    def test_copy_is_independent(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]])
+        clone = feedback.copy()
+        clone.approve(c["c2"])
+        assert c["c2"] not in feedback.approved
+
+    def test_effort(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c2"]])
+        assert feedback.effort(5) == pytest.approx(0.4)
+
+    def test_effort_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            Feedback().effort(0)
+
+    def test_repr(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]])
+        assert "+1" in repr(feedback)
+
+
+class TestOracle:
+    def test_answers_from_truth(self, movie_oracle, movie_correspondences):
+        c = movie_correspondences
+        assert movie_oracle.assert_correspondence(c["c1"]) is True
+        assert movie_oracle.assert_correspondence(c["c5"]) is False
+
+    def test_counts_assertions(self, movie_oracle, movie_correspondences):
+        c = movie_correspondences
+        movie_oracle.assert_correspondence(c["c1"])
+        movie_oracle.assert_correspondence(c["c2"])
+        assert movie_oracle.assertions_made == 2
+
+    def test_answer_into_records(self, movie_oracle, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback()
+        assert movie_oracle.answer_into(feedback, c["c1"]) is True
+        assert movie_oracle.answer_into(feedback, c["c5"]) is False
+        assert c["c1"] in feedback.approved
+        assert c["c5"] in feedback.disapproved
+
+    def test_selective_matching_property(self, movie_oracle, movie_truth):
+        assert movie_oracle.selective_matching == movie_truth

@@ -1,0 +1,157 @@
+"""Unit tests for matching-instance semantics and exact enumeration."""
+
+import pytest
+
+from repro.core import (
+    Feedback,
+    InconsistentFeedbackError,
+    MatchingNetwork,
+    Schema,
+    correspondence,
+    count_instances,
+    enumerate_instances,
+    exact_probabilities,
+    is_matching_instance,
+)
+from repro.core.instances import iter_consistent_subsets
+
+
+class TestIsMatchingInstance:
+    def test_paper_instances(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        assert is_matching_instance([c["c1"], c["c2"], c["c3"]], movie_network)
+        assert is_matching_instance([c["c1"], c["c4"], c["c5"]], movie_network)
+
+    def test_additional_maximal_instances(self, movie_network, movie_correspondences):
+        # The paper's Example 1 overlooks these two; see DESIGN.md.
+        c = movie_correspondences
+        assert is_matching_instance([c["c2"], c["c5"]], movie_network)
+        assert is_matching_instance([c["c3"], c["c4"]], movie_network)
+
+    def test_inconsistent_set_is_not_instance(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        assert not is_matching_instance([c["c3"], c["c5"]], movie_network)
+
+    def test_non_maximal_set_is_not_instance(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        assert not is_matching_instance([c["c1"]], movie_network)
+
+    def test_respects_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(disapproved=[c["c3"]])
+        assert not is_matching_instance(
+            [c["c1"], c["c2"], c["c3"]], movie_network, feedback
+        )
+        # With c3 disapproved, {c1, c2} becomes maximal.
+        assert is_matching_instance([c["c1"], c["c2"]], movie_network, feedback)
+
+    def test_requires_approved_membership(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c4"]])
+        assert not is_matching_instance(
+            [c["c1"], c["c2"], c["c3"]], movie_network, feedback
+        )
+
+    def test_rejects_foreign_correspondences(self, movie_network):
+        sx = Schema.from_names("SX", ["x"])
+        sy = Schema.from_names("SY", ["y"])
+        foreign = correspondence(sx.attribute("x"), sy.attribute("y"))
+        assert not is_matching_instance([foreign], movie_network)
+
+
+class TestEnumeration:
+    def test_movie_network_has_four_instances(self, movie_network):
+        assert count_instances(movie_network) == 4
+
+    def test_all_enumerated_are_instances(self, movie_network):
+        for instance in enumerate_instances(movie_network):
+            assert is_matching_instance(instance, movie_network)
+
+    def test_enumeration_distinct(self, movie_network):
+        instances = enumerate_instances(movie_network)
+        assert len(instances) == len(set(instances))
+
+    def test_with_approval(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"]])
+        instances = enumerate_instances(movie_network, feedback)
+        assert all(c["c2"] in i for i in instances)
+        assert set(instances) == {
+            frozenset({c["c1"], c["c2"], c["c3"]}),
+            frozenset({c["c2"], c["c5"]}),
+        }
+
+    def test_with_disapproval(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(disapproved=[c["c1"]])
+        instances = enumerate_instances(movie_network, feedback)
+        assert all(c["c1"] not in i for i in instances)
+
+    def test_limit(self, movie_network):
+        limited = enumerate_instances(movie_network, limit=2)
+        assert len(limited) == 2
+
+    def test_conflicting_approvals_raise(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c3"], c["c5"]])
+        with pytest.raises(InconsistentFeedbackError):
+            enumerate_instances(movie_network, feedback)
+
+    def test_no_conflicts_single_instance(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        network = MatchingNetwork(
+            list(movie_schemas), [c["c1"], c["c2"], c["c3"]]
+        )
+        instances = enumerate_instances(network)
+        assert instances == (frozenset({c["c1"], c["c2"], c["c3"]}),)
+
+    def test_empty_candidate_set(self, movie_schemas):
+        network = MatchingNetwork(list(movie_schemas), [])
+        assert enumerate_instances(network) == (frozenset(),)
+
+
+class TestExactProbabilities:
+    def test_paper_example_probabilities(self, movie_network, movie_correspondences):
+        # Four instances: {c1,c2,c3}, {c1,c4,c5}, {c2,c5}, {c3,c4}.
+        c = movie_correspondences
+        probabilities = exact_probabilities(movie_network)
+        assert probabilities[c["c1"]] == pytest.approx(0.5)
+        for key in ("c2", "c3", "c4", "c5"):
+            assert probabilities[c[key]] == pytest.approx(0.5)
+
+    def test_probabilities_after_approval(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"]])
+        probabilities = exact_probabilities(movie_network, feedback)
+        assert probabilities[c["c2"]] == 1.0
+        assert probabilities[c["c4"]] == 0.0  # conflicts with c2 via one-to-one
+        assert probabilities[c["c1"]] == pytest.approx(0.5)
+
+    def test_asserted_probabilities_are_binary(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c5"]])
+        probabilities = exact_probabilities(movie_network, feedback)
+        assert probabilities[c["c1"]] == 1.0
+        assert probabilities[c["c5"]] == 0.0
+
+    def test_unconflicted_has_probability_one(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        network = MatchingNetwork(list(movie_schemas), [c["c1"]])
+        assert exact_probabilities(network)[c["c1"]] == 1.0
+
+
+class TestConsistentSubsets:
+    def test_counts_consistent_subsets(self, movie_network):
+        subsets = list(iter_consistent_subsets(movie_network))
+        assert frozenset() in subsets
+        assert len(subsets) == len(set(subsets))
+        # Every maximal instance is among the consistent subsets.
+        for instance in enumerate_instances(movie_network):
+            assert instance in subsets
+
+    def test_respects_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c2"]])
+        subsets = list(iter_consistent_subsets(movie_network, feedback))
+        assert all(c["c1"] in s for s in subsets)
+        assert all(c["c2"] not in s for s in subsets)

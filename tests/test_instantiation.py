@@ -1,0 +1,170 @@
+"""Unit tests for instantiation (Algorithm 2) and the exact reference."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    Feedback,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    exact_instantiate,
+    enumerate_instances,
+    exact_probabilities,
+    instantiate,
+    is_matching_instance,
+    log_likelihood,
+    repair_distance,
+)
+
+
+@pytest.fixture
+def movie_pnet(movie_network):
+    return ProbabilisticNetwork(
+        movie_network, target_samples=60, rng=random.Random(41)
+    )
+
+
+class TestMeasures:
+    def test_repair_distance_subset(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        instance = {c["c1"], c["c2"], c["c3"]}
+        assert repair_distance(instance, movie_network.correspondences) == 2
+
+    def test_repair_distance_empty(self, movie_network):
+        assert repair_distance([], movie_network.correspondences) == 5
+
+    def test_log_likelihood(self, movie_correspondences):
+        c = movie_correspondences
+        probabilities = {c["c1"]: 0.5, c["c2"]: 0.25}
+        value = log_likelihood([c["c1"], c["c2"]], probabilities)
+        assert value == pytest.approx(math.log(0.5) + math.log(0.25))
+
+    def test_log_likelihood_floors_zero(self, movie_correspondences):
+        c = movie_correspondences
+        value = log_likelihood([c["c1"]], {c["c1"]: 0.0})
+        assert math.isfinite(value)
+
+
+class TestInstantiate:
+    def test_output_is_matching_instance(self, movie_pnet, movie_network):
+        matching = instantiate(movie_pnet, iterations=50, rng=random.Random(1))
+        assert is_matching_instance(matching, movie_network, movie_pnet.feedback)
+
+    def test_minimal_repair_distance(self, movie_pnet, movie_network):
+        matching = instantiate(movie_pnet, iterations=50, rng=random.Random(1))
+        best = min(
+            repair_distance(i, movie_network.correspondences)
+            for i in enumerate_instances(movie_network)
+        )
+        assert repair_distance(matching, movie_network.correspondences) == best
+
+    def test_respects_feedback(self, movie_pnet, movie_correspondences, movie_network):
+        c = movie_correspondences
+        movie_pnet.record_assertion(c["c5"], approved=False)
+        movie_pnet.record_assertion(c["c1"], approved=True)
+        matching = instantiate(movie_pnet, iterations=50, rng=random.Random(1))
+        assert c["c5"] not in matching
+        assert c["c1"] in matching
+        assert movie_network.engine.is_consistent(matching)
+
+    def test_recovers_truth_after_full_feedback(
+        self, movie_pnet, movie_truth, movie_oracle
+    ):
+        for corr in list(movie_pnet.correspondences):
+            movie_pnet.record_assertion(
+                corr, movie_oracle.assert_correspondence(corr)
+            )
+        matching = instantiate(movie_pnet, iterations=50, rng=random.Random(1))
+        assert matching == movie_truth
+
+    def test_zero_iterations_still_returns_instance(self, movie_pnet, movie_network):
+        matching = instantiate(movie_pnet, iterations=0, rng=random.Random(1))
+        assert is_matching_instance(matching, movie_network)
+
+    def test_negative_iterations_rejected(self, movie_pnet):
+        with pytest.raises(ValueError, match="iterations"):
+            instantiate(movie_pnet, iterations=-1)
+
+    def test_without_likelihood_still_valid(self, movie_pnet, movie_network):
+        matching = instantiate(
+            movie_pnet, iterations=50, use_likelihood=False, rng=random.Random(1)
+        )
+        assert is_matching_instance(matching, movie_network)
+
+    def test_works_without_samples(self, movie_network):
+        """Falls back to greedy maximalisation when the estimator is exact."""
+        from repro.core import ExactEstimator
+
+        pnet = ProbabilisticNetwork(
+            movie_network, estimator=ExactEstimator(movie_network)
+        )
+        matching = instantiate(pnet, iterations=30, rng=random.Random(2))
+        assert is_matching_instance(matching, movie_network)
+
+    def test_heuristic_matches_exact_on_small_corpus(self, small_fixture):
+        """Algorithm 2 finds an instance with the exact optimum's distance."""
+        from repro.experiments.harness import conflicted_subnetwork
+
+        subnetwork = conflicted_subnetwork(small_fixture.network, 14, seed=1)
+        probabilities = exact_probabilities(subnetwork)
+        exact = exact_instantiate(subnetwork, probabilities)
+        pnet = ProbabilisticNetwork(
+            subnetwork, target_samples=200, rng=random.Random(6)
+        )
+        heuristic = instantiate(pnet, iterations=100, rng=random.Random(7))
+        assert repair_distance(
+            heuristic, subnetwork.correspondences
+        ) <= repair_distance(exact, subnetwork.correspondences) + 1
+
+
+class TestExactInstantiate:
+    def test_picks_minimal_repair_distance(self, movie_network):
+        probabilities = exact_probabilities(movie_network)
+        best = exact_instantiate(movie_network, probabilities)
+        distances = [
+            repair_distance(i, movie_network.correspondences)
+            for i in enumerate_instances(movie_network)
+        ]
+        assert repair_distance(best, movie_network.correspondences) == min(distances)
+
+    def test_likelihood_tie_break(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        # Bias probabilities towards the {c1, c4, c5} instance.
+        probabilities = {
+            c["c1"]: 0.9,
+            c["c2"]: 0.1,
+            c["c3"]: 0.1,
+            c["c4"]: 0.9,
+            c["c5"]: 0.9,
+        }
+        best = exact_instantiate(movie_network, probabilities)
+        assert best == frozenset({c["c1"], c["c4"], c["c5"]})
+
+    def test_without_likelihood_ignores_probabilities(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        probabilities = {corr: 0.5 for corr in movie_network.correspondences}
+        best = exact_instantiate(
+            movie_network, probabilities, use_likelihood=False
+        )
+        # Both three-element instances tie; the result must still be one of
+        # the minimal-distance instances.
+        assert len(best) == 3
+
+    def test_respects_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c5"]])
+        probabilities = exact_probabilities(movie_network, feedback)
+        best = exact_instantiate(movie_network, probabilities, feedback)
+        assert c["c5"] in best
+
+    def test_raises_without_instances(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        network = MatchingNetwork(list(movie_schemas), [c["c1"]])
+        feedback = Feedback(disapproved=[c["c1"]])
+        probabilities = {c["c1"]: 0.0}
+        # The only instance is the empty set — still an instance, so no
+        # error; check the degenerate result instead.
+        best = exact_instantiate(network, probabilities, feedback)
+        assert best == frozenset()

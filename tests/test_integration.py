@@ -1,0 +1,151 @@
+"""Integration tests: the full pay-as-you-go pipeline end to end.
+
+These tests run matcher → network → probabilities → guided feedback →
+instantiation on generated corpora and assert the paper's qualitative
+claims hold on our substrate.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    InformationGainSelection,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    RandomSelection,
+    ReconciliationSession,
+    is_matching_instance,
+    network_uncertainty,
+)
+from repro.metrics import f_measure, precision, recall
+
+
+class TestEndToEndMovieExample:
+    def test_full_story(self, movie_network, movie_oracle, movie_truth):
+        """The paper's Section II walkthrough, executed."""
+        # 1. The matcher output violates constraints.
+        assert movie_network.violation_count() == 4
+        # 2. Build the probabilistic network; everything is uncertain.
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        assert network_uncertainty(pnet.probabilities()) == pytest.approx(5.0)
+        # 3. Reconcile with information gain.
+        session = ReconciliationSession(
+            pnet, movie_oracle, InformationGainSelection(rng=random.Random(2))
+        )
+        session.run(uncertainty_goal=0.0)
+        # 4. The instantiated matching is the selective matching.
+        assert session.current_matching(rng=random.Random(3)) == movie_truth
+        # 5. And it took fewer assertions than reviewing everything.
+        assert len(session.trace.steps) < 5
+
+
+class TestEndToEndCorpus:
+    def test_pipeline_on_bp(self, bp_fixture):
+        network = bp_fixture.network
+        truth = bp_fixture.ground_truth
+        pnet = ProbabilisticNetwork(
+            network, target_samples=120, rng=random.Random(7)
+        )
+        session = ReconciliationSession(
+            pnet,
+            bp_fixture.oracle(),
+            InformationGainSelection(rng=random.Random(8)),
+        )
+
+        before = session.current_matching(
+            iterations=60, rng=random.Random(9)
+        )
+        quality_before = f_measure(before, truth)
+        session.run(effort_budget=0.15)
+        after = session.current_matching(iterations=60, rng=random.Random(9))
+        quality_after = f_measure(after, truth)
+
+        # Any-time property: both matchings are valid instances.
+        assert is_matching_instance(before, network)
+        assert is_matching_instance(after, network, pnet.feedback)
+        # Feedback does not hurt and typically helps.
+        assert quality_after >= quality_before - 0.02
+
+    def test_uncertainty_decreases_with_effort(self, bp_fixture):
+        pnet = ProbabilisticNetwork(
+            bp_fixture.network, target_samples=120, rng=random.Random(3)
+        )
+        session = ReconciliationSession(
+            pnet,
+            bp_fixture.oracle(),
+            InformationGainSelection(rng=random.Random(4)),
+        )
+        initial = session.uncertainty()
+        session.run(budget=10)
+        assert session.uncertainty() <= initial
+
+    def test_heuristic_beats_random_on_effort(self, bp_fixture):
+        """The paper's headline: IG ordering reaches low uncertainty with
+        less effort than the random baseline."""
+
+        def assertions_to_low_uncertainty(strategy_cls, seed):
+            pnet = ProbabilisticNetwork(
+                bp_fixture.network, target_samples=120, rng=random.Random(seed)
+            )
+            session = ReconciliationSession(
+                pnet,
+                bp_fixture.oracle(),
+                strategy_cls(rng=random.Random(seed + 1)),
+            )
+            target = 0.1 * session.trace.initial_uncertainty
+            steps = 0
+            while session.uncertainty() > target:
+                if session.step() is None:
+                    break
+                steps += 1
+            return steps
+
+        heuristic = assertions_to_low_uncertainty(InformationGainSelection, 21)
+        baseline = assertions_to_low_uncertainty(RandomSelection, 21)
+        assert heuristic <= baseline
+
+    def test_disapproved_candidates_never_instantiated(self, bp_fixture):
+        pnet = ProbabilisticNetwork(
+            bp_fixture.network, target_samples=120, rng=random.Random(5)
+        )
+        session = ReconciliationSession(
+            pnet,
+            bp_fixture.oracle(),
+            InformationGainSelection(rng=random.Random(6)),
+        )
+        session.run(budget=15)
+        matching = session.current_matching(iterations=60, rng=random.Random(7))
+        assert not matching & pnet.feedback.disapproved
+        assert pnet.feedback.approved <= matching
+
+    def test_ground_truth_is_a_matching_instance_candidate(self, bp_fixture):
+        """The selective matching restricted to the candidates satisfies Γ
+        — the premise behind using constraints as evidence."""
+        truth_in_candidates = bp_fixture.ground_truth & set(
+            bp_fixture.network.correspondences
+        )
+        assert bp_fixture.network.engine.is_consistent(truth_in_candidates)
+
+
+class TestCrossMatcherIntegration:
+    def test_amc_pipeline_reconciles(self, small_fixture):
+        from repro.matchers import amc_like
+
+        corpus = small_fixture.corpus
+        candidates = amc_like().match_network(corpus.schemas)
+        if len(candidates) == 0:
+            pytest.skip("no candidates at this scale")
+        network = MatchingNetwork(corpus.schemas, candidates)
+        pnet = ProbabilisticNetwork(
+            network, target_samples=80, rng=random.Random(11)
+        )
+        session = ReconciliationSession(
+            pnet, corpus.oracle(), InformationGainSelection(rng=random.Random(12))
+        )
+        session.run(effort_budget=0.2)
+        matching = session.current_matching(iterations=50, rng=random.Random(13))
+        assert is_matching_instance(matching, network, pnet.feedback)
+        assert precision(matching, corpus.ground_truth()) >= 0.3

@@ -1,0 +1,206 @@
+"""Unit tests for first-line matchers (name, semantic, tfidf, types)."""
+
+import pytest
+
+from repro.core.schema import Attribute, Schema
+from repro.matchers import (
+    DataTypeMatcher,
+    EditDistanceMatcher,
+    JaroWinklerMatcher,
+    MongeElkanMatcher,
+    NGramMatcher,
+    PrefixSuffixMatcher,
+    SubstringMatcher,
+    SynonymMatcher,
+    TfIdfTokenMatcher,
+    Thesaurus,
+    TokenMatcher,
+)
+
+
+def _attr(name, schema="S1", data_type=None):
+    return Attribute(schema, name, data_type)
+
+
+ALL_NAME_MATCHERS = [
+    EditDistanceMatcher,
+    JaroWinklerMatcher,
+    TokenMatcher,
+    MongeElkanMatcher,
+    NGramMatcher,
+    SubstringMatcher,
+    PrefixSuffixMatcher,
+    SynonymMatcher,
+]
+
+
+class TestNameMatcherContracts:
+    @pytest.mark.parametrize("matcher_cls", ALL_NAME_MATCHERS)
+    def test_identity_scores_one(self, matcher_cls):
+        matcher = matcher_cls()
+        assert matcher.similarity(_attr("orderDate"), _attr("orderDate", "S2")) == 1.0
+
+    @pytest.mark.parametrize("matcher_cls", ALL_NAME_MATCHERS)
+    def test_range(self, matcher_cls):
+        matcher = matcher_cls()
+        score = matcher.similarity(_attr("orderDate"), _attr("zzqq", "S2"))
+        assert 0.0 <= score <= 1.0
+
+    @pytest.mark.parametrize("matcher_cls", ALL_NAME_MATCHERS)
+    def test_symmetry(self, matcher_cls):
+        matcher = matcher_cls()
+        a, b = _attr("billingStreet"), _attr("billing_city", "S2")
+        assert matcher.similarity(a, b) == matcher.similarity(b, a)
+
+    @pytest.mark.parametrize("matcher_cls", ALL_NAME_MATCHERS)
+    def test_style_invariance(self, matcher_cls):
+        matcher = matcher_cls()
+        assert (
+            matcher.similarity(_attr("first_name"), _attr("firstName", "S2")) == 1.0
+        )
+
+    def test_cache_consistency(self):
+        matcher = EditDistanceMatcher()
+        a, b = _attr("orderDate"), _attr("orderDt", "S2")
+        first = matcher.similarity(a, b)
+        second = matcher.similarity(a, b)
+        assert first == second
+
+
+class TestEditDistanceMatcher:
+    def test_close_names(self):
+        matcher = EditDistanceMatcher()
+        score = matcher.similarity(_attr("releaseDate"), _attr("releasedate2", "S2"))
+        assert score > 0.8
+
+
+class TestTokenMatcher:
+    def test_shared_token(self):
+        matcher = TokenMatcher()
+        score = matcher.similarity(_attr("billing_street"), _attr("billing_city", "S2"))
+        assert score == pytest.approx(1 / 3)
+
+    def test_abbreviation_resolution(self):
+        matcher = TokenMatcher()
+        assert matcher.similarity(_attr("custAddr"), _attr("customer_address", "S2")) == 1.0
+
+
+class TestSynonymMatcher:
+    def test_synonyms_match(self):
+        matcher = SynonymMatcher()
+        score = matcher.similarity(_attr("vendor"), _attr("supplier", "S2"))
+        assert score == 1.0
+
+    def test_ring_partial_overlap(self):
+        matcher = SynonymMatcher()
+        score = matcher.similarity(_attr("vendor_name"), _attr("supplierTitle", "S2"))
+        assert score == 1.0  # vendor~supplier and name~title
+
+    def test_non_synonyms(self):
+        matcher = SynonymMatcher()
+        assert matcher.similarity(_attr("vendor"), _attr("quantity", "S2")) == 0.0
+
+
+class TestThesaurus:
+    def test_are_synonyms(self):
+        thesaurus = Thesaurus()
+        assert thesaurus.are_synonyms("street", "road")
+        assert thesaurus.are_synonyms("street", "street")
+        assert not thesaurus.are_synonyms("street", "city")
+
+    def test_canonical_folding(self):
+        thesaurus = Thesaurus()
+        assert thesaurus.canonical("street") == thesaurus.canonical("road")
+        assert thesaurus.canonical("xyz") == "xyz"
+
+    def test_custom_rings(self):
+        thesaurus = Thesaurus([("foo", "bar")])
+        assert thesaurus.are_synonyms("foo", "bar")
+        assert not thesaurus.are_synonyms("street", "road")
+
+    def test_duplicate_token_first_ring_wins(self):
+        thesaurus = Thesaurus([("a", "b"), ("b", "c")])
+        assert thesaurus.are_synonyms("a", "b")
+        assert not thesaurus.are_synonyms("b", "c")
+
+
+class TestDataTypeMatcher:
+    def test_equal_types(self):
+        matcher = DataTypeMatcher()
+        a = _attr("x", data_type="date")
+        b = _attr("y", "S2", data_type="date")
+        assert matcher.similarity(a, b) == 1.0
+
+    def test_compatible_types(self):
+        matcher = DataTypeMatcher()
+        a = _attr("x", data_type="integer")
+        b = _attr("y", "S2", data_type="decimal")
+        assert matcher.similarity(a, b) == 0.5
+
+    def test_incompatible_types(self):
+        matcher = DataTypeMatcher()
+        a = _attr("x", data_type="date")
+        b = _attr("y", "S2", data_type="integer")
+        assert matcher.similarity(a, b) == 0.0
+
+    def test_missing_type_neutral(self):
+        matcher = DataTypeMatcher()
+        a = _attr("x")
+        b = _attr("y", "S2", data_type="date")
+        assert matcher.similarity(a, b) == 0.5
+
+
+class TestTfIdfMatcher:
+    @pytest.fixture
+    def schemas(self):
+        s1 = Schema.from_names(
+            "S1", ["billing_street", "billing_city", "billing_zip", "name"]
+        )
+        s2 = Schema.from_names(
+            "S2", ["billing_street", "billing_state", "company_name"]
+        )
+        return [s1, s2]
+
+    def test_fit_required_semantics(self, schemas):
+        matcher = TfIdfTokenMatcher()
+        assert not matcher.is_fitted
+        matcher.fit(schemas)
+        assert matcher.is_fitted
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            TfIdfTokenMatcher().fit([Schema("S")])
+
+    def test_discriminative_tokens_dominate(self, schemas):
+        matcher = TfIdfTokenMatcher().fit(schemas)
+        same_qualifier = matcher.similarity(
+            _attr("billing_street"), _attr("billing_city", "S2")
+        )
+        same_base = matcher.similarity(
+            _attr("billing_street"), _attr("shipping_street", "S2")
+        )
+        # "billing" is frequent (low IDF), "street" rarer: sharing the rare
+        # token must count more than sharing the frequent qualifier.
+        assert same_base > same_qualifier
+
+    def test_identity_is_one(self, schemas):
+        matcher = TfIdfTokenMatcher().fit(schemas)
+        assert matcher.similarity(_attr("billing_street"), _attr("billing_street", "S2")) == 1.0
+
+    def test_unknown_tokens_get_max_idf(self, schemas):
+        matcher = TfIdfTokenMatcher().fit(schemas)
+        for token in ("billing", "street", "name", "zip", "company"):
+            assert matcher.idf("neverseen") >= matcher.idf(token)
+
+    def test_thesaurus_folding(self, schemas):
+        matcher = TfIdfTokenMatcher(Thesaurus()).fit(schemas)
+        score = matcher.similarity(_attr("billing_street"), _attr("billing_road", "S2"))
+        assert score == 1.0
+
+    def test_refit_clears_cache(self, schemas):
+        matcher = TfIdfTokenMatcher().fit(schemas)
+        before = matcher.similarity(_attr("billing_street"), _attr("billing_city", "S2"))
+        tiny = [Schema.from_names("T1", ["billing_street"]), Schema.from_names("T2", ["billing_city"])]
+        matcher.fit(tiny)
+        after = matcher.similarity(_attr("billing_street"), _attr("billing_city", "S2"))
+        assert before != after

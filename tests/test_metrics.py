@@ -1,0 +1,119 @@
+"""Unit tests for evaluation measures."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    f_measure,
+    kl_divergence,
+    kl_ratio,
+    mean_absolute_error,
+    precision,
+    recall,
+    user_effort,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision({1, 2}, {1, 2}) == 1.0
+        assert recall({1, 2}, {1, 2}) == 1.0
+
+    def test_half_precision(self):
+        assert precision({1, 2}, {1}) == 0.5
+
+    def test_half_recall(self):
+        assert recall({1}, {1, 2}) == 0.5
+
+    def test_empty_prediction(self):
+        assert precision(set(), {1}) == 1.0
+        assert recall(set(), {1}) == 0.0
+
+    def test_empty_truth(self):
+        assert recall({1}, set()) == 1.0
+        assert precision({1}, set()) == 0.0
+
+    def test_disjoint(self):
+        assert precision({1}, {2}) == 0.0
+        assert recall({1}, {2}) == 0.0
+
+    def test_f_measure_harmonic(self):
+        assert f_measure({1, 2}, {1}) == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+    def test_f_measure_zero(self):
+        assert f_measure({1}, {2}) == 0.0
+
+    def test_accepts_iterables(self):
+        assert precision([1, 1, 2], [1]) == 0.5  # duplicates collapse
+
+
+class TestUserEffort:
+    def test_fraction(self):
+        assert user_effort(3, 10) == pytest.approx(0.3)
+
+    def test_zero(self):
+        assert user_effort(0, 10) == 0.0
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            user_effort(1, 0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            user_effort(-1, 10)
+
+
+class TestKLDivergence:
+    def test_identical_distributions_zero(self):
+        p = {"a": 0.3, "b": 0.9}
+        assert kl_divergence(p, dict(p)) == pytest.approx(0.0)
+
+    def test_nonnegative(self):
+        p = {"a": 0.3, "b": 0.9, "c": 0.0, "d": 1.0}
+        q = {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5}
+        assert kl_divergence(p, q) > 0.0
+
+    def test_handles_zero_approximation(self):
+        value = kl_divergence({"a": 1.0}, {"a": 0.0})
+        assert math.isfinite(value)
+        assert value > 10  # heavily penalised, not infinite
+
+    def test_known_value(self):
+        p = {"a": 1.0}
+        q = {"a": 0.5}
+        assert kl_divergence(p, q) == pytest.approx(math.log(2))
+
+    def test_missing_key_treated_as_zero(self):
+        value = kl_divergence({"a": 0.9}, {})
+        assert value > 0.0
+
+
+class TestKLRatio:
+    def test_zero_for_exact_sampling(self):
+        p = {"a": 0.2, "b": 0.8}
+        assert kl_ratio(p, dict(p)) == pytest.approx(0.0)
+
+    def test_one_for_baseline_itself(self):
+        p = {"a": 0.2, "b": 0.8}
+        baseline = {"a": 0.5, "b": 0.5}
+        assert kl_ratio(p, baseline) == pytest.approx(1.0)
+
+    def test_uniform_exact_distribution(self):
+        p = {"a": 0.5}
+        assert kl_ratio(p, {"a": 0.5}) == 0.0
+        assert kl_ratio(p, {"a": 0.9}) == math.inf
+
+
+class TestMeanAbsoluteError:
+    def test_zero_for_identical(self):
+        p = {"a": 0.5}
+        assert mean_absolute_error(p, dict(p)) == 0.0
+
+    def test_average(self):
+        assert mean_absolute_error(
+            {"a": 1.0, "b": 0.0}, {"a": 0.5, "b": 0.5}
+        ) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_absolute_error({}, {}) == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for MatchingNetwork."""
+
+import pytest
+
+from repro.core import (
+    CandidateSet,
+    MatchingNetwork,
+    Schema,
+    correspondence,
+    path_graph,
+)
+
+
+class TestConstruction:
+    def test_default_graph_is_complete(self, movie_network):
+        assert len(movie_network.graph.edges) == 3
+
+    def test_duplicate_schema_names_rejected(self, movie_schemas):
+        sa, sb, sc = movie_schemas
+        with pytest.raises(ValueError, match="duplicate schema name"):
+            MatchingNetwork([sa, sa], [])
+
+    def test_unknown_schema_in_candidate_rejected(self, movie_schemas):
+        sa, sb, sc = movie_schemas
+        foreign = Schema.from_names("SX", ["x"])
+        corr = correspondence(sa.attribute("productionDate"), foreign.attribute("x"))
+        with pytest.raises(ValueError, match="unknown schema"):
+            MatchingNetwork([sa, sb, sc], [corr])
+
+    def test_unknown_attribute_rejected(self, movie_schemas):
+        sa, sb, sc = movie_schemas
+        ghost_schema = Schema.from_names("SB", ["date", "ghost"])
+        corr = correspondence(
+            sa.attribute("productionDate"), ghost_schema.attribute("ghost")
+        )
+        with pytest.raises(ValueError, match="unknown attribute"):
+            MatchingNetwork([sa, sb, sc], [corr])
+
+    def test_candidate_outside_graph_rejected(self, movie_schemas, movie_correspondences):
+        sa, sb, sc = movie_schemas
+        graph = path_graph(["SA", "SB"])  # SC not matched with anyone
+        graph.add_node("SC")
+        with pytest.raises(ValueError, match="not connected"):
+            MatchingNetwork(
+                [sa, sb, sc],
+                [movie_correspondences["c3"]],  # SB–SC correspondence
+                graph=graph,
+            )
+
+    def test_accepts_candidate_set(self, movie_schemas, movie_correspondences):
+        candidates = CandidateSet(movie_correspondences.values())
+        network = MatchingNetwork(list(movie_schemas), candidates)
+        assert len(network.candidates) == 5
+
+
+class TestAccessors:
+    def test_correspondences_order(self, movie_network, movie_correspondences):
+        assert movie_network.correspondences == tuple(movie_correspondences.values())
+
+    def test_attributes(self, movie_network):
+        names = {a.qualified_name for a in movie_network.attributes}
+        assert names == {
+            "SA.productionDate",
+            "SB.date",
+            "SC.releaseDate",
+            "SC.screenDate",
+        }
+
+    def test_schema_lookup(self, movie_network):
+        assert movie_network.schema("SA").name == "SA"
+        with pytest.raises(KeyError, match="no schema"):
+            movie_network.schema("SX")
+
+    def test_confidence_passthrough(self, movie_schemas, movie_correspondences):
+        c1 = movie_correspondences["c1"]
+        candidates = CandidateSet([c1], {c1: 0.7})
+        network = MatchingNetwork(list(movie_schemas), candidates)
+        assert network.confidence(c1) == 0.7
+
+    def test_violation_count(self, movie_network):
+        assert movie_network.violation_count() == 4
+
+    def test_stats(self, movie_network):
+        stats = movie_network.stats()
+        assert stats["schemas"] == 3
+        assert stats["attributes_total"] == 4
+        assert stats["correspondences"] == 5
+        assert stats["violations"] == 4
+        assert stats["edges"] == 3
+
+    def test_restricted_to(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        reduced = movie_network.restricted_to([c["c1"], c["c2"]])
+        assert set(reduced.correspondences) == {c["c1"], c["c2"]}
+        assert reduced.violation_count() == 0
+
+    def test_repr(self, movie_network):
+        assert "3 schemas" in repr(movie_network)

@@ -1,0 +1,66 @@
+"""Package-level smoke tests: public API surface and docs examples."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_all_exports_resolve(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_matchers_all_exports_resolve(self):
+        from repro import matchers
+
+        for name in matchers.__all__:
+            assert getattr(matchers, name, None) is not None, name
+
+    def test_datasets_all_exports_resolve(self):
+        from repro import datasets
+
+        for name in datasets.__all__:
+            assert getattr(datasets, name, None) is not None, name
+
+    def test_experiments_all_exports_resolve(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            assert getattr(experiments, name, None) is not None, name
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The README quickstart, verbatim (at a smaller scale)."""
+        import random
+
+        from repro import (
+            InformationGainSelection,
+            MatchingNetwork,
+            ProbabilisticNetwork,
+            ReconciliationSession,
+        )
+        from repro.datasets import business_partner
+        from repro.matchers import coma_like
+
+        corpus = business_partner(scale=0.3, seed=7)
+        candidates = coma_like().match_network(corpus.schemas)
+        network = MatchingNetwork(corpus.schemas, candidates)
+        pnet = ProbabilisticNetwork(
+            network, target_samples=60, rng=random.Random(0)
+        )
+        session = ReconciliationSession(
+            pnet,
+            corpus.oracle(),
+            InformationGainSelection(rng=random.Random(1)),
+        )
+        session.run(effort_budget=0.10)
+        trusted = session.current_matching(rng=random.Random(2))
+        assert network.engine.is_consistent(trusted)

@@ -1,0 +1,98 @@
+"""Unit tests for matcher pipelines (COMA++/AMC stand-ins)."""
+
+import pytest
+
+from repro.core import MatchingNetwork, path_graph
+from repro.core.schema import Schema
+from repro.matchers import PIPELINES, amc_like, coma_like, simple_threshold
+
+
+@pytest.fixture
+def tiny_schemas():
+    s1 = Schema.from_names(
+        "S1", ["orderDate", "customerName", "totalAmount"],
+        {"orderDate": "date", "totalAmount": "decimal"},
+    )
+    s2 = Schema.from_names(
+        "S2", ["order_date", "customer_name", "grand_total"],
+        {"order_date": "date", "grand_total": "decimal"},
+    )
+    s3 = Schema.from_names(
+        "S3", ["orderDate", "custName", "totalAmt"],
+        {"orderDate": "date", "totalAmt": "decimal"},
+    )
+    return [s1, s2, s3]
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(PIPELINES) == {"coma_like", "amc_like", "simple_threshold"}
+
+    def test_builders_produce_pipelines(self):
+        for builder in PIPELINES.values():
+            pipeline = builder()
+            assert hasattr(pipeline, "match_network")
+
+
+class TestMatchPair:
+    def test_finds_obvious_matches(self, tiny_schemas):
+        s1, s2, _ = tiny_schemas
+        candidates = coma_like().match_pair(s1, s2)
+        names = {
+            (corr.source.name, corr.target.name) for corr in candidates
+        }
+        assert ("orderDate", "order_date") in names
+        assert ("customerName", "customer_name") in names
+
+    def test_confidences_in_range(self, tiny_schemas):
+        s1, s2, _ = tiny_schemas
+        candidates = coma_like().match_pair(s1, s2)
+        for corr in candidates:
+            assert 0.0 < candidates.confidence(corr) <= 1.0
+
+    def test_simple_threshold_pipeline(self, tiny_schemas):
+        s1, s2, _ = tiny_schemas
+        candidates = simple_threshold(threshold=0.95).match_pair(s1, s2)
+        names = {(c.source.name, c.target.name) for c in candidates}
+        assert ("orderDate", "order_date") in names
+
+
+class TestMatchNetwork:
+    def test_covers_all_edges_of_complete_graph(self, tiny_schemas):
+        candidates = coma_like().match_network(tiny_schemas)
+        pairs = {corr.schema_pair for corr in candidates}
+        assert pairs == {("S1", "S2"), ("S1", "S3"), ("S2", "S3")}
+
+    def test_respects_interaction_graph(self, tiny_schemas):
+        graph = path_graph(["S1", "S2", "S3"])
+        candidates = coma_like().match_network(tiny_schemas, graph)
+        pairs = {corr.schema_pair for corr in candidates}
+        assert ("S1", "S3") not in pairs
+
+    def test_network_constructible(self, tiny_schemas):
+        candidates = amc_like().match_network(tiny_schemas)
+        network = MatchingNetwork(tiny_schemas, candidates)
+        assert len(network.candidates) == len(candidates)
+
+    def test_both_matchers_produce_violating_candidates(self, bp_fixture):
+        """Both stand-ins emit non-trivial, constraint-violating output on
+        BP, like the paper's COMA and AMC (Table III)."""
+        corpus = bp_fixture.corpus
+        for pipeline in (coma_like(), amc_like()):
+            candidates = pipeline.match_network(corpus.schemas)
+            assert len(candidates) > 0
+            network = MatchingNetwork(corpus.schemas, candidates)
+            assert network.violation_count() > 0
+
+    def test_candidate_quality_on_bp(self, bp_fixture):
+        """Matcher output quality on BP is in the paper's ballpark."""
+        from repro.metrics import precision, recall
+
+        candidates = bp_fixture.network.candidates.correspondences
+        truth = bp_fixture.ground_truth
+        assert precision(candidates, truth) > 0.5
+        assert recall(candidates, truth) > 0.5
+
+    def test_violations_exist_on_bp(self, bp_fixture):
+        """Matcher output violates network constraints (Table III's point)."""
+        assert bp_fixture.network.violation_count() > 0

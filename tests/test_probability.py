@@ -1,0 +1,164 @@
+"""Unit tests for probability estimators and the probabilistic network."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ExactEstimator,
+    MatchingNetwork,
+    ProbabilisticNetwork,
+    SampledEstimator,
+    exact_probabilities,
+)
+
+
+class TestExactEstimator:
+    def test_matches_exact_function(self, movie_network):
+        estimator = ExactEstimator(movie_network)
+        assert estimator.probabilities() == exact_probabilities(movie_network)
+
+    def test_assertion_updates(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        estimator = ExactEstimator(movie_network)
+        estimator.record_assertion(c["c2"], approved=True)
+        probabilities = estimator.probabilities()
+        assert probabilities[c["c2"]] == 1.0
+        assert probabilities[c["c4"]] == 0.0
+
+    def test_cache_invalidation(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        estimator = ExactEstimator(movie_network)
+        before = estimator.probabilities()[c["c5"]]
+        estimator.record_assertion(c["c5"], approved=False)
+        after = estimator.probabilities()[c["c5"]]
+        assert before == pytest.approx(0.5)
+        assert after == 0.0
+
+    def test_feedback_property(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        estimator = ExactEstimator(movie_network)
+        estimator.record_assertion(c["c1"], approved=True)
+        assert c["c1"] in estimator.feedback.approved
+
+
+class TestSampledEstimator:
+    def test_small_network_estimates_exactly(self, movie_network):
+        estimator = SampledEstimator(
+            movie_network, target_samples=60, rng=random.Random(2)
+        )
+        exact = exact_probabilities(movie_network)
+        sampled = estimator.probabilities()
+        for corr, p_exact in exact.items():
+            assert sampled[corr] == pytest.approx(p_exact)
+
+    def test_record_assertion_flows_to_store(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        estimator = SampledEstimator(
+            movie_network, target_samples=60, rng=random.Random(2)
+        )
+        estimator.record_assertion(c["c3"], approved=True)
+        assert estimator.probabilities()[c["c3"]] == 1.0
+        assert all(c["c3"] in s for s in estimator.samples)
+
+
+class TestProbabilisticNetwork:
+    def test_default_estimator_is_sampled(self, movie_network):
+        pnet = ProbabilisticNetwork(movie_network, rng=random.Random(1))
+        assert isinstance(pnet.estimator, SampledEstimator)
+
+    def test_probability_lookup(self, movie_network, movie_correspondences):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        assert 0.0 <= pnet.probability(movie_correspondences["c1"]) <= 1.0
+
+    def test_asserted_invariant_enforced(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        pnet.record_assertion(c["c1"], approved=True)
+        pnet.record_assertion(c["c5"], approved=False)
+        probabilities = pnet.probabilities()
+        assert probabilities[c["c1"]] == 1.0
+        assert probabilities[c["c5"]] == 0.0
+
+    def test_unknown_correspondence_rejected(self, movie_network, movie_schemas):
+        from repro.core import Schema, correspondence
+
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=20, rng=random.Random(1)
+        )
+        sx = Schema.from_names("SX", ["x"])
+        sy = Schema.from_names("SY", ["y"])
+        foreign = correspondence(sx.attribute("x"), sy.attribute("y"))
+        with pytest.raises(KeyError):
+            pnet.record_assertion(foreign, approved=True)
+
+    def test_conflicting_approvals_raise_clearly(
+        self, movie_network, movie_correspondences
+    ):
+        """A (noisy) expert approving two conflicting correspondences gets
+        an explicit error instead of a sampler crash."""
+        from repro.core import InconsistentFeedbackError
+
+        c = movie_correspondences
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        pnet.record_assertion(c["c3"], approved=True)
+        with pytest.raises(InconsistentFeedbackError, match="one-to-one"):
+            pnet.record_assertion(c["c5"], approved=True)
+
+    def test_uncertain_correspondences(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        # All five correspondences have probability 0.5 initially.
+        assert len(pnet.uncertain_correspondences()) == 5
+
+    def test_uncertain_shrinks_with_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        pnet.record_assertion(c["c2"], approved=True)
+        uncertain = pnet.uncertain_correspondences()
+        assert c["c2"] not in uncertain
+        assert c["c4"] not in uncertain  # certain by constraint propagation
+
+    def test_samples_accessor(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(1)
+        )
+        assert len(pnet.samples()) > 0
+
+    def test_samples_accessor_raises_for_exact(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, estimator=ExactEstimator(movie_network)
+        )
+        with pytest.raises(TypeError, match="does not expose samples"):
+            pnet.samples()
+
+    def test_exact_estimator_integration(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        pnet = ProbabilisticNetwork(
+            movie_network, estimator=ExactEstimator(movie_network)
+        )
+        pnet.record_assertion(c["c2"], approved=True)
+        assert pnet.probability(c["c4"]) == 0.0
+
+    def test_sampled_close_to_exact_on_corpus(self, small_fixture):
+        """Sampled probabilities approximate the exact ones on a real corpus."""
+        network = small_fixture.network
+        from repro.experiments.harness import conflicted_subnetwork
+
+        subnetwork = conflicted_subnetwork(network, 14, seed=5)
+        exact = exact_probabilities(subnetwork)
+        pnet = ProbabilisticNetwork(
+            subnetwork, target_samples=300, rng=random.Random(4)
+        )
+        sampled = pnet.probabilities()
+        error = sum(abs(exact[c] - sampled[c]) for c in exact) / len(exact)
+        assert error < 0.1

@@ -1,0 +1,331 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Random networks are generated from scratch: random schemas, random
+candidate correspondences, the default constraint set.  The properties
+cover the load-bearing invariants of the paper's machinery: consistency and
+maximality of instances, repair correctness, sampler validity, entropy
+bounds, and string-metric axioms.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Feedback,
+    InstanceSampler,
+    MatchingNetwork,
+    Schema,
+    binary_entropy,
+    correspondence,
+    enumerate_instances,
+    exact_probabilities,
+    greedy_maximalize,
+    information_gains,
+    is_matching_instance,
+    network_uncertainty,
+    probabilities_from_samples,
+    repair,
+    symmetric_difference_size,
+)
+from repro.matchers.string_metrics import (
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    qgram_similarity,
+)
+from repro.metrics import kl_divergence, precision, recall
+
+# ---------------------------------------------------------------------------
+# Network generator strategy
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw):
+    """A small random matching network with conflict structure."""
+    n_schemas = draw(st.integers(min_value=2, max_value=4))
+    schemas = []
+    for index in range(n_schemas):
+        n_attrs = draw(st.integers(min_value=1, max_value=4))
+        schemas.append(
+            Schema.from_names(f"S{index}", [f"a{j}" for j in range(n_attrs)])
+        )
+    pairs = [
+        (i, j)
+        for i in range(n_schemas)
+        for j in range(i + 1, n_schemas)
+    ]
+    correspondences = set()
+    for left_index, right_index in pairs:
+        left, right = schemas[left_index], schemas[right_index]
+        for left_attr in left:
+            for right_attr in right:
+                if draw(st.booleans()):
+                    correspondences.add(correspondence(left_attr, right_attr))
+    return MatchingNetwork(schemas, sorted(correspondences))
+
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# ---------------------------------------------------------------------------
+# Instance-space invariants
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(random_networks())
+def test_enumerated_instances_are_valid(network):
+    for instance in enumerate_instances(network):
+        assert is_matching_instance(instance, network)
+
+
+@common_settings
+@given(random_networks())
+def test_instances_are_distinct_and_nonempty_space(network):
+    instances = enumerate_instances(network)
+    assert len(instances) >= 1
+    assert len(instances) == len(set(instances))
+
+
+@common_settings
+@given(random_networks())
+def test_exact_probabilities_bounds(network):
+    probabilities = exact_probabilities(network)
+    assert set(probabilities) == set(network.correspondences)
+    for value in probabilities.values():
+        assert 0.0 <= value <= 1.0
+
+
+@common_settings
+@given(random_networks())
+def test_unconflicted_correspondences_certain(network):
+    probabilities = exact_probabilities(network)
+    for corr in network.correspondences:
+        if not network.engine.violations_involving(corr):
+            assert probabilities[corr] == 1.0
+
+
+@common_settings
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_approval_monotonicity(network, seed):
+    """Approving a correspondence never *reduces* other candidates' presence
+    requirement: all surviving instances contain it."""
+    rng = random.Random(seed)
+    uncertain = [
+        corr
+        for corr, p in exact_probabilities(network).items()
+        if 0.0 < p < 1.0
+    ]
+    if not uncertain:
+        return
+    chosen = uncertain[rng.randrange(len(uncertain))]
+    feedback = Feedback(approved=[chosen])
+    for instance in enumerate_instances(network, feedback):
+        assert chosen in instance
+
+
+# ---------------------------------------------------------------------------
+# Repair and maximalisation
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_repair_yields_consistent_instance(network, seed):
+    rng = random.Random(seed)
+    correspondences = list(network.correspondences)
+    if not correspondences:
+        return
+    added = correspondences[rng.randrange(len(correspondences))]
+    base = greedy_maximalize(set(), correspondences, [added], network.engine, rng=rng)
+    base.discard(added)
+    repaired = repair(base, added, [], network.engine, rng=rng)
+    assert network.engine.is_consistent(repaired)
+    assert added in repaired
+
+
+@common_settings
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_greedy_maximalize_is_maximal_and_consistent(network, seed):
+    rng = random.Random(seed)
+    maximal = greedy_maximalize(
+        set(), network.correspondences, [], network.engine, rng=rng
+    )
+    assert network.engine.is_consistent(maximal)
+    assert network.engine.is_maximal(maximal)
+
+
+# ---------------------------------------------------------------------------
+# Sampler invariants
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_sampler_emits_matching_instances(network, seed):
+    sampler = InstanceSampler(network, rng=random.Random(seed))
+    for sample in sampler.sample(8):
+        assert is_matching_instance(sample, network)
+
+
+@common_settings
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_sampled_instances_subset_of_exact_space(network, seed):
+    sampler = InstanceSampler(network, rng=random.Random(seed))
+    space = set(enumerate_instances(network))
+    for sample in sampler.sample(8):
+        assert sample in space
+
+
+# ---------------------------------------------------------------------------
+# Entropy / information-gain invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_binary_entropy_bounds(p):
+    assert 0.0 <= binary_entropy(p) <= 1.0
+
+
+@common_settings
+@given(random_networks())
+def test_information_gain_bounded_by_entropy(network):
+    instances = enumerate_instances(network)
+    probabilities = probabilities_from_samples(instances, network.correspondences)
+    uncertainty = network_uncertainty(probabilities)
+    gains = information_gains(instances, network.correspondences)
+    for gain in gains.values():
+        assert 0.0 <= gain <= uncertainty + 1e-9
+
+
+@common_settings
+@given(random_networks())
+def test_kl_divergence_nonnegative_and_zero_on_self(network):
+    probabilities = exact_probabilities(network)
+    assert kl_divergence(probabilities, dict(probabilities)) <= 1e-9
+    shifted = {
+        corr: min(1.0, max(0.0, p * 0.7 + 0.1))
+        for corr, p in probabilities.items()
+    }
+    assert kl_divergence(probabilities, shifted) >= -1e-12
+
+
+# ---------------------------------------------------------------------------
+# Metric axioms
+# ---------------------------------------------------------------------------
+
+identifiers = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(identifiers, identifiers)
+def test_levenshtein_symmetry(left, right):
+    assert levenshtein_distance(left, right) == levenshtein_distance(right, left)
+
+
+@settings(max_examples=80, deadline=None)
+@given(identifiers)
+def test_levenshtein_identity(text):
+    assert levenshtein_distance(text, text) == 0
+    assert levenshtein_similarity(text, text) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(identifiers, identifiers, identifiers)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(identifiers, identifiers)
+def test_similarity_ranges(left, right):
+    for value in (
+        levenshtein_similarity(left, right),
+        jaro_similarity(left, right),
+        jaro_winkler_similarity(left, right),
+        qgram_similarity(left, right),
+    ):
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(identifiers, identifiers)
+def test_jaro_symmetry(left, right):
+    assert jaro_similarity(left, right) == jaro_similarity(right, left)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(identifiers, max_size=6),
+    st.lists(identifiers, max_size=6),
+)
+def test_jaccard_bounds_and_symmetry(left, right):
+    value = jaccard_similarity(left, right)
+    assert 0.0 <= value <= 1.0
+    assert value == jaccard_similarity(right, left)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=30), max_size=12),
+    st.sets(st.integers(min_value=0, max_value=30), max_size=12),
+)
+def test_precision_recall_bounds(predicted, truth):
+    assert 0.0 <= precision(predicted, truth) <= 1.0
+    assert 0.0 <= recall(predicted, truth) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), max_size=10),
+    st.sets(st.integers(min_value=0, max_value=20), max_size=10),
+)
+def test_symmetric_difference_axioms(left, right):
+    left_c = frozenset(f"x{i}" for i in left)
+    right_c = frozenset(f"x{i}" for i in right)
+    assert symmetric_difference_size(left_c, right_c) == symmetric_difference_size(
+        right_c, left_c
+    )
+    assert symmetric_difference_size(left_c, left_c) == 0
+
+
+# ---------------------------------------------------------------------------
+# Tokenization invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(identifiers)
+def test_tokenize_is_deterministic_and_lowercase(name):
+    from repro.matchers.tokenization import tokenize
+
+    first = tokenize(name)
+    second = tokenize(name)
+    assert first == second
+    assert all(t == t.lower() for t in first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(identifiers.filter(bool), min_size=1, max_size=4))
+def test_segmentation_covers_all_characters(words):
+    from repro.matchers.tokenization import segment_token
+
+    token = "".join(words)
+    pieces = segment_token(token, frozenset(words))
+    assert "".join(pieces) == token

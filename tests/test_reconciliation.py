@@ -1,0 +1,130 @@
+"""Unit tests for the pay-as-you-go reconciliation session (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    InformationGainSelection,
+    ProbabilisticNetwork,
+    RandomSelection,
+    ReconciliationSession,
+)
+
+
+@pytest.fixture
+def session(movie_network, movie_oracle):
+    pnet = ProbabilisticNetwork(
+        movie_network, target_samples=60, rng=random.Random(17)
+    )
+    return ReconciliationSession(
+        pnet, movie_oracle, InformationGainSelection(rng=random.Random(5))
+    )
+
+
+class TestStep:
+    def test_step_records_trace(self, session):
+        record = session.step()
+        assert record is not None
+        assert record.index == 1
+        assert session.trace.steps == [record]
+        assert 0.0 < record.effort <= 1.0
+
+    def test_step_changes_feedback(self, session):
+        record = session.step()
+        assert session.pnet.feedback.is_asserted(record.correspondence)
+
+    def test_oracle_verdict_matches_truth(self, session, movie_truth):
+        record = session.step()
+        assert record.approved == (record.correspondence in movie_truth)
+
+    def test_steps_exhaust_to_none(self, session):
+        for _ in range(5):
+            session.step()
+        assert session.step() is None
+
+
+class TestRun:
+    def test_run_to_completion(self, session):
+        trace = session.run()
+        assert session.is_done()
+        assert session.uncertainty() == pytest.approx(0.0)
+
+    def test_budget_limits_steps(self, session):
+        session.run(budget=2)
+        assert len(session.trace.steps) == 2
+
+    def test_effort_budget(self, session):
+        session.run(effort_budget=0.4)  # 2 of 5 correspondences
+        assert len(session.trace.steps) == 2
+
+    def test_uncertainty_goal(self, session):
+        session.run(uncertainty_goal=0.0)
+        assert session.uncertainty() <= 0.0 + 1e-12
+
+    def test_uncertainty_decreases_monotonically_with_ig(self, session):
+        trace = session.run()
+        values = trace.uncertainties
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_final_matching_equals_truth(self, session, movie_truth):
+        session.run()
+        matching = session.current_matching(rng=random.Random(3))
+        assert matching == movie_truth
+
+
+class TestTrace:
+    def test_initial_entries(self, session):
+        assert session.trace.efforts[0] == 0.0
+        assert session.trace.uncertainties[0] == session.trace.initial_uncertainty
+
+    def test_effort_to_reach(self, session):
+        session.run()
+        effort = session.trace.effort_to_reach(0.0)
+        assert effort is not None
+        assert 0.0 < effort <= 1.0
+
+    def test_effort_to_reach_unreachable(self, session):
+        assert session.trace.effort_to_reach(-1.0) is None
+
+
+class TestStrategies:
+    def test_random_session_completes(self, movie_network, movie_oracle):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(23)
+        )
+        session = ReconciliationSession(
+            pnet, movie_oracle, RandomSelection(rng=random.Random(2))
+        )
+        session.run()
+        assert session.uncertainty() == pytest.approx(0.0)
+        # Random asserts every correspondence.
+        assert len(session.trace.steps) == 5
+
+    def test_default_strategy_is_random(self, movie_network, movie_oracle):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(23)
+        )
+        session = ReconciliationSession(pnet, movie_oracle)
+        assert isinstance(session.strategy, RandomSelection)
+
+    def test_ig_more_efficient_than_random_on_movie(self, movie_network, movie_oracle):
+        """IG needs at most as many assertions as Random to kill uncertainty."""
+
+        def steps_to_zero(strategy_cls, seed):
+            pnet = ProbabilisticNetwork(
+                movie_network, target_samples=60, rng=random.Random(seed)
+            )
+            from repro.core import Oracle
+
+            oracle = Oracle(movie_oracle.selective_matching)
+            session = ReconciliationSession(
+                pnet, oracle, strategy_cls(rng=random.Random(seed + 1))
+            )
+            while session.uncertainty() > 0 and session.step() is not None:
+                pass
+            return len(session.trace.steps)
+
+        ig = steps_to_zero(InformationGainSelection, 31)
+        rnd = steps_to_zero(RandomSelection, 31)
+        assert ig <= rnd

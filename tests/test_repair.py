@@ -1,0 +1,159 @@
+"""Unit tests for the greedy repair routine (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Feedback,
+    MatchingNetwork,
+    Schema,
+    UnrepairableError,
+    correspondence,
+    greedy_maximalize,
+    repair,
+)
+
+
+class TestRepair:
+    def test_no_violation_keeps_everything(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        repaired = repair({c["c1"], c["c2"]}, c["c3"], [], movie_network.engine)
+        assert repaired == {c["c1"], c["c2"], c["c3"]}
+
+    def test_resolves_one_to_one(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        repaired = repair({c["c3"]}, c["c5"], [], movie_network.engine)
+        assert movie_network.engine.is_consistent(repaired)
+        assert c["c5"] in repaired  # the added correspondence is protected
+
+    def test_resolves_cycle_violation(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        repaired = repair({c["c1"], c["c2"]}, c["c5"], [], movie_network.engine)
+        assert movie_network.engine.is_consistent(repaired)
+        assert c["c5"] in repaired
+
+    def test_protects_approved(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        repaired = repair(
+            {c["c3"]}, c["c5"], approved=[c["c3"]], engine=movie_network.engine
+        )
+        # c3 is protected, so the added c5 must be sacrificed.
+        assert c["c3"] in repaired
+        assert c["c5"] not in repaired
+        assert movie_network.engine.is_consistent(repaired)
+
+    def test_unrepairable_raises(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        with pytest.raises(UnrepairableError):
+            repair(
+                {c["c3"]},
+                c["c5"],
+                approved=[c["c3"], c["c5"]],
+                engine=movie_network.engine,
+            )
+
+    def test_greedy_removes_most_violating(self):
+        # One attribute matched to three attributes of the same schema:
+        # adding a fourth conflicting match must remove the hub, not the
+        # leaves... here the added correspondence conflicts with all three
+        # existing ones pairwise, so each existing one has count 1 and the
+        # added one has count 3 — protected; greedy removes existing ones
+        # one by one.
+        s1 = Schema.from_names("S1", ["a"])
+        s2 = Schema.from_names("S2", ["w", "x", "y", "z"])
+        a = s1.attribute("a")
+        existing = [
+            correspondence(a, s2.attribute("w")),
+            correspondence(a, s2.attribute("x")),
+            correspondence(a, s2.attribute("y")),
+        ]
+        added = correspondence(a, s2.attribute("z"))
+        network = MatchingNetwork([s1, s2], existing + [added])
+        repaired = repair(existing, added, [], network.engine)
+        assert repaired == {added}
+
+    def test_deterministic_without_rng(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        results = {
+            frozenset(repair({c["c3"]}, c["c5"], [], movie_network.engine))
+            for _ in range(5)
+        }
+        assert len(results) == 1
+
+    def test_assume_consistent_false_repairs_arbitrary_input(
+        self, movie_network, movie_correspondences
+    ):
+        c = movie_correspondences
+        # {c3, c5} is already inconsistent before adding c1.
+        repaired = repair(
+            {c["c3"], c["c5"]},
+            c["c1"],
+            [],
+            movie_network.engine,
+            assume_consistent=False,
+        )
+        assert movie_network.engine.is_consistent(repaired)
+        assert c["c1"] in repaired
+
+    def test_rng_tie_breaking_varies(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        outcomes = set()
+        for seed in range(20):
+            repaired = repair(
+                {c["c2"], c["c1"]},
+                c["c5"],
+                [],
+                movie_network.engine,
+                rng=random.Random(seed),
+            )
+            outcomes.add(frozenset(repaired))
+        # The cycle violation {c1,c2,c5} can be fixed by dropping c1 or c2.
+        assert len(outcomes) >= 2
+
+
+class TestGreedyMaximalize:
+    def test_extends_to_maximal(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        maximal = greedy_maximalize(
+            {c["c1"]},
+            movie_network.correspondences,
+            disapproved=[],
+            engine=movie_network.engine,
+        )
+        assert movie_network.engine.is_maximal(maximal)
+        assert c["c1"] in maximal
+
+    def test_respects_disapproved(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        maximal = greedy_maximalize(
+            set(),
+            movie_network.correspondences,
+            disapproved=[c["c1"], c["c2"], c["c3"]],
+            engine=movie_network.engine,
+        )
+        assert not maximal & {c["c1"], c["c2"], c["c3"]}
+        assert movie_network.engine.is_maximal(
+            maximal, excluded={c["c1"], c["c2"], c["c3"]}
+        )
+
+    def test_keeps_consistency(self, movie_network, movie_correspondences, rng):
+        for _ in range(10):
+            maximal = greedy_maximalize(
+                set(),
+                movie_network.correspondences,
+                disapproved=[],
+                engine=movie_network.engine,
+                rng=rng,
+            )
+            assert movie_network.engine.is_consistent(maximal)
+
+    def test_already_maximal_unchanged(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        start = {c["c1"], c["c2"], c["c3"]}
+        assert (
+            greedy_maximalize(
+                start, movie_network.correspondences, [], movie_network.engine
+            )
+            == start
+        )

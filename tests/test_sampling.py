@@ -1,0 +1,171 @@
+"""Unit tests for the non-uniform sampler and the view-maintained store."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Feedback,
+    InstanceSampler,
+    MatchingNetwork,
+    SampleStore,
+    enumerate_instances,
+    is_matching_instance,
+    symmetric_difference_size,
+)
+
+
+class TestSymmetricDifference:
+    def test_disjoint(self, movie_correspondences):
+        c = movie_correspondences
+        assert symmetric_difference_size([c["c1"]], [c["c2"]]) == 2
+
+    def test_identical(self, movie_correspondences):
+        c = movie_correspondences
+        assert symmetric_difference_size([c["c1"]], [c["c1"]]) == 0
+
+    def test_partial_overlap(self, movie_correspondences):
+        c = movie_correspondences
+        assert (
+            symmetric_difference_size([c["c1"], c["c2"]], [c["c2"], c["c3"]]) == 2
+        )
+
+    def test_empty_sets(self):
+        assert symmetric_difference_size([], []) == 0
+
+
+class TestInstanceSampler:
+    def test_samples_are_matching_instances(self, movie_network, rng):
+        sampler = InstanceSampler(movie_network, rng=rng)
+        for sample in sampler.sample(30):
+            assert is_matching_instance(sample, movie_network)
+
+    def test_samples_distinct(self, movie_network, rng):
+        sampler = InstanceSampler(movie_network, rng=rng)
+        samples = sampler.sample(50)
+        assert len(samples) == len(set(samples))
+
+    def test_covers_instance_space(self, movie_network, rng):
+        sampler = InstanceSampler(movie_network, walk_steps=8, rng=rng)
+        samples = set(sampler.sample(100))
+        assert samples == set(enumerate_instances(movie_network))
+
+    def test_respects_feedback(self, movie_network, movie_correspondences, rng):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c3"]])
+        sampler = InstanceSampler(movie_network, rng=rng)
+        for sample in sampler.sample(25, feedback):
+            assert c["c1"] in sample
+            assert c["c3"] not in sample
+
+    def test_rejects_bad_walk_steps(self, movie_network):
+        with pytest.raises(ValueError, match="walk_steps"):
+            InstanceSampler(movie_network, walk_steps=0)
+
+    def test_rejects_bad_restart_probability(self, movie_network):
+        with pytest.raises(ValueError, match="restart_probability"):
+            InstanceSampler(movie_network, restart_probability=1.5)
+
+    def test_restarts_preserve_instance_validity(self, movie_network):
+        sampler = InstanceSampler(
+            movie_network, restart_probability=0.5, rng=random.Random(6)
+        )
+        for sample in sampler.sample(25):
+            assert is_matching_instance(sample, movie_network)
+
+    def test_restarts_respect_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]])
+        sampler = InstanceSampler(
+            movie_network, restart_probability=0.5, rng=random.Random(6)
+        )
+        for sample in sampler.sample(25, feedback):
+            assert c["c1"] in sample
+
+    def test_deterministic_with_seed(self, movie_network):
+        left = InstanceSampler(movie_network, rng=random.Random(3)).sample(20)
+        right = InstanceSampler(movie_network, rng=random.Random(3)).sample(20)
+        assert left == right
+
+    def test_sampling_on_conflict_free_network(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        network = MatchingNetwork(
+            list(movie_schemas), [c["c1"], c["c2"], c["c3"]]
+        )
+        sampler = InstanceSampler(network, rng=random.Random(0))
+        samples = sampler.sample(10)
+        assert set(samples) == {frozenset({c["c1"], c["c2"], c["c3"]})}
+
+
+class TestSampleStore:
+    def test_fills_on_construction(self, movie_network, rng):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        # Only 4 instances exist; the store discovers all of them and then
+        # detects exhaustion.
+        assert set(store.samples) == set(enumerate_instances(movie_network))
+        assert store.exhausted
+
+    def test_rejects_bad_target(self, movie_network):
+        with pytest.raises(ValueError, match="target_samples"):
+            SampleStore(movie_network, target_samples=0)
+
+    def test_frequencies_sum_matches_instances(self, movie_network, rng):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        frequencies = store.frequencies()
+        # With all four instances discovered, every correspondence has the
+        # exact probability 0.5 except c1 (0.5 too — in 2 of 4 instances).
+        for value in frequencies.values():
+            assert value == pytest.approx(0.5)
+
+    def test_approval_filters_samples(self, movie_network, movie_correspondences, rng):
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        store.record_assertion(c["c2"], approved=True)
+        assert all(c["c2"] in s for s in store.samples)
+
+    def test_disapproval_filters_samples(self, movie_network, movie_correspondences, rng):
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        store.record_assertion(c["c2"], approved=False)
+        assert all(c["c2"] not in s for s in store.samples)
+
+    def test_asserted_frequencies_binary(self, movie_network, movie_correspondences, rng):
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        store.record_assertion(c["c2"], approved=True)
+        frequencies = store.frequencies()
+        assert frequencies[c["c2"]] == 1.0
+        assert frequencies[c["c4"]] == 0.0  # one-to-one conflict with c2
+
+    def test_exhausted_store_stays_consistent_under_feedback(
+        self, movie_network, movie_correspondences, rng
+    ):
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        assert store.exhausted
+        store.record_assertion(c["c1"], approved=True)
+        expected = {
+            i
+            for i in enumerate_instances(movie_network)
+            if c["c1"] in i
+        }
+        assert set(store.samples) == expected
+
+    def test_larger_network_tops_up(self, small_fixture):
+        store = SampleStore(
+            small_fixture.network,
+            target_samples=40,
+            rng=random.Random(5),
+        )
+        initial = len(store)
+        assert initial > 0
+        # Assert the most frequent correspondence; store must stay usable.
+        frequencies = store.frequencies()
+        target = max(frequencies, key=frequencies.get)
+        store.record_assertion(target, approved=True)
+        assert len(store) > 0
+        assert all(target in s for s in store.samples)
+
+    def test_len(self, movie_network, rng):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        assert len(store) == len(store.samples)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.schema."""
+
+import pytest
+
+from repro.core.schema import Attribute, Schema, validate_disjoint
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        attr = Attribute("S1", "price")
+        assert attr.qualified_name == "S1.price"
+
+    def test_equality_ignores_data_type(self):
+        assert Attribute("S", "a", "string") == Attribute("S", "a", "date")
+
+    def test_hash_ignores_data_type(self):
+        assert hash(Attribute("S", "a", "string")) == hash(Attribute("S", "a"))
+
+    def test_inequality_different_schema(self):
+        assert Attribute("S1", "a") != Attribute("S2", "a")
+
+    def test_inequality_different_name(self):
+        assert Attribute("S", "a") != Attribute("S", "b")
+
+    def test_not_equal_to_other_types(self):
+        assert Attribute("S", "a") != "S.a"
+
+    def test_ordering_by_schema_then_name(self):
+        attrs = [Attribute("S2", "a"), Attribute("S1", "b"), Attribute("S1", "a")]
+        ordered = sorted(attrs)
+        assert [a.qualified_name for a in ordered] == ["S1.a", "S1.b", "S2.a"]
+
+    def test_ordering_operators(self):
+        low, high = Attribute("S1", "a"), Attribute("S2", "a")
+        assert low < high
+        assert low <= high
+        assert high > low
+        assert high >= low
+        assert low <= Attribute("S1", "a")
+
+    def test_usable_as_dict_key(self):
+        table = {Attribute("S", "a"): 1}
+        assert table[Attribute("S", "a", data_type="date")] == 1
+
+    def test_str_and_repr(self):
+        attr = Attribute("S", "a", "date")
+        assert str(attr) == "S.a"
+        assert "date" in repr(attr)
+
+
+class TestSchema:
+    def test_from_names_preserves_order(self):
+        schema = Schema.from_names("S", ["b", "a", "c"])
+        assert [a.name for a in schema] == ["b", "a", "c"]
+
+    def test_from_names_with_types(self):
+        schema = Schema.from_names("S", ["a"], {"a": "date"})
+        assert schema.attribute("a").data_type == "date"
+
+    def test_len(self):
+        assert len(Schema.from_names("S", ["a", "b"])) == 2
+
+    def test_add_rejects_foreign_attribute(self):
+        schema = Schema("S")
+        with pytest.raises(ValueError, match="does not belong"):
+            schema.add(Attribute("T", "a"))
+
+    def test_add_rejects_duplicate(self):
+        schema = Schema.from_names("S", ["a"])
+        with pytest.raises(ValueError, match="duplicate"):
+            schema.add(Attribute("S", "a"))
+
+    def test_attribute_lookup(self):
+        schema = Schema.from_names("S", ["a"])
+        assert schema.attribute("a").schema == "S"
+
+    def test_attribute_lookup_missing_raises(self):
+        schema = Schema.from_names("S", ["a"])
+        with pytest.raises(KeyError, match="no attribute"):
+            schema.attribute("zz")
+
+    def test_contains_attribute_object(self):
+        schema = Schema.from_names("S", ["a"])
+        assert Attribute("S", "a") in schema
+        assert Attribute("S", "b") not in schema
+        assert Attribute("T", "a") not in schema
+
+    def test_contains_name_string(self):
+        schema = Schema.from_names("S", ["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_contains_other_type_false(self):
+        assert 42 not in Schema.from_names("S", ["a"])
+
+    def test_equality(self):
+        assert Schema.from_names("S", ["a", "b"]) == Schema.from_names("S", ["a", "b"])
+        assert Schema.from_names("S", ["a"]) != Schema.from_names("S", ["b"])
+        assert Schema.from_names("S", ["a"]) != Schema.from_names("T", ["a"])
+
+    def test_hashable(self):
+        assert hash(Schema.from_names("S", ["a"])) == hash(Schema.from_names("S", ["a"]))
+
+    def test_attributes_tuple(self):
+        schema = Schema.from_names("S", ["a", "b"])
+        assert schema.attributes == (Attribute("S", "a"), Attribute("S", "b"))
+
+
+class TestValidateDisjoint:
+    def test_accepts_unique_names(self):
+        validate_disjoint([Schema("A"), Schema("B")])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate schema name"):
+            validate_disjoint([Schema("A"), Schema("A")])

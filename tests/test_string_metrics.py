@@ -1,0 +1,173 @@
+"""Unit tests for the from-scratch string similarity metrics."""
+
+import pytest
+
+from repro.matchers.string_metrics import (
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    longest_common_substring,
+    monge_elkan_similarity,
+    prefix_similarity,
+    qgram_similarity,
+    qgrams,
+    suffix_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein_distance("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcd", "badc") == levenshtein_distance(
+            "badc", "abcd"
+        )
+
+    def test_similarity_range(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_similarity_value(self):
+        assert levenshtein_similarity("date", "gate") == pytest.approx(0.75)
+
+
+class TestJaro:
+    def test_identity(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_no_match(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("", "") == 1.0
+
+    def test_winkler_boosts_prefix(self):
+        base = jaro_similarity("prefixxyz", "prefixabc")
+        boosted = jaro_winkler_similarity("prefixxyz", "prefixabc")
+        assert boosted > base
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_winkler_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+
+class TestQGrams:
+    def test_padded_grams(self):
+        grams = qgrams("ab", q=2)
+        assert grams == ["#a", "ab", "b#"]
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_similarity_identity(self):
+        assert qgram_similarity("hello", "hello") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert qgram_similarity("aaa", "zzz") == 0.0
+
+    def test_similarity_empty(self):
+        assert qgram_similarity("", "") == 1.0
+
+    def test_multiset_semantics(self):
+        # Repeated grams must not inflate overlap.
+        assert qgram_similarity("aa", "aaaa") < 1.0
+
+
+class TestTokenOverlap:
+    def test_jaccard(self):
+        assert jaccard_similarity(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_jaccard_identity(self):
+        assert jaccard_similarity(["a"], ["a"]) == 1.0
+
+    def test_jaccard_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+        assert jaccard_similarity(["a"], []) == 0.0
+
+    def test_dice(self):
+        assert dice_similarity(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+
+    def test_dice_empty(self):
+        assert dice_similarity([], []) == 1.0
+        assert dice_similarity(["a"], []) == 0.0
+
+
+class TestSubstring:
+    def test_longest_common_substring(self):
+        assert longest_common_substring("release", "lease") == 5
+
+    def test_no_overlap(self):
+        assert longest_common_substring("abc", "xyz") == 0
+
+    def test_empty(self):
+        assert longest_common_substring("", "abc") == 0
+
+    def test_lcs_similarity(self):
+        assert lcs_similarity("lease", "release") == 1.0
+        assert lcs_similarity("", "") == 1.0
+        assert lcs_similarity("", "a") == 0.0
+
+
+class TestMongeElkan:
+    def test_identity(self):
+        assert monge_elkan_similarity(["first", "name"], ["first", "name"]) == 1.0
+
+    def test_reordering_tolerated(self):
+        score = monge_elkan_similarity(["name", "first"], ["first", "name"])
+        assert score == 1.0
+
+    def test_partial(self):
+        score = monge_elkan_similarity(["first", "name"], ["last", "name"])
+        assert 0.0 < score < 1.0
+
+    def test_empty(self):
+        assert monge_elkan_similarity([], []) == 1.0
+        assert monge_elkan_similarity(["a"], []) == 0.0
+
+    def test_symmetric(self):
+        left = ["billing", "address"]
+        right = ["address"]
+        assert monge_elkan_similarity(left, right) == pytest.approx(
+            monge_elkan_similarity(right, left)
+        )
+
+
+class TestPrefixSuffix:
+    def test_prefix(self):
+        assert prefix_similarity("orderdate", "orderid") == pytest.approx(5 / 7)
+
+    def test_suffix(self):
+        assert suffix_similarity("orderdate", "shipdate") == pytest.approx(4 / 8)
+
+    def test_empty(self):
+        assert prefix_similarity("", "") == 1.0
+        assert prefix_similarity("", "a") == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for identifier tokenization and segmentation."""
+
+from repro.matchers.lexicon import LEXICON
+from repro.matchers.tokenization import (
+    expand_abbreviations,
+    normalize,
+    segment_token,
+    split_identifier,
+    strip_widget_prefix,
+    tokenize,
+)
+
+
+class TestSplitIdentifier:
+    def test_camel_case(self):
+        assert split_identifier("billingAddressLine1") == [
+            "billing",
+            "address",
+            "line",
+            "1",
+        ]
+
+    def test_snake_case(self):
+        assert split_identifier("PO_total_amt") == ["po", "total", "amt"]
+
+    def test_kebab_case(self):
+        assert split_identifier("first-name") == ["first", "name"]
+
+    def test_spaces(self):
+        assert split_identifier("zip code") == ["zip", "code"]
+
+    def test_acronym_boundary(self):
+        assert split_identifier("IBANNumber") == ["iban", "number"]
+
+    def test_digit_boundaries(self):
+        assert split_identifier("line1") == ["line", "1"]
+        assert split_identifier("2ndLine") == ["2", "nd", "line"]
+
+    def test_empty(self):
+        assert split_identifier("") == []
+
+    def test_punctuation_only(self):
+        assert split_identifier("__--") == []
+
+
+class TestWidgetPrefix:
+    def test_strips_known_prefix(self):
+        assert strip_widget_prefix(["txt", "name"]) == ["name"]
+
+    def test_keeps_lone_prefix(self):
+        assert strip_widget_prefix(["txt"]) == ["txt"]
+
+    def test_no_prefix(self):
+        assert strip_widget_prefix(["name"]) == ["name"]
+
+
+class TestAbbreviations:
+    def test_single_word(self):
+        assert expand_abbreviations(["qty"]) == ["quantity"]
+
+    def test_multi_word(self):
+        assert expand_abbreviations(["dob"]) == ["birth", "date"]
+
+    def test_untouched(self):
+        assert expand_abbreviations(["name"]) == ["name"]
+
+    def test_mixed(self):
+        assert expand_abbreviations(["cust", "addr"]) == ["customer", "address"]
+
+
+class TestSegmentation:
+    def test_splits_concatenation(self):
+        assert segment_token("billingstate", LEXICON) == ["billing", "state"]
+
+    def test_lexicon_word_unchanged(self):
+        assert segment_token("street", LEXICON) == ["street"]
+
+    def test_unsegmentable_unchanged(self):
+        assert segment_token("xqzwv", LEXICON) == ["xqzwv"]
+
+    def test_prefers_fewest_pieces(self):
+        # "postcode" is itself a lexicon word, so no split happens.
+        assert segment_token("postcode", LEXICON) == ["postcode"]
+
+    def test_three_way_split(self):
+        assert segment_token("purchaseordernumber", LEXICON) == [
+            "purchase",
+            "order",
+            "number",
+        ]
+
+    def test_short_token_skipped(self):
+        assert segment_token("ab", LEXICON) == ["ab"]
+
+
+class TestTokenize:
+    def test_full_pipeline(self):
+        assert tokenize("txtCustAddr") == ["customer", "address"]
+
+    def test_segments_lower_concatenation(self):
+        assert tokenize("billingstate") == ["billing", "state"]
+
+    def test_style_invariance(self):
+        """All naming conventions must produce the same token sequence."""
+        variants = [
+            "firstName",
+            "first_name",
+            "first-name",
+            "FirstName",
+            "firstname",
+            "first name",
+        ]
+        token_sequences = {tuple(tokenize(v)) for v in variants}
+        assert token_sequences == {("first", "name")}
+
+    def test_abbreviation_style_invariance(self):
+        assert tokenize("dob") == tokenize("birth_date") == ["birth", "date"]
+
+    def test_expand_false(self):
+        assert tokenize("qty", expand=False) == ["qty"]
+
+    def test_custom_lexicon(self):
+        assert tokenize("foobar", lexicon=frozenset({"foo", "bar"})) == [
+            "foo",
+            "bar",
+        ]
+
+
+class TestNormalize:
+    def test_concatenates(self):
+        assert normalize("Cust_Addr") == "customeraddress"
+
+    def test_style_invariance(self):
+        assert normalize("zip_code") == normalize("zipCode") == "zipcode"
