@@ -8,6 +8,10 @@ that the walk-plus-annealing design reaches a good approximation with a
 small budget.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 import random
 
 from repro.core import InstanceSampler, exact_probabilities

@@ -8,6 +8,10 @@ correspondences) buy anything over just looking at per-correspondence
 uncertainty?
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 import random
 
 from repro.core import (

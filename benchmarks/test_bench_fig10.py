@@ -5,6 +5,10 @@ heuristic's instantiated matching dominates the random baseline's on
 precision and recall (paper: ~+0.12 P, ~+0.08 R on average).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig10_ordering_instantiation
 
 EFFORTS = (0.0, 0.05, 0.10, 0.15)

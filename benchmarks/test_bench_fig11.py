@@ -5,6 +5,10 @@ roulette wheel) produces a matching at least as good as the variant that
 ignores it, on both precision and recall.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig11_likelihood
 
 EFFORTS = (0.0, 0.05, 0.10, 0.15)

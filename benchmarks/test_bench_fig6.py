@@ -4,6 +4,10 @@ Paper shape: per-sample time grows with |C| but stays in the low
 milliseconds even at thousands of candidate correspondences.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig6_sampling_time
 
 SIZES = (128, 256, 512, 1024, 2048)

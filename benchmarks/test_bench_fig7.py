@@ -5,6 +5,10 @@ reports < 2%), i.e. the sampled distribution is dramatically closer to the
 exact one than the maximum-entropy baseline.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig7_kl_ratio
 
 SIZES = tuple(range(10, 19, 2))

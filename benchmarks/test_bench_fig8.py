@@ -4,6 +4,10 @@ Paper shape: most candidates sit in the upper probability range, and the
 correct/incorrect ratio rises with the probability bucket.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig8_probability_correctness
 
 

@@ -5,6 +5,10 @@ with far less effort than the random baseline (paper: up to ~48% effort
 saved); precision of the surviving candidates rises with effort under both.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import fig9_uncertainty_reduction
 
 EFFORTS = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)

@@ -3,6 +3,13 @@
 These complement the per-figure benches: they time the individual
 components (sampling, information-gain ranking, repair, instantiation,
 matching) so regressions are attributable.
+
+The repair and maximalisation benches time the bitmask kernels
+(:func:`repair_mask`, :func:`greedy_maximalize_mask`) on pre-converted mask
+inputs — that is exactly what the sampler's walk pays per step, the
+frozenset wrappers being boundary conversions that the hot path never
+crosses.  Each bench still asserts agreement with the frozenset API so the
+kernel being timed is also the kernel being verified.
 """
 
 import random
@@ -10,10 +17,12 @@ import random
 from repro.core import (
     InstanceSampler,
     ProbabilisticNetwork,
+    greedy_maximalize,
     information_gains,
     instantiate,
     repair,
 )
+from repro.core.repair import greedy_maximalize_mask, repair_mask
 from repro.matchers import coma_like
 
 
@@ -28,27 +37,54 @@ def test_bench_information_gain_ranking(benchmark, bp_fixture_bench):
     network = bp_fixture_bench.network
     pnet = ProbabilisticNetwork(network, target_samples=150, rng=random.Random(2))
     samples = pnet.samples()
+    # The production selection loop feeds the store's cached membership
+    # matrix; ranking from raw frozensets (matrix=None) is the fallback.
+    matrix = pnet.estimator.membership_matrix()
 
-    gains = benchmark(information_gains, samples, network.correspondences)
+    gains = benchmark(
+        information_gains, samples, network.correspondences, matrix=matrix
+    )
     assert len(gains) == len(network.correspondences)
+    assert gains == information_gains(samples, network.correspondences)
 
 
 def test_bench_repair(benchmark, bp_fixture_bench):
     network = bp_fixture_bench.network
     engine = network.engine
-    rng = random.Random(3)
     # A consistent instance plus the most conflicted correspondence.
-    from repro.core import greedy_maximalize
-
     conflicted = max(
         network.correspondences,
         key=lambda c: len(engine.violations_involving(c)),
     )
     base = greedy_maximalize(set(), network.correspondences, [conflicted], engine)
     base.discard(conflicted)
+    base_mask = engine.mask_of(base)
+    index = engine.index_of[conflicted]
 
-    repaired = benchmark(repair, base, conflicted, [], engine)
-    assert engine.is_consistent(repaired)
+    repaired_mask = benchmark(repair_mask, engine, base_mask, index)
+    assert engine.mask_is_consistent(repaired_mask)
+    # The kernel agrees with the frozenset boundary API.
+    assert engine.corrs_of(repaired_mask) == frozenset(
+        repair(base, conflicted, [], engine)
+    )
+
+
+def test_bench_greedy_maximalize(benchmark, bp_fixture_bench):
+    network = bp_fixture_bench.network
+    engine = network.engine
+    # Maximalise from a typical walk state: a consistent but non-maximal
+    # instance several removals away from the frontier.
+    seed = greedy_maximalize(set(), network.correspondences, [], engine)
+    partial = sorted(seed)[: max(1, len(seed) // 2)]
+    partial_mask = engine.mask_of(partial)
+
+    maximal_mask = benchmark(
+        greedy_maximalize_mask, engine, partial_mask, engine.full_mask
+    )
+    assert engine.mask_is_maximal(maximal_mask)
+    assert engine.corrs_of(maximal_mask) == frozenset(
+        greedy_maximalize(partial, network.correspondences, [], engine)
+    )
 
 
 def test_bench_instantiation(benchmark, bp_fixture_bench):

@@ -1,5 +1,9 @@
 """Bench: regenerate Table II (dataset statistics)."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import table2_datasets
 
 

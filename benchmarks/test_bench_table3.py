@@ -4,6 +4,10 @@ Paper shape: every dataset × matcher cell shows far more violations than an
 expert could review exhaustively, with both matchers in the same ballpark.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # long experiment regeneration; excluded from the fast default profile
+
 from repro.experiments import table3_violations
 
 

@@ -49,7 +49,13 @@ from .reconciliation import (
     ReconciliationStep,
     ReconciliationTrace,
 )
-from .repair import UnrepairableError, greedy_maximalize, repair
+from .repair import (
+    UnrepairableError,
+    greedy_maximalize,
+    greedy_maximalize_mask,
+    repair,
+    repair_mask,
+)
 from .sampling import InstanceSampler, SampleStore, symmetric_difference_size
 from .schema import Attribute, Schema, validate_disjoint
 from .selection import (
@@ -114,6 +120,7 @@ __all__ = [
     "exact_instantiate",
     "exact_probabilities",
     "greedy_maximalize",
+    "greedy_maximalize_mask",
     "information_gain",
     "information_gains",
     "instantiate",
@@ -125,6 +132,7 @@ __all__ = [
     "rank_by_information_gain",
     "repair",
     "repair_distance",
+    "repair_mask",
     "ring_graph",
     "sample_matrix",
     "star_graph",

@@ -14,13 +14,40 @@ violating subsets** (pairs for one-to-one, cycle-length-sized sets for the
 cycle constraint).  A selection then satisfies Γ iff it contains no compiled
 violation — a representation that makes consistency checks, maximality
 checks, `repair()` and the sampler all incremental and cheap.
+
+Bitmask index space
+-------------------
+On top of the compiled violation family, :class:`ConstraintEngine` assigns
+every candidate correspondence a fixed integer index and represents
+selections, F⁺/F⁻ and the violations themselves as Python-int bitmasks over
+that index space.  All hot kernels (the sampler's walk, ``repair``,
+``greedy_maximalize``, instance enumeration) run purely on these masks:
+
+* a selection is one arbitrary-precision int; membership, union, difference
+  and symmetric-difference size are single C-level int operations;
+* a violation is active in ``mask`` iff ``vmask & mask == vmask``;
+* per-index structures split violations into *pair partners* (size-2
+  violations collapse into one partner mask, so "does adding i activate a
+  pair?" is ``mask & pair_partners[i]``) and larger violations, which are
+  scanned either directly or via a SWAR block-scan that tests every
+  violation involving an index in O(words) big-int operations;
+* a numpy row table of (member, others…) pairs supports a vectorised
+  "blocked" pre-filter that lets ``greedy_maximalize`` discard almost all
+  unaddable candidates in a handful of array operations.
+
+The frozenset-based API below is preserved unchanged at module boundaries —
+every public method accepts and returns :class:`Correspondence` objects —
+and delegates to the mask primitives internally.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from .correspondence import Correspondence
 from .graphs import InteractionGraph
@@ -225,12 +252,63 @@ class MutualExclusionConstraint(Constraint):
                 yield Violation(self.name, members)
 
 
+#: Below this many size-≥3 violations per index, a plain loop over the
+#: violation masks beats the SWAR block-scan's fixed big-int overhead.
+_SWAR_MIN_VIOLATIONS = 9
+
+_WORD = 0xFFFFFFFFFFFFFFFF
+
+
+def kth_set_bit(mask: int, k: int) -> int:
+    """Index of the ``k``-th (0-based, ascending) set bit of ``mask``.
+
+    Walks the mask 64 bits at a time; the sampler uses it to draw a uniform
+    member of an availability mask without materialising an index list.
+    """
+    offset = 0
+    while True:
+        word = mask & _WORD
+        count = word.bit_count()
+        if k < count:
+            while k:
+                word &= word - 1
+                k -= 1
+            return offset + (word & -word).bit_length() - 1
+        k -= count
+        mask >>= 64
+        offset += 64
+        if not mask:
+            raise ValueError("mask has fewer set bits than k")
+
+
+def shuffled(indices: Iterable[int], rng) -> list[int]:
+    """Fisher–Yates shuffle driven by ``rng.random()``.
+
+    Equivalent in distribution to ``random.shuffle`` (up to float
+    granularity) but roughly 3x cheaper per element, which matters because
+    the sampler shuffles a candidate order for every emitted instance.
+    """
+    items = list(indices)
+    random = rng.random
+    for i in range(len(items) - 1, 0, -1):
+        j = int(random() * (i + 1))
+        items[i], items[j] = items[j], items[i]
+    return items
+
+
 class ConstraintEngine:
     """Compiled violation hypergraph for one network state.
 
     Exposes fast primitives over the *fixed* candidate set of a network:
     consistency, incremental conflict lookup, and maximality.  Everything is
-    computed once up-front from the constraints' minimal violations.
+    computed once up-front from the constraints' minimal violations, then
+    compiled a second time into the bitmask index space (see the module
+    docstring) that the hot kernels run on.
+
+    Mask conventions: bit ``i`` of a mask is the candidate
+    ``self.correspondences[i]``; ``self.full_mask`` has every candidate bit
+    set; conversions happen only at module boundaries via :meth:`mask_of`
+    and :meth:`corrs_of`.
     """
 
     def __init__(
@@ -255,9 +333,313 @@ class ConstraintEngine:
         for violation in self.violations:
             for corr in violation:
                 self._involving.setdefault(corr, []).append(violation)
+        self._compile_index_space()
 
     # ------------------------------------------------------------------
-    # Primitives
+    # Index-space compilation
+    # ------------------------------------------------------------------
+    def _compile_index_space(self) -> None:
+        n = len(self.correspondences)
+        self.n = n
+        self.index_of: Mapping[Correspondence, int] = MappingProxyType(
+            {corr: i for i, corr in enumerate(self.correspondences)}
+        )
+        self.bits: tuple[int, ...] = tuple(1 << i for i in range(n))
+        self.full_mask: int = (1 << n) - 1
+
+        # Canonical rank per index — repair's deterministic tie-break removes
+        # the canonically smallest correspondence, which is not the smallest
+        # index (indices follow candidate insertion order).
+        order = sorted(range(n), key=lambda i: self.correspondences[i])
+        rank = [0] * n
+        for position, i in enumerate(order):
+            rank[i] = position
+        self._rank: tuple[int, ...] = tuple(rank)
+
+        index_of = self.index_of
+        vmasks: list[int] = []
+        for violation in self.violations:
+            vmask = 0
+            for corr in violation.correspondences:
+                vmask |= 1 << index_of[corr]
+            vmasks.append(vmask)
+        self.violation_masks: tuple[int, ...] = tuple(vmasks)
+        self._vmask_of: dict[Violation, int] = dict(zip(self.violations, vmasks))
+
+        # Per-index split: size-2 violations collapse into one partner mask;
+        # larger violations keep their full masks for scanning.
+        pair_partners = [0] * n
+        large: list[list[int]] = [[] for _ in range(n)]
+        for vmask in vmasks:
+            remaining = vmask
+            while remaining:
+                bit = remaining & -remaining
+                i = bit.bit_length() - 1
+                remaining ^= bit
+                others = vmask ^ bit
+                if others.bit_count() == 1:
+                    pair_partners[i] |= others
+                else:
+                    large[i].append(vmask)
+        self._pair_partners: tuple[int, ...] = tuple(pair_partners)
+        self._large_vmasks: tuple[tuple[int, ...], ...] = tuple(
+            tuple(masks) for masks in large
+        )
+        # Union of every co-member of every violation involving an index:
+        # if a selection misses this union entirely, adding the index cannot
+        # activate anything — the repair kernel's fast-exit probe.  An index
+        # inside a singleton violation (possible for custom constraints)
+        # activates regardless of co-members, so its probe is disabled
+        # (None) rather than encoded as a mask.
+        conflict_union: list[int | None] = list(pair_partners)
+        for i in range(n):
+            bit = 1 << i
+            for vmask in self._large_vmasks[i]:
+                if vmask == bit:
+                    conflict_union[i] = None
+                    break
+                conflict_union[i] |= vmask ^ bit
+        self._conflict_union: tuple[int | None, ...] = tuple(conflict_union)
+
+        # SWAR block-scan tables for indices with many size-≥3 violations:
+        # the k others-masks of index i live in k blocks of width n+1 (bit n
+        # of each block is a borrow guard).  ``TO - (TO & cur*L)`` leaves a
+        # zero block exactly where all others are present in ``cur``, and
+        # ``((X | G) - L)`` clears the guard bit of exactly those blocks.
+        width = n + 1
+        swar: list[tuple[int, int, int, tuple[int, ...]] | None] = []
+        for i in range(n):
+            masks = self._large_vmasks[i]
+            if len(masks) < _SWAR_MIN_VIOLATIONS:
+                swar.append(None)
+                continue
+            bit = self.bits[i]
+            concat = ones = guards = 0
+            for j, vmask in enumerate(masks):
+                concat |= (vmask ^ bit) << (j * width)
+                ones |= 1 << (j * width)
+                guards |= 1 << (j * width + n)
+            swar.append((concat, ones, guards, masks))
+        self._swar = tuple(swar)
+        self._swar_width = width
+
+        # Row table for the vectorised blocked pre-filter: one row per
+        # (violation, member), listing the member index and its co-members
+        # padded with the always-true sentinel column n.
+        max_others = max((len(v) - 1 for v in self.violations), default=1)
+        members: list[int] = []
+        others_rows: list[list[int]] = []
+        for violation, vmask in zip(self.violations, vmasks):
+            member_indices = []
+            remaining = vmask
+            while remaining:
+                bit = remaining & -remaining
+                member_indices.append(bit.bit_length() - 1)
+                remaining ^= bit
+            for i in member_indices:
+                row = [j for j in member_indices if j != i]
+                row.extend([n] * (max_others - len(row)))
+                members.append(i)
+                others_rows.append(row)
+        self._np_members = np.asarray(members, dtype=np.int32)
+        self._np_others = (
+            np.asarray(others_rows, dtype=np.int32)
+            if others_rows
+            else np.empty((0, max_others), dtype=np.int32)
+        )
+        self._nbytes = max(1, (n + 7) // 8)
+        # Mask → frozenset memo: the sampler re-discovers the same maximal
+        # instances across refills, so the boundary conversion is hit with a
+        # small working set of masks.  Bounded to keep giant networks safe.
+        self._corrs_cache: dict[int, frozenset[Correspondence]] = {}
+        # Byte-sliced decode table, filled lazily: slot b maps a byte value
+        # to the tuple of correspondences whose bits it covers, so decoding
+        # a mask is ~n/8 dict hits and tuple extends instead of n bit ops.
+        self._byte_slots: tuple[dict[int, tuple[Correspondence, ...]], ...] = tuple(
+            {} for _ in range(self._nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Mask conversions (module-boundary helpers)
+    # ------------------------------------------------------------------
+    def mask_of(self, correspondences: Iterable[Correspondence]) -> int:
+        """Bitmask of the given correspondences (unknown ones are ignored,
+        mirroring how the frozenset API treats non-candidates)."""
+        index_of = self.index_of
+        mask = 0
+        for corr in correspondences:
+            i = index_of.get(corr)
+            if i is not None:
+                mask |= 1 << i
+        return mask
+
+    def outside_candidates(
+        self, correspondences: Iterable[Correspondence]
+    ) -> frozenset[Correspondence]:
+        """The members of ``correspondences`` outside the compiled candidate
+        set.
+
+        Such correspondences participate in no violation, so the mask space
+        cannot (and need not) represent them; every frozenset boundary
+        restores them with this helper so the APIs agree on the invariant.
+        """
+        index_of = self.index_of
+        return frozenset(
+            corr for corr in correspondences if corr not in index_of
+        )
+
+    def corrs_of(self, mask: int) -> frozenset[Correspondence]:
+        """The frozenset of correspondences a mask denotes (memoised)."""
+        cache = self._corrs_cache
+        cached = cache.get(mask)
+        if cached is not None:
+            return cached
+        correspondences = self.correspondences
+        byte_slots = self._byte_slots
+        out: list[Correspondence] = []
+        for slot, byte in enumerate(mask.to_bytes(self._nbytes, "little")):
+            if not byte:
+                continue
+            slot_cache = byte_slots[slot]
+            members = slot_cache.get(byte)
+            if members is None:
+                base = slot << 3
+                members = tuple(
+                    correspondences[base + position]
+                    for position in range(8)
+                    if byte & (1 << position)
+                )
+                slot_cache[byte] = members
+            out.extend(members)
+        result = frozenset(out)
+        if len(cache) >= 1 << 16:
+            cache.clear()
+        cache[mask] = result
+        return result
+
+    def selection_array(self, mask: int) -> np.ndarray:
+        """Bool membership vector of length n+1 with a True sentinel at n."""
+        raw = np.unpackbits(
+            np.frombuffer(mask.to_bytes(self._nbytes, "little"), dtype=np.uint8),
+            bitorder="little",
+        )
+        sel = np.empty(self.n + 1, dtype=bool)
+        sel[: self.n] = raw[: self.n]
+        sel[self.n] = True
+        return sel
+
+    # ------------------------------------------------------------------
+    # Mask primitives (hot kernels)
+    # ------------------------------------------------------------------
+    def mask_is_consistent(self, mask: int) -> bool:
+        """Whether the selection denoted by ``mask`` satisfies Γ."""
+        for vmask in self.violation_masks:
+            if vmask & mask == vmask:
+                return False
+        return True
+
+    def mask_violations_within(self, mask: int) -> list[int]:
+        """Indices (into ``self.violations``) of violations inside ``mask``."""
+        return [
+            i
+            for i, vmask in enumerate(self.violation_masks)
+            if vmask & mask == vmask
+        ]
+
+    def mask_can_add(self, mask: int, index: int) -> bool:
+        """Whether adding candidate ``index`` keeps ``mask`` consistent."""
+        if mask & self._pair_partners[index]:
+            return False
+        large = self._large_vmasks[index]
+        if large:
+            grown = mask | self.bits[index]
+            for vmask in large:
+                if vmask & grown == vmask:
+                    return False
+        return True
+
+    def mask_active_violations(self, mask: int, index: int) -> list[int]:
+        """Masks of the violations activated by adding ``index`` to ``mask``.
+
+        ``mask`` is assumed to already contain bit ``index``; callers that
+        trust their input to be consistent (the paper's ``repair`` setting)
+        get exactly the violations the addition created.
+        """
+        bit = self.bits[index]
+        active: list[int] | None = None
+        partners = self._pair_partners[index]
+        if partners:
+            hits = mask & partners
+            if hits:
+                active = []
+                while hits:
+                    b = hits & -hits
+                    active.append(bit | b)
+                    hits ^= b
+        swar = self._swar[index]
+        if swar is not None:
+            concat, ones, guards, vmasks = swar
+            replicated = concat & (mask * ones)
+            deficit = ((concat - replicated) | guards) - ones
+            zeros = guards ^ (guards & deficit)
+            if zeros:
+                if active is None:
+                    active = []
+                n, width = self.n, self._swar_width
+                while zeros:
+                    b = zeros & -zeros
+                    active.append(vmasks[(b.bit_length() - 1 - n) // width])
+                    zeros ^= b
+        else:
+            large = self._large_vmasks[index]
+            if large:
+                found = [vmask for vmask in large if vmask & mask == vmask]
+                if found:
+                    active = found if active is None else active + found
+        return active if active is not None else []
+
+    def mask_has_live_violation(self, index: int, disapproved: int) -> bool:
+        """Whether some violation involving ``index`` could still activate,
+        i.e. contains no disapproved member besides possibly ``index``.
+
+        The enumerator's branch pruning uses this: an index whose violations
+        are all neutralised by F⁻ belongs to every matching instance.
+        """
+        bit = self.bits[index]
+        if self._pair_partners[index] & ~disapproved:
+            return True
+        for vmask in self._large_vmasks[index]:
+            if not (vmask & ~bit & disapproved):
+                return True
+        return False
+
+    def mask_is_maximal(self, mask: int, excluded: int = 0) -> bool:
+        """Maximality per Definition 1, on masks."""
+        avail = self.full_mask & ~mask & ~excluded
+        while avail:
+            bit = avail & -avail
+            if self.mask_can_add(mask, bit.bit_length() - 1):
+                return False
+            avail ^= bit
+        return True
+
+    def blocked_candidates(self, mask: int) -> np.ndarray:
+        """Bool vector: candidates whose addition to ``mask`` activates a
+        violation (vectorised over every (violation, member) row at once).
+
+        Monotone in ``mask`` — growing the selection only blocks more — so
+        ``greedy_maximalize`` can pre-filter against the *initial* selection
+        and re-check just the survivors as it adds.
+        """
+        sel = self.selection_array(mask)
+        blocked = np.zeros(self.n, dtype=bool)
+        if len(self._np_members):
+            hit = sel[self._np_others].all(axis=1)
+            blocked[self._np_members[hit]] = True
+        return blocked
+
+    # ------------------------------------------------------------------
+    # Frozenset API (module boundaries; delegates to the mask primitives)
     # ------------------------------------------------------------------
     def violations_involving(self, corr: Correspondence) -> tuple[Violation, ...]:
         """All compiled violations that mention ``corr``."""
@@ -267,22 +649,14 @@ class ConstraintEngine:
         self, selection: frozenset[Correspondence] | set[Correspondence]
     ) -> list[Violation]:
         """Violations entirely contained in ``selection``."""
-        selection = frozenset(selection)
-        candidates: set[Violation] = set()
-        for corr in selection:
-            candidates.update(self._involving.get(corr, ()))
-        return [v for v in candidates if v.is_within(selection)]
+        mask = self.mask_of(selection)
+        return [self.violations[i] for i in self.mask_violations_within(mask)]
 
     def is_consistent(
         self, selection: frozenset[Correspondence] | set[Correspondence]
     ) -> bool:
         """Whether ``selection`` |= Γ."""
-        selection = frozenset(selection)
-        for corr in selection:
-            for violation in self._involving.get(corr, ()):
-                if violation.is_within(selection):
-                    return False
-        return True
+        return self.mask_is_consistent(self.mask_of(selection))
 
     def conflicts_created(
         self,
@@ -290,11 +664,15 @@ class ConstraintEngine:
         corr: Correspondence,
     ) -> list[Violation]:
         """Violations activated by adding ``corr`` to a consistent selection."""
-        grown = frozenset(selection) | {corr}
+        index = self.index_of.get(corr)
+        if index is None:
+            return []
+        grown = self.mask_of(selection) | self.bits[index]
+        vmask_of = self._vmask_of
         return [
             violation
             for violation in self._involving.get(corr, ())
-            if violation.is_within(grown)
+            if vmask_of[violation] & grown == vmask_of[violation]
         ]
 
     def can_add(
@@ -303,7 +681,10 @@ class ConstraintEngine:
         corr: Correspondence,
     ) -> bool:
         """Whether adding ``corr`` keeps the selection consistent."""
-        return not self.conflicts_created(selection, corr)
+        index = self.index_of.get(corr)
+        if index is None:
+            return True
+        return self.mask_can_add(self.mask_of(selection), index)
 
     def is_maximal(
         self,
@@ -311,14 +692,7 @@ class ConstraintEngine:
         excluded: frozenset[Correspondence] | set[Correspondence] = frozenset(),
     ) -> bool:
         """Maximality per Definition 1: no addable candidate outside F⁻."""
-        selection = frozenset(selection)
-        excluded = frozenset(excluded)
-        for corr in self.correspondences:
-            if corr in selection or corr in excluded:
-                continue
-            if self.can_add(selection, corr):
-                return False
-        return True
+        return self.mask_is_maximal(self.mask_of(selection), self.mask_of(excluded))
 
     def violation_counts(
         self, selection: frozenset[Correspondence] | set[Correspondence]

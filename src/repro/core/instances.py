@@ -45,8 +45,9 @@ def is_matching_instance(
 
 def _partition_candidates(
     network: MatchingNetwork, feedback: Feedback
-) -> tuple[set[Correspondence], list[Correspondence]]:
-    """Split candidates into always-included ``base`` and ``contested``.
+) -> tuple[int, list[int]]:
+    """Split candidates into an always-included ``base`` mask and
+    ``contested`` indices.
 
     A candidate outside F⁻ is *unconflicted* when every violation it appears
     in contains some F⁻ member (and hence can never be activated); by
@@ -54,20 +55,19 @@ def _partition_candidates(
     contested candidates need branching.
     """
     engine = network.engine
-    disapproved = feedback.disapproved
-    base: set[Correspondence] = set(feedback.approved)
-    contested: list[Correspondence] = []
-    for corr in network.correspondences:
-        if corr in disapproved or corr in feedback.approved:
+    disapproved = engine.mask_of(feedback.disapproved)
+    approved = engine.mask_of(feedback.approved)
+    base = approved
+    contested: list[int] = []
+    asserted = approved | disapproved
+    bits = engine.bits
+    for index in range(engine.n):
+        if bits[index] & asserted:
             continue
-        live_conflict = any(
-            not (violation.correspondences - {corr}) & disapproved
-            for violation in engine.violations_involving(corr)
-        )
-        if live_conflict:
-            contested.append(corr)
+        if engine.mask_has_live_violation(index, disapproved):
+            contested.append(index)
         else:
-            base.add(corr)
+            base |= bits[index]
     return base, contested
 
 
@@ -81,15 +81,19 @@ def enumerate_instances(
     ``limit`` caps the number of instances returned (useful as a guard on
     networks that turn out to have more structure than expected).  Raises
     :class:`InconsistentFeedbackError` when F⁺ is itself inconsistent.
+
+    The pruned backtracking runs in the engine's bitmask index space — a
+    branch is one integer, consistency of a branch extension is
+    ``mask_can_add`` — and converts to frozensets only when emitting.
     """
     feedback = feedback or Feedback()
     engine = network.engine
-    if not engine.is_consistent(feedback.approved):
+    if not engine.mask_is_consistent(engine.mask_of(feedback.approved)):
         raise InconsistentFeedbackError(
             "the approved correspondences violate the integrity constraints"
         )
     base, contested = _partition_candidates(network, feedback)
-    if not engine.is_consistent(base):
+    if not engine.mask_is_consistent(base):
         # F⁺ conflicts with unconflicted candidates only if F⁺ members are
         # themselves part of the violation; surface that as inconsistency.
         raise InconsistentFeedbackError(
@@ -97,32 +101,40 @@ def enumerate_instances(
         )
 
     instances: list[frozenset[Correspondence]] = []
+    n_contested = len(contested)
+    bits = engine.bits
+    mask_can_add = engine.mask_can_add
+    corrs_of = engine.corrs_of
 
-    def leaf_is_maximal(selection: set[Correspondence]) -> bool:
-        for corr in contested:
-            if corr in selection:
+    def leaf_is_maximal(selection: int) -> bool:
+        for index in contested:
+            if selection & bits[index]:
                 continue
-            if engine.can_add(selection, corr):
+            if mask_can_add(selection, index):
                 return False
         return True
 
-    def backtrack(index: int, selection: set[Correspondence]) -> bool:
+    def backtrack(position: int, selection: int) -> bool:
         """Return False when the enumeration limit was hit."""
         if limit is not None and len(instances) >= limit:
             return False
-        if index == len(contested):
+        if position == n_contested:
             if leaf_is_maximal(selection):
-                instances.append(frozenset(selection))
+                instances.append(corrs_of(selection))
             return True
-        corr = contested[index]
-        if engine.can_add(selection, corr):
-            selection.add(corr)
-            if not backtrack(index + 1, selection):
+        index = contested[position]
+        if mask_can_add(selection, index):
+            if not backtrack(position + 1, selection | bits[index]):
                 return False
-            selection.remove(corr)
-        return backtrack(index + 1, selection)
+        return backtrack(position + 1, selection)
 
-    backtrack(0, set(base))
+    backtrack(0, base)
+    # Approved correspondences outside the compiled candidate set cannot be
+    # represented in the mask space; restore them into every instance at the
+    # frozenset boundary (they participate in no violation).
+    extra = engine.outside_candidates(feedback.approved)
+    if extra:
+        return tuple(instance | extra for instance in instances)
     return tuple(instances)
 
 

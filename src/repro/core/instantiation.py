@@ -23,7 +23,7 @@ from .feedback import Feedback
 from .instances import enumerate_instances
 from .network import MatchingNetwork
 from .probability import ProbabilisticNetwork
-from .repair import greedy_maximalize, repair
+from .repair import greedy_maximalize_mask, repair_mask
 from .sampling import symmetric_difference_size
 
 #: Probability floor used inside log-likelihoods so that a sampled zero does
@@ -52,18 +52,22 @@ def log_likelihood(
 
 def _roulette_wheel(
     rng: random.Random,
-    weighted: Sequence[tuple[Correspondence, float]],
-) -> Correspondence:
-    """Fitness-proportionate selection; uniform when all weights vanish."""
+    weighted: Sequence[tuple],
+) -> object:
+    """Fitness-proportionate selection; uniform when all weights vanish.
+
+    Items may be correspondences or candidate indices — only the weights
+    matter here.
+    """
     total = sum(weight for _, weight in weighted)
     if total <= 0.0:
         return weighted[rng.randrange(len(weighted))][0]
     pick = rng.random() * total
     cumulative = 0.0
-    for corr, weight in weighted:
+    for item, weight in weighted:
         cumulative += weight
         if pick <= cumulative:
-            return corr
+            return item
     return weighted[-1][0]
 
 
@@ -96,63 +100,84 @@ def instantiate(
     probabilities = pnet.probabilities()
     candidates = network.correspondences
 
-    def better(challenger: set[Correspondence], incumbent: set[Correspondence]) -> bool:
-        challenger_distance = repair_distance(challenger, candidates)
-        incumbent_distance = repair_distance(incumbent, candidates)
+    # The whole search runs in the engine's bitmask index space; conversions
+    # happen once on entry (samples, feedback) and once on exit.
+    n = engine.n
+    approved = engine.mask_of(feedback.approved)
+    allowed = engine.full_mask & ~engine.mask_of(feedback.disapproved)
+    log_prob = [
+        math.log(max(probabilities.get(corr, 0.0), _LIKELIHOOD_FLOOR))
+        for corr in candidates
+    ]
+    weight_of = [probabilities.get(corr, 0.0) for corr in candidates]
+
+    def mask_log_likelihood(mask: int) -> float:
+        value = 0.0
+        while mask:
+            bit = mask & -mask
+            value += log_prob[bit.bit_length() - 1]
+            mask ^= bit
+        return value
+
+    def better(challenger: int, incumbent: int) -> bool:
+        # Δ(I, C) = |C| − |I| for I ⊆ C, so fewer missing bits wins.
+        challenger_distance = n - challenger.bit_count()
+        incumbent_distance = n - incumbent.bit_count()
         if challenger_distance != incumbent_distance:
             return challenger_distance < incumbent_distance
         if not use_likelihood:
             return False
-        return log_likelihood(challenger, probabilities) > log_likelihood(
-            incumbent, probabilities
-        )
+        return mask_log_likelihood(challenger) > mask_log_likelihood(incumbent)
 
     # ------------------------------------------------------------------
     # Step 1: initialisation — greedy pick among the samples.
     # ------------------------------------------------------------------
-    try:
-        samples = pnet.samples()
-    except TypeError:
-        samples = ()
-    best: Optional[set[Correspondence]] = None
-    for sample in samples:
-        sample_set = set(sample)
-        if best is None or better(sample_set, best):
-            best = sample_set
+    sample_masks: Sequence[int] = getattr(pnet.estimator, "sample_masks", None)
+    if sample_masks is None:
+        try:
+            sample_masks = [engine.mask_of(sample) for sample in pnet.samples()]
+        except TypeError:
+            sample_masks = ()
+    best: Optional[int] = None
+    for sample_mask in sample_masks:
+        if best is None or better(sample_mask, best):
+            best = sample_mask
     if best is None:
-        seed = greedy_maximalize(
-            feedback.approved, candidates, feedback.disapproved, engine, rng=rng
-        )
-        best = set(seed)
+        best = greedy_maximalize_mask(engine, approved, allowed, rng=rng)
 
     # ------------------------------------------------------------------
     # Step 2: optimisation — tabu-guarded randomized local search.
     # ------------------------------------------------------------------
-    tabu: deque[Correspondence] = deque(maxlen=tabu_size or max(1, iterations))
-    current = set(best)
+    tabu: deque[int] = deque()
+    tabu_capacity = tabu_size or max(1, iterations)
+    tabu_mask = 0
+    current = best
     for _ in range(iterations):
-        pool = [
-            corr
-            for corr in candidates
-            if corr not in feedback.disapproved
-            and corr not in current
-            and corr not in tabu
-        ]
+        pool = allowed & ~current & ~tabu_mask
         if not pool:
             break
-        if use_likelihood:
-            weighted = [(corr, probabilities.get(corr, 0.0)) for corr in pool]
-        else:
-            weighted = [(corr, 1.0) for corr in pool]
+        weighted: list[tuple[int, float]] = []
+        remaining = pool
+        while remaining:
+            bit = remaining & -remaining
+            index = bit.bit_length() - 1
+            weighted.append((index, weight_of[index] if use_likelihood else 1.0))
+            remaining ^= bit
         chosen = _roulette_wheel(rng, weighted)
         tabu.append(chosen)
-        current = repair(current, chosen, feedback.approved, engine, rng=rng)
-        current = greedy_maximalize(
-            current, candidates, feedback.disapproved, engine, rng=rng
-        )
+        tabu_mask |= engine.bits[chosen]
+        if len(tabu) > tabu_capacity:
+            expired = tabu.popleft()
+            tabu_mask &= ~engine.bits[expired]
+        current = repair_mask(engine, current, chosen, approved, rng=rng)
+        current = greedy_maximalize_mask(engine, current, allowed, rng=rng)
         if better(current, best):
-            best = set(current)
-    return frozenset(best)
+            best = current
+    result = engine.corrs_of(best)
+    # Approved correspondences outside the candidate set cannot live in the
+    # mask space; restore them at the boundary (F⁺ ⊆ I must hold).
+    extra = engine.outside_candidates(feedback.approved)
+    return result | extra if extra else result
 
 
 def exact_instantiate(

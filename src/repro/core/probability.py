@@ -84,8 +84,20 @@ class SampledEstimator(ProbabilityEstimator):
     def samples(self) -> Sequence[frozenset[Correspondence]]:
         return self.store.samples
 
+    @property
+    def sample_masks(self) -> Sequence[int]:
+        """Ω* as engine bitmasks — the representation the kernels consume."""
+        return self.store.sample_masks
+
+    def membership_matrix(self):
+        """The store's cached 0/1 sample-membership matrix (float64, the
+        dtype the information-gain reductions consume directly)."""
+        return self.store.matrix_float()
+
     def probabilities(self) -> dict[Correspondence, float]:
-        return self.store.frequencies()
+        # The store's frequency view is an immutable cached mapping; copy it
+        # because ProbabilisticNetwork folds assertions into the result.
+        return dict(self.store.frequencies())
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         self.store.record_assertion(corr, approved)

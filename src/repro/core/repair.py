@@ -8,6 +8,20 @@ removal outright; when a violation consists solely of the added
 correspondence and F⁺ members that rule would loop forever, so we fall back
 to removing the added correspondence itself, and raise when even that cannot
 restore consistency (which means F⁺ is contradictory).
+
+Hot-path layout: the real kernels — :func:`repair_mask` and
+:func:`greedy_maximalize_mask` — run entirely in the engine's bitmask index
+space (selections are ints, violations are precompiled masks).  The public
+:func:`repair` / :func:`greedy_maximalize` keep the original frozenset API
+and are thin conversion wrappers; the sampler, the instantiation search and
+the enumerator call the mask kernels directly.
+
+Deterministic behaviour (``rng=None``) of the kernels is bit-for-bit
+identical to the historical frozenset implementation: the victim of a repair
+round is the violation-count maximiser with canonical-order tie-break, and
+maximalisation tries candidates in insertion order.  With an ``rng``, ties
+and candidate order are randomised with the same distribution as before
+(although the consumed random stream differs from older releases).
 """
 
 from __future__ import annotations
@@ -15,12 +29,231 @@ from __future__ import annotations
 import random
 from typing import Iterable, Optional
 
-from .constraints import ConstraintEngine
+import numpy as np
+
+from .constraints import ConstraintEngine, shuffled
 from .correspondence import Correspondence
+
+#: Above this many available candidates, ``greedy_maximalize_mask`` runs the
+#: engine's vectorised blocked pre-filter before the per-candidate scan.
+_PREFILTER_MIN_AVAIL = 24
 
 
 class UnrepairableError(ValueError):
     """Raised when violations persist among protected correspondences."""
+
+
+def _pick_bit(others: int, rank: tuple[int, ...], rng: Optional[random.Random]) -> int:
+    """One removable bit of ``others``: canonical-min without ``rng``,
+    uniform with it.  ``others`` is non-zero."""
+    bit = others & -others
+    rest = others ^ bit
+    if not rest:
+        return bit
+    if rng is None:
+        if rest & (rest - 1):  # three or more bits: general scan
+            best, best_rank = 0, len(rank) + 1
+            while others:
+                candidate = others & -others
+                others ^= candidate
+                r = rank[candidate.bit_length() - 1]
+                if r < best_rank:
+                    best, best_rank = candidate, r
+            return best
+        if rank[rest.bit_length() - 1] < rank[bit.bit_length() - 1]:
+            return rest
+        return bit
+    count = others.bit_count()
+    choice = rng.randrange(count)
+    while choice:
+        others ^= others & -others
+        choice -= 1
+    return others & -others
+
+
+def repair_mask(
+    engine: ConstraintEngine,
+    instance: int,
+    index: Optional[int],
+    protected: int = 0,
+    rng: Optional[random.Random] = None,
+    assume_consistent: bool = True,
+) -> int:
+    """Mask-space ``repair(I, c, F⁺, Γ)``: the hot kernel.
+
+    ``instance`` is the selection mask, ``index`` the candidate whose
+    insertion caused the violations, ``protected`` the F⁺ mask.  Returns the
+    repaired selection mask (always containing bit ``index`` unless the only
+    repair was to sacrifice it).  ``index=None`` repairs the instance as-is
+    (only meaningful with ``assume_consistent=False``; no bit is privileged
+    or protected-by-preference).
+    """
+    if index is None:
+        bit = 0
+        cur = instance
+        if assume_consistent:
+            return cur
+    else:
+        bit = engine.bits[index]
+        cur = instance | bit
+    if assume_consistent:
+        # Fast exit: no co-member of any violation of ``index`` is selected,
+        # so nothing can have activated (common along sparse walk states).
+        # A None union means a singleton violation — never safe to skip.
+        conflict_union = engine._conflict_union[index]
+        if conflict_union is not None and not (instance & conflict_union):
+            return cur
+        active = engine.mask_active_violations(cur, index)
+    else:
+        violation_masks = engine.violation_masks
+        active = [
+            violation_masks[i] for i in engine.mask_violations_within(cur)
+        ]
+    if not active:
+        return cur
+    rank = engine._rank
+    while True:
+        count = len(active)
+        if count == 1:
+            others = active[0] & ~bit
+            if protected:
+                others &= ~protected
+            if others:
+                return cur ^ _pick_bit(others, rank, rng)
+            if (active[0] & bit) and not (bit & protected):
+                return cur ^ bit
+            raise UnrepairableError(
+                "constraint violations persist among approved correspondences"
+            )
+        if count == 2:
+            first, second = active
+            if first & second == bit:
+                # The two violations share only the added bit, so their
+                # resolutions decouple: removing each one's best victim is
+                # the same greedy outcome (and, with rng, the same
+                # distribution) as two coupled rounds.
+                others_a = first & ~bit
+                others_b = second & ~bit
+                if protected:
+                    others_a &= ~protected
+                    others_b &= ~protected
+                if others_a and others_b:
+                    return (
+                        cur
+                        ^ _pick_bit(others_a, rank, rng)
+                        ^ _pick_bit(others_b, rank, rng)
+                    )
+                if bit and not (bit & protected):
+                    # Strip the removable side first (mirroring the greedy
+                    # rounds), then sacrifice the added bit, which silences
+                    # the unremovable violation too.
+                    if others_a:
+                        cur ^= _pick_bit(others_a, rank, rng)
+                    elif others_b:
+                        cur ^= _pick_bit(others_b, rank, rng)
+                    return cur ^ bit
+                raise UnrepairableError(
+                    "constraint violations persist among approved correspondences"
+                )
+        # General round: remove the most-violating removable correspondence.
+        counts: dict[int, int] = {}
+        for vmask in active:
+            remaining = vmask
+            while remaining:
+                member = remaining & -remaining
+                counts[member] = counts.get(member, 0) + 1
+                remaining ^= member
+        victim, best_count, best_rank = 0, 0, len(rank) + 1
+        ties: list[int] = []
+        for member, member_count in counts.items():
+            if member == bit or (member & protected):
+                continue
+            if member_count > best_count:
+                victim, best_count = member, member_count
+                if rng is None:
+                    best_rank = rank[member.bit_length() - 1]
+                else:
+                    ties = [member]
+            elif member_count == best_count and member_count:
+                if rng is None:
+                    r = rank[member.bit_length() - 1]
+                    if r < best_rank:
+                        victim, best_rank = member, r
+                else:
+                    ties.append(member)
+        if rng is not None and len(ties) > 1:
+            victim = ties[rng.randrange(len(ties))]
+        if not victim:
+            if not (bit & protected) and counts.get(bit):
+                victim = bit
+            else:
+                raise UnrepairableError(
+                    "constraint violations persist among approved correspondences"
+                )
+        cur ^= victim
+        active = [vmask for vmask in active if not (vmask & victim)]
+        if not active:
+            return cur
+
+
+def greedy_maximalize_mask(
+    engine: ConstraintEngine,
+    instance: int,
+    allowed: int,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Mask-space greedy maximalisation: the sampler's emission kernel.
+
+    ``allowed`` is the candidate mask minus F⁻.  Candidates are tried in
+    random order (insertion order when ``rng`` is None) and added whenever
+    they activate no violation.  A vectorised pre-filter first discards the
+    candidates already blocked by ``instance`` — blocking is monotone, so
+    they could never be added in any order — leaving the exact sequential
+    check to the few survivors.
+    """
+    cur = instance
+    avail = allowed & ~cur
+    if not avail:
+        return cur
+    bits = engine.bits
+    # The pre-filter pays off when the selection is dense enough that a
+    # good share of candidates are already blocked; from a sparse walk
+    # state almost everything survives and the array round-trip is pure
+    # overhead.  In the sparse case, shuffling the full index range and
+    # bit-testing availability inside the scan beats materialising the
+    # availability indices first.
+    if (
+        avail.bit_count() > _PREFILTER_MIN_AVAIL
+        and cur.bit_count() * 3 >= engine.n
+    ):
+        blocked = engine.blocked_candidates(cur)
+        avail_vector = engine.selection_array(avail)[:-1]
+        indices = np.flatnonzero(avail_vector & ~blocked).tolist()
+        if rng is not None:
+            indices = shuffled(indices, rng)
+    elif rng is not None:
+        indices = shuffled(range(engine.n), rng)
+    else:
+        indices = range(engine.n)
+    pair_partners = engine._pair_partners
+    large_vmasks = engine._large_vmasks
+    for index in indices:
+        bit = bits[index]
+        if not (avail & bit):
+            continue
+        if cur & pair_partners[index]:
+            continue
+        large = large_vmasks[index]
+        if large:
+            grown = cur | bit
+            for vmask in large:
+                if vmask & grown == vmask:
+                    break
+            else:
+                cur = grown
+            continue
+        cur |= bit
+    return cur
 
 
 def repair(
@@ -47,51 +280,31 @@ def repair(
 
     Ties between equally-violating correspondences are broken uniformly at
     random when ``rng`` is given, deterministically (canonical correspondence
-    order) otherwise.
+    order) otherwise.  This is the boundary wrapper around
+    :func:`repair_mask`.
     """
-    current: set[Correspondence] = set(instance)
-    current.add(added)
-    protected = frozenset(approved)
-
-    if assume_consistent:
-        active = [
-            violation
-            for violation in engine.violations_involving(added)
-            if violation.is_within(current)
-        ]
-    else:
-        active = engine.violations_within(current)
-
-    while active:
-        counts: dict[Correspondence, int] = {}
-        for violation in active:
-            for corr in violation:
-                counts[corr] = counts.get(corr, 0) + 1
-
-        removable = {
-            corr: count
-            for corr, count in counts.items()
-            if corr not in protected and corr != added
-        }
-        if not removable:
-            # Fall back to sacrificing the added correspondence itself.
-            if added not in protected and counts.get(added):
-                current.discard(added)
-                active = [v for v in active if added not in v.correspondences]
-                continue
-            raise UnrepairableError(
-                "constraint violations persist among approved correspondences"
-            )
-
-        best_count = max(removable.values())
-        best = [corr for corr, count in removable.items() if count == best_count]
-        if rng is not None and len(best) > 1:
-            victim = best[rng.randrange(len(best))]
-        else:
-            victim = min(best)
-        current.discard(victim)
-        active = [v for v in active if victim not in v.correspondences]
-    return current
+    instance = set(instance)
+    index = engine.index_of.get(added)
+    if index is None and assume_consistent:
+        # Not a compiled candidate: it cannot participate in any violation,
+        # and a consistent input has nothing else to repair.
+        instance.add(added)
+        return instance
+    repaired = repair_mask(
+        engine,
+        engine.mask_of(instance),
+        index,
+        engine.mask_of(approved),
+        rng=rng,
+        assume_consistent=assume_consistent,
+    )
+    result = set(engine.corrs_of(repaired))
+    # Preserve members outside the compiled candidate set (they participate
+    # in no violation, so they can never be repair victims).
+    result |= engine.outside_candidates(instance)
+    if index is None:
+        result.add(added)
+    return result
 
 
 def greedy_maximalize(
@@ -103,17 +316,44 @@ def greedy_maximalize(
 ) -> set[Correspondence]:
     """Extend a consistent instance to a *maximal* one (Definition 1).
 
-    Candidates outside F⁻ are tried in random order (or canonical order when
-    no ``rng`` is given) and added whenever they do not activate a violation.
-    The sampler uses this to turn the random walk's consistent sets into
-    genuine matching instances.
+    Candidates outside F⁻ are tried in random order (or the caller's
+    ``candidates`` order when no ``rng`` is given) and added whenever they
+    do not activate a violation.  The sampler uses this to turn the random
+    walk's consistent sets into genuine matching instances; this is the
+    boundary wrapper around :func:`greedy_maximalize_mask`.
+
+    Candidates outside the engine's compiled set participate in no
+    violation, so they are always added (as the set-based implementation
+    always did); members of ``instance`` are never dropped.
     """
-    current: set[Correspondence] = set(instance)
+    candidates = tuple(candidates)
     blocked = frozenset(disapproved)
-    remaining = [c for c in candidates if c not in current and c not in blocked]
-    if rng is not None:
-        rng.shuffle(remaining)
-    for corr in remaining:
-        if engine.can_add(current, corr):
-            current.add(corr)
-    return current
+    if rng is None:
+        # Deterministic mode honours the caller-supplied candidate order.
+        current = set(instance)
+        mask = engine.mask_of(current)
+        index_of = engine.index_of
+        bits = engine.bits
+        for corr in candidates:
+            if corr in current or corr in blocked:
+                continue
+            index = index_of.get(corr)
+            if index is None:
+                current.add(corr)
+            elif not (mask & bits[index]) and engine.mask_can_add(mask, index):
+                mask |= bits[index]
+                current.add(corr)
+        return current
+    maximal = greedy_maximalize_mask(
+        engine,
+        engine.mask_of(instance),
+        engine.mask_of(candidates) & ~engine.mask_of(disapproved),
+        rng=rng,
+    )
+    result = set(engine.corrs_of(maximal))
+    # Preserve members outside the compiled candidate set (the frozenset API
+    # never dropped them; they cannot conflict with anything) and add the
+    # vacuously-addable unknown candidates.
+    result |= engine.outside_candidates(instance)
+    result |= engine.outside_candidates(candidates) - blocked
+    return result

@@ -8,6 +8,16 @@ annealing acceptance rule: a proposed instance is accepted with probability
 Large jumps are therefore favoured, which lets the walk escape dense regions
 of the heavily constrained instance space.
 
+Hot-path layout: the walk runs entirely in the constraint engine's bitmask
+index space — the current instance is one int, availability is
+``allowed & ~current``, the walk step picks a uniform set bit, proposals go
+through :func:`~repro.core.repair.repair_mask`, Δ is a popcount of an XOR,
+and emissions are maximalised with
+:func:`~repro.core.repair.greedy_maximalize_mask`.  The store keeps Ω* as a
+list of masks (plus a cached numpy membership matrix for frequency /
+information-gain reductions) and converts to frozensets only at the public
+``samples`` boundary.
+
 Two notes on fidelity to the paper:
 
 * Definition 1 requires matching instances to be *maximal*; the raw walk
@@ -23,12 +33,16 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, Optional, Sequence
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional, Sequence
 
+import numpy as np
+
+from .constraints import kth_set_bit
 from .correspondence import Correspondence
 from .feedback import Feedback
 from .network import MatchingNetwork
-from .repair import greedy_maximalize, repair
+from .repair import greedy_maximalize_mask, repair_mask
 
 
 def symmetric_difference_size(
@@ -69,6 +83,57 @@ class InstanceSampler:
         self.rng = rng or random.Random()
         self.restart_probability = restart_probability
 
+    def sample_masks(
+        self, n_samples: int, feedback: Optional[Feedback] = None
+    ) -> list[int]:
+        """The mask-space hot kernel behind :meth:`sample`.
+
+        Runs ``n_samples`` walk iterations and returns the *distinct*
+        matching instances discovered, as bitmasks in discovery order.
+        """
+        feedback = feedback or Feedback()
+        engine = self.network.engine
+        rng = self.rng
+        walk_steps = self.walk_steps
+        restart_probability = self.restart_probability
+        approved = engine.mask_of(feedback.approved)
+        allowed = engine.full_mask & ~engine.mask_of(feedback.disapproved)
+
+        current = approved
+        discovered: dict[int, None] = {}
+        exp = math.exp
+        random_float = rng.random
+        n = engine.n
+        for _ in range(n_samples):
+            # Occasional restart from the feedback core: the constraint
+            # structure splits the instance space into regions the local
+            # walk crosses only slowly (the annealing acceptance helps but
+            # does not guarantee mixing); restarts make every region
+            # reachable regardless of the walk's current position.
+            if current != approved and random_float() < restart_probability:
+                current = approved
+            for _ in range(walk_steps):
+                avail = allowed & ~current
+                if not avail:
+                    break
+                # Uniform set-bit draw: rejection sampling against the
+                # availability mask (it is dense along most of the walk),
+                # falling back to an exact k-th-bit scan when unlucky.
+                for _ in range(4):
+                    index = int(random_float() * n)
+                    if (avail >> index) & 1:
+                        break
+                else:
+                    index = kth_set_bit(avail, rng.randrange(avail.bit_count()))
+                proposal = repair_mask(engine, current, index, approved, rng=rng)
+                distance = (current ^ proposal).bit_count()
+                acceptance = 1.0 - exp(-distance)
+                if random_float() < acceptance:
+                    current = proposal
+            maximal = greedy_maximalize_mask(engine, current, allowed, rng=rng)
+            discovered[maximal] = None
+        return list(discovered)
+
     def sample(
         self, n_samples: int, feedback: Optional[Feedback] = None
     ) -> list[frozenset[Correspondence]]:
@@ -77,41 +142,22 @@ class InstanceSampler:
 
         Algorithm 3 accumulates samples with a set union (Ω* ← Ω* ∪ Iᵢ), so
         the result is a subset of the instance space Ω, in discovery order;
-        it may be shorter than ``n_samples``.
+        it may be shorter than ``n_samples``.  Approved correspondences
+        outside the network's candidate set cannot be represented in the
+        mask space; they are restored into every emitted instance here, at
+        the frozenset boundary.
         """
-        feedback = feedback or Feedback()
         engine = self.network.engine
-        candidates = self.network.correspondences
-        disapproved = feedback.disapproved
-        approved = feedback.approved
-
-        current: set[Correspondence] = set(approved)
-        discovered: dict[frozenset[Correspondence], None] = {}
-        for _ in range(n_samples):
-            # Occasional restart from the feedback core: the constraint
-            # structure splits the instance space into regions the local
-            # walk crosses only slowly (the annealing acceptance helps but
-            # does not guarantee mixing); restarts make every region
-            # reachable regardless of the walk's current position.
-            if current != approved and self.rng.random() < self.restart_probability:
-                current = set(approved)
-            for _ in range(self.walk_steps):
-                available = [
-                    c for c in candidates if c not in disapproved and c not in current
-                ]
-                if not available:
-                    break
-                chosen = available[self.rng.randrange(len(available))]
-                proposal = repair(current, chosen, approved, engine, rng=self.rng)
-                distance = symmetric_difference_size(current, proposal)
-                acceptance = 1.0 - math.exp(-distance)
-                if self.rng.random() < acceptance:
-                    current = proposal
-            maximal = greedy_maximalize(
-                current, candidates, disapproved, engine, rng=self.rng
-            )
-            discovered[frozenset(maximal)] = None
-        return list(discovered)
+        corrs_of = engine.corrs_of
+        masks = self.sample_masks(n_samples, feedback)
+        extra = (
+            engine.outside_candidates(feedback.approved)
+            if feedback is not None
+            else frozenset()
+        )
+        if extra:
+            return [corrs_of(mask) | extra for mask in masks]
+        return [corrs_of(mask) for mask in masks]
 
 
 class SampleStore:
@@ -121,10 +167,14 @@ class SampleStore:
     re-sampling from scratch, topping up from the sampler whenever fewer than
     ``min_samples`` survive.  Ω* is a *set* of discovered instances
     (Algorithm 3 accumulates with set union), so probabilities are fractions
-    over distinct instances.  Following Section III-B, if two consecutive
-    sampling rounds still leave the store short of ``min_samples``, the
-    instance space itself is deemed that small and the store is marked
-    exhausted (Ω* = Ω).
+    over distinct instances.  Refills aim for ``target_samples`` distinct
+    instances and stop early only when the sampler saturates (two
+    consecutive full-strength rounds finding nothing new); saturation below
+    ``min_samples`` marks the store exhausted (Ω* = Ω) per Section III-B.
+
+    Samples are stored as engine bitmasks; ``samples`` converts to
+    frozensets (cached), ``matrix`` exposes the boolean membership matrix
+    that the frequency and information-gain reductions run on.
     """
 
     def __init__(
@@ -142,16 +192,40 @@ class SampleStore:
         self.target_samples = target_samples
         self.min_samples = min_samples if min_samples is not None else target_samples // 2
         self.feedback = Feedback()
-        self._samples: list[frozenset[Correspondence]] = []
-        self._consecutive_shortfalls = 0
+        self._sample_masks: list[int] = []
+        self._sample_set: set[int] = set()
         self._exhausted = False
-        self._frequency_cache: Optional[dict[Correspondence, float]] = None
+        self._samples_cache: Optional[tuple[frozenset[Correspondence], ...]] = None
+        self._matrix_cache: Optional[np.ndarray] = None
+        self._matrix_float_cache: Optional[np.ndarray] = None
+        self._frequency_cache: Optional[Mapping[Correspondence, float]] = None
         self.refresh()
 
     @property
     def samples(self) -> Sequence[frozenset[Correspondence]]:
-        """The current sample set Ω* (distinct instances, discovery order)."""
-        return tuple(self._samples)
+        """The current sample set Ω* (distinct instances, discovery order).
+
+        Approved correspondences outside the candidate set are restored into
+        every instance here (the mask space cannot represent them).
+        """
+        if self._samples_cache is None:
+            engine = self.network.engine
+            corrs_of = engine.corrs_of
+            extra = engine.outside_candidates(self.feedback.approved)
+            if extra:
+                self._samples_cache = tuple(
+                    corrs_of(mask) | extra for mask in self._sample_masks
+                )
+            else:
+                self._samples_cache = tuple(
+                    corrs_of(mask) for mask in self._sample_masks
+                )
+        return self._samples_cache
+
+    @property
+    def sample_masks(self) -> Sequence[int]:
+        """Ω* as engine bitmasks (discovery order) — the kernel-side view."""
+        return tuple(self._sample_masks)
 
     @property
     def exhausted(self) -> bool:
@@ -160,80 +234,150 @@ class SampleStore:
 
     def refresh(self) -> None:
         """(Re-)fill the store up to ``target_samples`` for current feedback."""
-        if len(self._samples) < self.target_samples and not self._exhausted:
+        if len(self._sample_masks) < self.target_samples and not self._exhausted:
             self._top_up(goal=self.target_samples)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._samples_cache = None
+        self._matrix_cache = None
+        self._matrix_float_cache = None
         self._frequency_cache = None
 
-    def _merge(self, fresh: Sequence[frozenset[Correspondence]]) -> int:
-        """Union new samples into the store; return how many were new."""
-        existing = set(self._samples)
+    def _merge(self, fresh: Sequence[int]) -> int:
+        """Union new sample masks into the store; return how many were new."""
+        existing = self._sample_set
+        samples = self._sample_masks
         added = 0
-        for sample in fresh:
-            if sample not in existing:
-                existing.add(sample)
-                self._samples.append(sample)
+        for mask in fresh:
+            if mask not in existing:
+                existing.add(mask)
+                samples.append(mask)
                 added += 1
         return added
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         """View maintenance for one assertion, then top up if short."""
         self.feedback.record(corr, approved)
-        if approved:
-            self._samples = [s for s in self._samples if corr in s]
-        else:
-            self._samples = [s for s in self._samples if corr not in s]
-        self._frequency_cache = None
+        engine = self.network.engine
+        index = engine.index_of.get(corr)
+        if index is not None:
+            bit = engine.bits[index]
+            if approved:
+                self._sample_masks = [m for m in self._sample_masks if m & bit]
+            else:
+                self._sample_masks = [
+                    m for m in self._sample_masks if not (m & bit)
+                ]
+            self._sample_set = set(self._sample_masks)
+        # else: a non-candidate participates in no violation, so approval
+        # keeps every sample (it is restored at the frozenset boundary) and
+        # disapproval removes nothing — no filtering either way.
+        self._invalidate()
         if self._exhausted:
             # Filtering a complete instance space stays complete: the
             # instances under the stronger feedback are exactly the
             # surviving ones.
             return
-        if len(self._samples) < self.min_samples:
+        if len(self._sample_masks) < self.min_samples:
             self._top_up(goal=self.target_samples)
 
     def _top_up(self, goal: int) -> None:
         """Sample towards ``goal`` distinct instances; detect exhaustion.
 
-        Per Section III-B, when two consecutive sampling rounds fail to
-        reach ``min_samples`` distinct instances, the instance space itself
-        is deemed that small and the store is marked exhausted (Ω* = Ω).
-        """
-        shortfall_runs = 0
-        while len(self._samples) < goal:
-            fresh = self.sampler.sample(
-                max(goal - len(self._samples), self.min_samples), self.feedback
-            )
-            self._merge(fresh)
-            if len(self._samples) < self.min_samples:
-                shortfall_runs += 1
-                if shortfall_runs >= 2:
-                    self._exhausted = True
-                    break
-            else:
-                break
-        self._frequency_cache = None
+        Keeps invoking the sampler until the store holds ``goal`` distinct
+        instances or the sampler *saturates* — two consecutive full-strength
+        rounds contributing nothing new.  A round normally runs just enough
+        walk iterations to cover the shortfall; after any fruitless round
+        the next probe escalates to ``goal`` iterations, so saturation is
+        only ever concluded from full-strength evidence.
 
-    def frequencies(self) -> dict[Correspondence, float]:
+        Saturation below ``min_samples`` additionally marks the store
+        exhausted (Ω* = Ω, Section III-B: the instance space itself is
+        deemed that small), which disables future top-ups.  Saturating
+        *above* the minimum merely ends this refill: the walk may simply be
+        mixing poorly, so later feedback still triggers fresh attempts
+        rather than freezing probabilities on a partial Ω* forever.
+        """
+        fruitless_full_rounds = 0
+        escalate = False
+        while len(self._sample_masks) < goal:
+            budget = max(goal - len(self._sample_masks), self.min_samples)
+            if escalate:
+                budget = max(budget, goal)
+            full_strength = budget >= goal
+            fresh = self.sampler.sample_masks(budget, self.feedback)
+            if self._merge(fresh):
+                fruitless_full_rounds = 0
+                escalate = False
+            else:
+                escalate = True
+                if full_strength:
+                    fruitless_full_rounds += 1
+                    if fruitless_full_rounds >= 2:
+                        if len(self._sample_masks) < self.min_samples:
+                            self._exhausted = True
+                        break
+        self._invalidate()
+
+    def matrix(self) -> np.ndarray:
+        """Boolean membership matrix: rows = samples, columns = candidates.
+
+        Cached between mutations; the information-gain ranking consumes it
+        directly instead of re-densifying frozensets per selection step.
+        """
+        if self._matrix_cache is None:
+            engine = self.network.engine
+            n = engine.n
+            nbytes = max(1, (n + 7) // 8)
+            masks = self._sample_masks
+            if masks:
+                buffer = b"".join(m.to_bytes(nbytes, "little") for m in masks)
+                bits = np.unpackbits(
+                    np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes),
+                    axis=1,
+                    bitorder="little",
+                )
+                matrix = bits[:, :n].astype(bool)
+            else:
+                matrix = np.zeros((0, n), dtype=bool)
+            # The cached array is shared with callers; freeze it so what-if
+            # mutations cannot silently corrupt frequencies and gains.
+            matrix.setflags(write=False)
+            self._matrix_cache = matrix
+        return self._matrix_cache
+
+    def matrix_float(self) -> np.ndarray:
+        """The membership matrix as float64 — the dtype the vectorised
+        information-gain reductions consume, cached so the per-assertion
+        selection loop does not re-materialise an S×|C| array per call."""
+        if self._matrix_float_cache is None:
+            matrix = self.matrix().astype(np.float64)
+            matrix.setflags(write=False)
+            self._matrix_float_cache = matrix
+        return self._matrix_float_cache
+
+    def frequencies(self) -> Mapping[Correspondence, float]:
         """Sample frequency of each candidate: the estimated probabilities.
 
-        Cached between mutations — the reconciliation loop reads the
-        distribution several times per assertion.
+        Returns a cached *immutable* mapping (rebuilt only after mutations),
+        so reconciliation loops that read the distribution several times per
+        assertion pay O(1) per read instead of an O(|C|) dict copy.  Callers
+        that need to mutate must copy explicitly (``dict(frequencies)``).
         """
-        if self._frequency_cache is not None:
-            return dict(self._frequency_cache)
-        total = len(self._samples)
-        counts: dict[Correspondence, int] = {
-            corr: 0 for corr in self.network.correspondences
-        }
-        if total:
-            for sample in self._samples:
-                for corr in sample:
-                    counts[corr] += 1
-        self._frequency_cache = {
-            corr: (count / total if total else 0.0)
-            for corr, count in counts.items()
-        }
-        return dict(self._frequency_cache)
+        if self._frequency_cache is None:
+            total = len(self._sample_masks)
+            matrix = self.matrix()
+            counts = matrix.sum(axis=0, dtype=np.int64)
+            self._frequency_cache = MappingProxyType(
+                {
+                    corr: (count / total if total else 0.0)
+                    for corr, count in zip(
+                        self.network.correspondences, counts.tolist()
+                    )
+                }
+            )
+        return self._frequency_cache
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._sample_masks)

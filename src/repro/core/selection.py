@@ -103,8 +103,13 @@ class InformationGainSelection(SelectionStrategy):
                 key=lambda c: binary_entropy(probabilities[c]),
                 reverse=True,
             )[: self.max_candidates]
+        # With the store's matrix supplied, the samples argument is unused —
+        # don't force the store to materialise its frozenset view.
         gains = information_gains(
-            pnet.estimator.samples, pnet.correspondences, restrict_to=uncertain
+            (),
+            pnet.correspondences,
+            restrict_to=uncertain,
+            matrix=pnet.estimator.membership_matrix(),
         )
         best_gain = max(gains.values())
         best = [corr for corr, gain in gains.items() if gain == best_gain]
@@ -128,7 +133,10 @@ def rank_by_information_gain(
     if not isinstance(pnet.estimator, SampledEstimator):
         raise TypeError("information-gain ranking needs a SampledEstimator")
     gains = information_gains(
-        pnet.estimator.samples, pnet.correspondences, restrict_to=uncertain
+        (),
+        pnet.correspondences,
+        restrict_to=uncertain,
+        matrix=pnet.estimator.membership_matrix(),
     )
     ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))
     return ranked[:k] if k is not None else ranked

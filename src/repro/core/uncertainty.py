@@ -121,45 +121,69 @@ def _entropy_of_frequencies(frequencies: np.ndarray) -> float:
     return float(-(q * np.log2(q) + (1.0 - q) * np.log2(1.0 - q)).sum())
 
 
+def _entropy_rows(probabilities: np.ndarray) -> np.ndarray:
+    """Row-wise Σ H_b(p): one conditional network entropy per row."""
+    q = np.clip(probabilities, 0.0, 1.0)
+    interior = (q > 0.0) & (q < 1.0)
+    safe = np.where(interior, q, 0.5)
+    h = -(safe * np.log2(safe) + (1.0 - safe) * np.log2(1.0 - safe))
+    return np.where(interior, h, 0.0).sum(axis=1)
+
+
 def information_gains(
     samples: Sequence[frozenset[Correspondence]],
     correspondences: Iterable[Correspondence],
     restrict_to: Optional[Iterable[Correspondence]] = None,
+    matrix: Optional[np.ndarray] = None,
 ) -> dict[Correspondence, float]:
     """IG for every (or a restricted set of) correspondence, vectorised.
 
-    The membership matrix is built once; each target's conditional entropy
-    is two column-mean reductions over the partitioned rows.  Overall cost
-    is O(|targets| · |samples| · |C|) simple float operations in numpy,
-    which keeps full-corpus reconciliation loops interactive.
+    Pass ``matrix`` (a boolean sample-membership matrix with columns aligned
+    to ``correspondences``, e.g. :meth:`SampleStore.matrix`) to skip
+    re-densifying the frozenset samples — the selection loop does this on
+    every step; ``samples`` is then ignored and may be empty.  All per-target partition counts come from one co-occurrence
+    product ``Mᵀ[targets] @ M``: row *t* holds, for every candidate, the
+    number of samples containing both *t* and the candidate, which is
+    exactly the positive-partition count vector (and the negative partition
+    is its complement against the global counts).  Overall cost is one
+    (|targets| × |samples|) · (|samples| × |C|) matrix product plus
+    elementwise entropy reductions — no Python-level per-target loop.
     """
     correspondences = tuple(correspondences)
     targets = tuple(restrict_to) if restrict_to is not None else correspondences
-    total = len(samples)
-    if total == 0:
-        return {corr: 0.0 for corr in targets}
+    if matrix is None:
+        matrix = sample_matrix(samples, correspondences)
+    total = int(matrix.shape[0])
+    gains: dict[Correspondence, float] = {corr: 0.0 for corr in targets}
+    if total == 0 or not targets:
+        return gains
 
-    matrix = sample_matrix(samples, correspondences)
     column_of = {corr: i for i, corr in enumerate(correspondences)}
-    counts = matrix.sum(axis=0, dtype=np.int64)
+    target_columns = [column_of.get(target) for target in targets]
+    valid = [p for p, column in enumerate(target_columns) if column is not None]
+    if not valid:
+        return gains
+    columns = np.asarray([target_columns[p] for p in valid], dtype=np.intp)
+
+    dense = np.asarray(matrix, dtype=np.float64)  # no copy when already f64
+    counts = dense.sum(axis=0)
     current_uncertainty = _entropy_of_frequencies(counts / total)
 
-    gains: dict[Correspondence, float] = {}
-    for target in targets:
-        column = column_of.get(target)
-        if column is None:
-            gains[target] = 0.0
-            continue
-        mask = matrix[:, column]
-        n_with = int(mask.sum())
-        n_without = total - n_with
-        if n_with == 0 or n_without == 0:
-            gains[target] = 0.0
-            continue
-        counts_with = matrix[mask].sum(axis=0, dtype=np.int64)
-        entropy_plus = _entropy_of_frequencies(counts_with / n_with)
-        entropy_minus = _entropy_of_frequencies((counts - counts_with) / n_without)
-        p = n_with / total
-        conditional = p * entropy_plus + (1.0 - p) * entropy_minus
-        gains[target] = max(0.0, current_uncertainty - conditional)
+    cooccurrence = dense[:, columns].T @ dense
+    n_with = counts[columns]
+    n_without = total - n_with
+    informative = (n_with > 0.0) & (n_without > 0.0)
+    n_with_safe = np.where(informative, n_with, 1.0)
+    n_without_safe = np.where(informative, n_without, 1.0)
+    entropy_plus = _entropy_rows(cooccurrence / n_with_safe[:, None])
+    entropy_minus = _entropy_rows(
+        (counts[None, :] - cooccurrence) / n_without_safe[:, None]
+    )
+    p = n_with / total
+    conditional = p * entropy_plus + (1.0 - p) * entropy_minus
+    gain_values = np.where(
+        informative, np.maximum(0.0, current_uncertainty - conditional), 0.0
+    )
+    for position, value in zip(valid, gain_values.tolist()):
+        gains[targets[position]] = value
     return gains

@@ -1,0 +1,290 @@
+"""Property-based equivalence tests: bitmask engine vs frozenset reference.
+
+The constraint engine, ``repair`` and ``greedy_maximalize`` were rewritten
+on a bitmask index space; these tests pin the refactor to the original
+frozenset semantics.  Each reference implementation below is a direct copy
+of the historical set-based algorithm (straight off the compiled violation
+list, no index space), and hypothesis drives both sides over randomly
+generated networks, selections and feedback.
+
+Deterministic behaviour (``rng=None``) must agree *exactly* — including
+repair's most-violations victim rule with canonical-order tie-breaks and
+maximalisation's insertion-order scan.  Randomised behaviour is covered by
+the validity properties in ``test_properties.py`` (the random streams are
+not required to match across implementations).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MatchingNetwork,
+    SampleStore,
+    Schema,
+    correspondence,
+    greedy_maximalize,
+    probabilities_from_samples,
+    repair,
+)
+from repro.core.repair import UnrepairableError
+
+# ---------------------------------------------------------------------------
+# Network / selection generator strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw):
+    """A small random matching network with conflict structure."""
+    n_schemas = draw(st.integers(min_value=2, max_value=4))
+    schemas = []
+    for index in range(n_schemas):
+        n_attrs = draw(st.integers(min_value=1, max_value=4))
+        schemas.append(
+            Schema.from_names(f"S{index}", [f"a{j}" for j in range(n_attrs)])
+        )
+    pairs = [
+        (i, j)
+        for i in range(n_schemas)
+        for j in range(i + 1, n_schemas)
+    ]
+    correspondences = set()
+    for left_index, right_index in pairs:
+        left, right = schemas[left_index], schemas[right_index]
+        for left_attr in left:
+            for right_attr in right:
+                if draw(st.booleans()):
+                    correspondences.add(correspondence(left_attr, right_attr))
+    return MatchingNetwork(schemas, sorted(correspondences))
+
+
+@st.composite
+def networks_with_selection(draw):
+    """A network plus an arbitrary (possibly inconsistent) selection."""
+    network = draw(random_networks())
+    selection = frozenset(
+        corr for corr in network.correspondences if draw(st.booleans())
+    )
+    return network, selection
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Frozenset reference implementations (historical algorithms, verbatim)
+# ---------------------------------------------------------------------------
+
+
+def reference_is_consistent(engine, selection) -> bool:
+    selection = frozenset(selection)
+    return not any(
+        violation.correspondences <= selection for violation in engine.violations
+    )
+
+
+def reference_can_add(engine, selection, corr) -> bool:
+    grown = frozenset(selection) | {corr}
+    return not any(
+        violation.correspondences <= grown
+        for violation in engine.violations_involving(corr)
+    )
+
+
+def reference_is_maximal(engine, selection, excluded=frozenset()) -> bool:
+    selection = frozenset(selection)
+    excluded = frozenset(excluded)
+    for corr in engine.correspondences:
+        if corr in selection or corr in excluded:
+            continue
+        if reference_can_add(engine, selection, corr):
+            return False
+    return True
+
+
+def reference_repair(instance, added, approved, engine):
+    """The historical set-based repair, deterministic mode."""
+    current = set(instance)
+    current.add(added)
+    protected = frozenset(approved)
+    active = [
+        violation
+        for violation in engine.violations_involving(added)
+        if violation.correspondences <= current
+    ]
+    while active:
+        counts = {}
+        for violation in active:
+            for corr in violation:
+                counts[corr] = counts.get(corr, 0) + 1
+        removable = {
+            corr: count
+            for corr, count in counts.items()
+            if corr not in protected and corr != added
+        }
+        if not removable:
+            if added not in protected and counts.get(added):
+                current.discard(added)
+                active = [v for v in active if added not in v.correspondences]
+                continue
+            raise UnrepairableError(
+                "constraint violations persist among approved correspondences"
+            )
+        best_count = max(removable.values())
+        victim = min(
+            corr for corr, count in removable.items() if count == best_count
+        )
+        current.discard(victim)
+        active = [v for v in active if victim not in v.correspondences]
+    return current
+
+
+def reference_greedy_maximalize(instance, candidates, disapproved, engine):
+    """The historical set-based maximalisation, deterministic mode."""
+    current = set(instance)
+    blocked = frozenset(disapproved)
+    for corr in candidates:
+        if corr in current or corr in blocked:
+            continue
+        if reference_can_add(engine, current, corr):
+            current.add(corr)
+    return current
+
+
+def consistent_subset(engine, selection):
+    """Greedily thin an arbitrary selection into a consistent one."""
+    kept = set()
+    for corr in sorted(selection):
+        if reference_can_add(engine, kept, corr):
+            kept.add(corr)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Engine primitive equivalence
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(networks_with_selection())
+def test_is_consistent_matches_reference(network_and_selection):
+    network, selection = network_and_selection
+    engine = network.engine
+    assert engine.is_consistent(selection) == reference_is_consistent(
+        engine, selection
+    )
+
+
+@common_settings
+@given(networks_with_selection())
+def test_violations_within_matches_reference(network_and_selection):
+    network, selection = network_and_selection
+    engine = network.engine
+    expected = {
+        violation
+        for violation in engine.violations
+        if violation.correspondences <= selection
+    }
+    assert set(engine.violations_within(selection)) == expected
+
+
+@common_settings
+@given(networks_with_selection(), st.integers(min_value=0, max_value=2**30))
+def test_can_add_matches_reference(network_and_selection, seed):
+    network, selection = network_and_selection
+    engine = network.engine
+    if not network.correspondences:
+        return
+    rng = random.Random(seed)
+    base = consistent_subset(engine, selection)
+    corr = network.correspondences[rng.randrange(len(network.correspondences))]
+    base.discard(corr)
+    assert engine.can_add(base, corr) == reference_can_add(engine, base, corr)
+
+
+@common_settings
+@given(networks_with_selection())
+def test_is_maximal_matches_reference(network_and_selection):
+    network, selection = network_and_selection
+    engine = network.engine
+    base = consistent_subset(engine, selection)
+    assert engine.is_maximal(base) == reference_is_maximal(engine, base)
+
+
+# ---------------------------------------------------------------------------
+# Kernel equivalence: repair and greedy maximalisation
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(networks_with_selection(), st.integers(min_value=0, max_value=2**30))
+def test_repair_matches_reference(network_and_selection, seed):
+    network, selection = network_and_selection
+    engine = network.engine
+    if not network.correspondences:
+        return
+    rng = random.Random(seed)
+    added = network.correspondences[rng.randrange(len(network.correspondences))]
+    base = consistent_subset(engine, selection)
+    base.discard(added)
+    approved = [corr for corr in sorted(base) if rng.random() < 0.25]
+    try:
+        expected = reference_repair(base, added, approved, engine)
+    except UnrepairableError:
+        with pytest.raises(UnrepairableError):
+            repair(base, added, approved, engine)
+        return
+    got = repair(base, added, approved, engine)
+    assert got == expected
+    assert engine.is_consistent(got)
+
+
+@common_settings
+@given(networks_with_selection())
+def test_greedy_maximalize_matches_reference(network_and_selection):
+    network, selection = network_and_selection
+    engine = network.engine
+    base = consistent_subset(engine, selection)
+    disapproved = [corr for corr in sorted(selection) if corr not in base][:2]
+    base -= set(disapproved)
+    expected = reference_greedy_maximalize(
+        base, network.correspondences, disapproved, engine
+    )
+    got = greedy_maximalize(
+        base, network.correspondences, disapproved, engine
+    )
+    assert got == expected
+    assert engine.is_consistent(got)
+    assert engine.is_maximal(got, excluded=disapproved)
+
+
+# ---------------------------------------------------------------------------
+# Sampled frequency equivalence: popcount path vs frozenset counting
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_networks(), st.integers(min_value=0, max_value=2**30))
+def test_store_frequencies_match_frozenset_counting(network, seed):
+    if not network.correspondences:
+        return
+    store = SampleStore(
+        network, target_samples=20, min_samples=5, rng=random.Random(seed)
+    )
+    expected = probabilities_from_samples(
+        store.samples, network.correspondences
+    )
+    assert dict(store.frequencies()) == expected

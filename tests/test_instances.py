@@ -155,3 +155,39 @@ class TestConsistentSubsets:
         subsets = list(iter_consistent_subsets(movie_network, feedback))
         assert all(c["c1"] in s for s in subsets)
         assert all(c["c2"] not in s for s in subsets)
+
+
+class TestForeignApprovals:
+    def test_approved_non_candidate_kept_in_instances(
+        self, movie_network, movie_correspondences
+    ):
+        """An approved correspondence outside the candidate set participates
+        in no violation, so every matching instance contains it — including
+        through the mask-space enumerator and sampler boundaries."""
+        import random
+
+        from repro.core import InstanceSampler, Schema, correspondence
+
+        extra_schema = Schema.from_names("SZ", ["z"])
+        foreign = correspondence(
+            next(iter(movie_network.schemas)).attribute("productionDate"),
+            extra_schema.attribute("z"),
+        )
+        feedback = Feedback(approved=[foreign])
+        for instance in enumerate_instances(movie_network, feedback):
+            assert foreign in instance
+        sampler = InstanceSampler(movie_network, rng=random.Random(4))
+        for sample in sampler.sample(10, feedback):
+            assert foreign in sample
+        # The store restores it too (the mask space cannot represent it).
+        from repro.core import SampleStore
+
+        store = SampleStore(
+            movie_network, target_samples=10, rng=random.Random(4)
+        )
+        before = len(store)
+        # View maintenance: approving a non-candidate must not wipe Ω* —
+        # it participates in no violation, so every sample survives.
+        store.record_assertion(foreign, approved=True)
+        assert len(store) == before
+        assert all(foreign in s for s in store.samples)

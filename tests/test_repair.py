@@ -157,3 +157,32 @@ class TestGreedyMaximalize:
             )
             == start
         )
+
+
+class TestExoticConstraintShapes:
+    def test_singleton_violation_removes_added(self, movie_schemas, movie_correspondences):
+        """A custom constraint may declare a single correspondence invalid on
+        its own; repair must then sacrifice the added correspondence instead
+        of fast-exiting with an inconsistent result."""
+        from repro.core.constraints import Constraint, Violation
+
+        c = movie_correspondences
+        banned = c["c1"]
+
+        class BanConstraint(Constraint):
+            name = "ban"
+
+            def minimal_violations(self, correspondences, graph):
+                if banned in correspondences:
+                    yield Violation(self.name, frozenset({banned}))
+
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(c.values()),
+            constraints=[BanConstraint()],
+        )
+        repaired = repair(set(), banned, [], network.engine)
+        assert banned not in repaired
+        assert network.engine.is_consistent(repaired)
+        # And the engine agrees the ban can never be added.
+        assert not network.engine.can_add(set(), banned)

@@ -169,3 +169,46 @@ class TestSampleStore:
     def test_len(self, movie_network, rng):
         store = SampleStore(movie_network, target_samples=50, rng=rng)
         assert len(store) == len(store.samples)
+
+    def test_top_up_reaches_target_beyond_min_samples(self, movie_network, rng):
+        """Regression: refills must aim for ``target_samples``, not stop as
+        soon as ``min_samples`` is met.
+
+        The movie network has exactly 4 instances; with ``min_samples=1`` a
+        refill that stops at the minimum would leave a single sample behind
+        and silently bias every downstream probability estimate.
+        """
+        store = SampleStore(
+            movie_network, target_samples=4, min_samples=1, rng=rng
+        )
+        assert len(store) == 4
+        assert set(store.samples) == set(enumerate_instances(movie_network))
+
+    def test_top_up_reaches_target_on_larger_network(self, small_fixture):
+        store = SampleStore(
+            small_fixture.network,
+            target_samples=60,
+            min_samples=10,
+            rng=random.Random(9),
+        )
+        # The BP instance space is far larger than 60, so a refill must not
+        # stop short of the goal (it may slightly overshoot: rounds are
+        # merged wholesale).
+        assert store.exhausted or len(store) >= store.target_samples
+
+    def test_frequencies_cached_between_mutations(self, movie_network, rng):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        first = store.frequencies()
+        assert store.frequencies() is first  # no per-read copy
+        target = next(iter(first))
+        with pytest.raises(TypeError):
+            first[target] = 0.5  # immutable view
+        store.record_assertion(target, approved=first[target] > 0.0)
+        assert store.frequencies() is not first  # invalidated by mutation
+
+    def test_sample_masks_align_with_samples(self, movie_network, rng):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        engine = movie_network.engine
+        assert [engine.corrs_of(m) for m in store.sample_masks] == list(
+            store.samples
+        )
