@@ -1,0 +1,88 @@
+"""Full-network matching benchmarks (the batch matcher engine's hot path).
+
+Network construction — ``MatcherPipeline.match_network`` over every edge of
+the interaction graph — dominates ``build_fixture`` and therefore every
+figure/table regeneration.  These benches track it on the BP corpus (few
+schemas, large attribute sets) and a scaled synthetic WebForm corpus (many
+schemas, many edges, heavy cross-edge name repetition), alongside the
+existing per-pair bench in ``test_bench_kernels.py``.
+
+``*_scalar_baseline`` forces the per-pair reference path
+(:meth:`Matcher.similarity_matrix_scalar`) through the same pipeline, so
+the batch-vs-scalar speedup is measured by the suite itself; each baseline
+also asserts candidate-set equality with the batch path, making the benches
+an end-to-end equivalence check on real corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.corpora import CORPORA
+from repro.matchers import amc_like, coma_like
+
+
+_CORPUS_CACHE: dict[str, object] = {}
+
+
+def _corpus(name: str, scale: float, seed: int):
+    key = f"{name}-{scale}-{seed}"
+    if key not in _CORPUS_CACHE:
+        corpus = CORPORA[name](scale=scale, seed=seed)
+        _CORPUS_CACHE[key] = (corpus, corpus.graph())
+    return _CORPUS_CACHE[key]
+
+
+def _scalar_only(pipeline):
+    """Force the per-pair scalar reference path through the pipeline."""
+    pipeline.matcher.similarity_matrix = pipeline.matcher.similarity_matrix_scalar
+    return pipeline
+
+
+def _bench_network(benchmark, make_pipeline, corpus, graph, rounds=3):
+    candidates = benchmark.pedantic(
+        lambda: make_pipeline().match_network(corpus.schemas, graph),
+        iterations=1,
+        rounds=rounds,
+    )
+    assert len(candidates) > 0
+    return candidates
+
+
+@pytest.mark.parametrize("make", [coma_like, amc_like], ids=lambda f: f.__name__)
+def test_bench_match_network_bp(benchmark, make):
+    corpus, graph = _corpus("BP", scale=0.6, seed=3)
+    _bench_network(benchmark, make, corpus, graph)
+
+
+def test_bench_match_network_bp_scalar_baseline(benchmark):
+    corpus, graph = _corpus("BP", scale=0.6, seed=3)
+    batch = coma_like().match_network(corpus.schemas, graph)
+    scalar = _bench_network(
+        benchmark,
+        lambda: _scalar_only(coma_like()),
+        corpus,
+        graph,
+        rounds=2,
+    )
+    assert set(scalar.correspondences) == set(batch.correspondences)
+
+
+def test_bench_match_network_synthetic(benchmark):
+    """Scaled synthetic corpus: 22 schemas / 231 edges of web forms."""
+    corpus, graph = _corpus("WebForm", scale=0.25, seed=7)
+    _bench_network(benchmark, amc_like, corpus, graph)
+
+
+@pytest.mark.slow  # the scalar path pays ~2s/round on 231 edges
+def test_bench_match_network_synthetic_scalar_baseline(benchmark):
+    corpus, graph = _corpus("WebForm", scale=0.25, seed=7)
+    batch = amc_like().match_network(corpus.schemas, graph)
+    scalar = _bench_network(
+        benchmark,
+        lambda: _scalar_only(amc_like()),
+        corpus,
+        graph,
+        rounds=2,
+    )
+    assert set(scalar.correspondences) == set(batch.correspondences)

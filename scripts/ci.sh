@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 CI entrypoint: byte-compile the package, then the fast test profile
+# (pytest.ini deselects the slow benchmark/experiment regenerations; run
+# `pytest -m ""` for the full matrix).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src
+python -m pytest -q

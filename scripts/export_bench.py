@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run the kernel benchmark suite and export ``BENCH_kernels.json``.
+
+Executes the micro-kernel and network-matching benches with
+pytest-benchmark and trims the raw report down to ``name → median seconds``
+— the compact shape the perf trajectory tracks from PR to PR.  Run from
+anywhere::
+
+    python scripts/export_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILES = (
+    "benchmarks/test_bench_kernels.py",
+    "benchmarks/test_bench_match_network.py",
+)
+
+
+def main(argv: list[str]) -> int:
+    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else ROOT / "BENCH_kernels.json"
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "bench.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_FILES,
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+            "-m",
+            "",  # include the slow-marked scalar baselines
+            "-q",
+        ]
+        result = subprocess.run(command, cwd=ROOT)
+        if result.returncode:
+            return result.returncode
+        report = json.loads(raw_path.read_text())
+    medians = {
+        bench["name"]: bench["stats"]["median"]
+        for bench in report["benchmarks"]
+    }
+    out_path.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(medians)} benchmark medians to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -3,6 +3,15 @@
 First-line matchers score attribute pairs; ensembles aggregate them;
 selectors extract candidate correspondences; pipelines run the whole stack
 over schema pairs or entire networks.
+
+The layer is batch-first: matchers compute whole schema-pair blocks via
+``similarity_matrix`` (vectorised kernels in
+:mod:`~repro.matchers.string_metrics` over profiles from the unique-name
+registry, :mod:`~repro.matchers.registry`), ensembles and selectors reduce
+those blocks as numpy arrays, and ``MatcherPipeline.match_network``
+deduplicates matcher work across the edges of the interaction graph.  The
+scalar ``similarity`` methods remain the reference semantics that property
+tests pin the batch kernels against.
 """
 
 from .base import CachedMatcher, Matcher, SimilarityMatrix, matrix_from_scores

@@ -6,12 +6,22 @@ matrices, and then select attribute pairs from the combined matrix.  This
 module provides those two stages: :class:`EnsembleMatcher` with pluggable
 aggregation, and a family of selectors (threshold, top-k per attribute,
 max-delta, stable marriage).
+
+Both stages are batch-first.  :meth:`EnsembleMatcher.similarity_matrix`
+stacks the members' score blocks and aggregates them with numpy (the three
+built-in aggregations have closed-form array kernels; custom callables fall
+back to per-cell application), and every selector reduces the matrix's
+score array directly — ``argpartition``-style row sorts and row/column max
+reductions instead of per-pair Python dictionaries.  The scalar paths are
+kept as the reference semantics the array paths are pinned against.
 """
 
 from __future__ import annotations
 
 import abc
 from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from ..core.correspondence import Correspondence, correspondence
 from ..core.schema import Attribute, Schema
@@ -40,12 +50,44 @@ def harmonic_mean(scores: Sequence[float], weights: Sequence[float]) -> float:
     return len(scores) / sum(1.0 / s for s in scores)
 
 
+def _weighted_average_blocks(blocks: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    total_weight = weights.sum()
+    if total_weight == 0.0:
+        return np.zeros(blocks.shape[1:], dtype=np.float64)
+    return np.tensordot(weights, blocks, axes=1) / total_weight
+
+
+def _maximum_blocks(blocks: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    return blocks.max(axis=0)
+
+
+def _harmonic_mean_blocks(blocks: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    any_zero = (blocks == 0.0).any(axis=0)
+    with np.errstate(divide="ignore"):
+        combined = len(blocks) / np.where(
+            any_zero, np.inf, (1.0 / np.where(blocks == 0.0, 1.0, blocks)).sum(axis=0)
+        )
+    return np.where(any_zero, 0.0, combined)
+
+
+#: Array kernels for the built-in aggregations, keyed by the scalar
+#: function object; unknown (custom) aggregations fall back to per-cell
+#: application of the scalar callable.
+_BLOCK_AGGREGATIONS: dict[Aggregation, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    weighted_average: _weighted_average_blocks,
+    maximum: _maximum_blocks,
+    harmonic_mean: _harmonic_mean_blocks,
+}
+
+
 class EnsembleMatcher(Matcher):
     """Combine several first-line matchers into one similarity score.
 
-    Results are cached by attribute name and declared type: attribute names
-    repeat heavily across the O(n²) schema pairs of a network, so the cache
-    collapses most of the repeated metric work.
+    Scalar results are cached by attribute name and declared type: attribute
+    names repeat heavily across the O(n²) schema pairs of a network, so the
+    cache collapses most of the repeated metric work.  The batch path needs
+    no cache — it stacks the members' vectorised blocks and aggregates them
+    as one array operation.
     """
 
     name = "ensemble"
@@ -68,17 +110,51 @@ class EnsembleMatcher(Matcher):
         self.weights = tuple(weights)
         self.aggregation = aggregation
         self._cache: dict[tuple, float] = {}
+        member_fields = [m.depends_on for m in self.matchers]
+        if any(fields is None for fields in member_fields):
+            self.depends_on = None
+        else:
+            self.depends_on = tuple(
+                sorted({field for fields in member_fields for field in fields})
+            )
 
     def similarity(self, left: Attribute, right: Attribute) -> float:
         left_key = (left.name, left.data_type)
         right_key = (right.name, right.data_type)
-        key = (left_key, right_key) if left_key <= right_key else (right_key, left_key)
+        # Canonicalise the unordered pair; None types sort as "" (members
+        # are symmetric, so either orientation yields the same score).
+        if (left_key[0], left_key[1] or "") <= (right_key[0], right_key[1] or ""):
+            key = (left_key, right_key)
+        else:
+            key = (right_key, left_key)
         cached = self._cache.get(key)
         if cached is None:
             scores = [m.similarity(left, right) for m in self.matchers]
             cached = min(1.0, max(0.0, self.aggregation(scores, self.weights)))
             self._cache[key] = cached
         return cached
+
+    def similarity_matrix(
+        self,
+        left_attrs: Sequence[Attribute],
+        right_attrs: Sequence[Attribute],
+    ) -> np.ndarray:
+        """Aggregate the members' stacked score blocks as array ops."""
+        blocks = np.stack(
+            [m.similarity_matrix(left_attrs, right_attrs) for m in self.matchers]
+        )
+        weights = np.asarray(self.weights, dtype=np.float64)
+        kernel = _BLOCK_AGGREGATIONS.get(self.aggregation)
+        if kernel is not None:
+            combined = kernel(blocks, weights)
+        else:
+            combined = np.empty(blocks.shape[1:], dtype=np.float64)
+            for i in range(combined.shape[0]):
+                for j in range(combined.shape[1]):
+                    combined[i, j] = self.aggregation(
+                        blocks[:, i, j].tolist(), self.weights
+                    )
+        return np.clip(combined, 0.0, 1.0)
 
     def fit(self, schemas: Sequence["Schema"]) -> "EnsembleMatcher":
         """Fit every corpus-dependent member matcher (e.g. TF-IDF)."""
@@ -88,6 +164,20 @@ class EnsembleMatcher(Matcher):
                 fit(schemas)
         self._cache.clear()
         return self
+
+
+def _attribute_ranks(attrs: Sequence[Attribute]) -> np.ndarray:
+    """Rank of each attribute under the ``(schema, name)`` sort order.
+
+    The scalar selectors break score ties by comparing :class:`Attribute`
+    objects; the array selectors reproduce that exactly by sorting on these
+    precomputed ranks.
+    """
+    order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+    ranks = np.empty(len(attrs), dtype=np.int64)
+    for rank, index in enumerate(order):
+        ranks[index] = rank
+    return ranks
 
 
 class Selector(abc.ABC):
@@ -118,7 +208,9 @@ class TopKSelector(Selector):
     """The k best partners per attribute (both directions), above a floor.
 
     Deliberately produces one-to-one violations when k > 1 — exactly the
-    noisy output reconciliation has to clean up.
+    noisy output reconciliation has to clean up.  Ties are broken by
+    attribute order, matching the scalar reference: partners are ranked by
+    ``(-score, partner)``.
     """
 
     name = "top-k"
@@ -129,24 +221,42 @@ class TopKSelector(Selector):
         self.k = k
         self.threshold = threshold
 
-    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
-        per_left: dict[Attribute, list[tuple[float, Attribute]]] = {}
-        per_right: dict[Attribute, list[tuple[float, Attribute]]] = {}
-        for (left_attr, right_attr), score in matrix.items():
-            if score < self.threshold:
-                continue
-            per_left.setdefault(left_attr, []).append((score, right_attr))
-            per_right.setdefault(right_attr, []).append((score, left_attr))
+    def _directed(
+        self,
+        chosen: dict[Correspondence, float],
+        scores: np.ndarray,
+        eligible: np.ndarray,
+        row_attrs: Sequence[Attribute],
+        col_attrs: Sequence[Attribute],
+    ) -> None:
+        """Add each row's top-k eligible partners to ``chosen``."""
+        if scores.size == 0:
+            return
+        col_ranks = _attribute_ranks(col_attrs)
+        # Primary key: score descending (ineligible cells sink to the end);
+        # secondary key: partner attribute order — np.lexsort's last key is
+        # the primary one, and each row is sorted independently.
+        sort_scores = np.where(eligible, scores, -np.inf)
+        order = np.lexsort(
+            (np.broadcast_to(col_ranks, scores.shape), -sort_scores), axis=1
+        )
+        counts = np.minimum(eligible.sum(axis=1), self.k)
+        for i, row_attr in enumerate(row_attrs):
+            for j in order[i, : counts[i]].tolist():
+                chosen[correspondence(row_attr, col_attrs[j])] = float(
+                    scores[i, j]
+                )
 
+    def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
+        scores = matrix.scores
+        eligible = matrix.set_mask & (scores >= self.threshold)
         chosen: dict[Correspondence, float] = {}
-        for left_attr, partners in per_left.items():
-            partners.sort(key=lambda pair: (-pair[0], pair[1]))
-            for score, right_attr in partners[: self.k]:
-                chosen[correspondence(left_attr, right_attr)] = score
-        for right_attr, partners in per_right.items():
-            partners.sort(key=lambda pair: (-pair[0], pair[1]))
-            for score, left_attr in partners[: self.k]:
-                chosen[correspondence(left_attr, right_attr)] = score
+        self._directed(
+            chosen, scores, eligible, matrix.left_attrs, matrix.right_attrs
+        )
+        self._directed(
+            chosen, scores.T, eligible.T, matrix.right_attrs, matrix.left_attrs
+        )
         return chosen
 
 
@@ -162,21 +272,27 @@ class MaxDeltaSelector(Selector):
         self.threshold = threshold
 
     def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
-        best_left: dict[Attribute, float] = {}
-        best_right: dict[Attribute, float] = {}
-        for (left_attr, right_attr), score in matrix.items():
-            best_left[left_attr] = max(best_left.get(left_attr, 0.0), score)
-            best_right[right_attr] = max(best_right.get(right_attr, 0.0), score)
-        chosen: dict[Correspondence, float] = {}
-        for (left_attr, right_attr), score in matrix.items():
-            if score < self.threshold:
-                continue
-            if (
-                score >= best_left[left_attr] - self.delta
-                or score >= best_right[right_attr] - self.delta
-            ):
-                chosen[correspondence(left_attr, right_attr)] = score
-        return chosen
+        scores = matrix.scores
+        mask = matrix.set_mask
+        if not mask.any():
+            return {}
+        masked = np.where(mask, scores, -np.inf)
+        best_left = masked.max(axis=1)
+        best_right = masked.max(axis=0)
+        keep = (
+            mask
+            & (scores >= self.threshold)
+            & (
+                (scores >= best_left[:, None] - self.delta)
+                | (scores >= best_right[None, :] - self.delta)
+            )
+        )
+        rows, cols = np.nonzero(keep)
+        left_attrs, right_attrs = matrix.left_attrs, matrix.right_attrs
+        return {
+            correspondence(left_attrs[i], right_attrs[j]): float(scores[i, j])
+            for i, j in zip(rows.tolist(), cols.tolist())
+        }
 
 
 class StableMarriageSelector(Selector):
@@ -184,7 +300,9 @@ class StableMarriageSelector(Selector):
 
     Produces a violation-free (w.r.t. one-to-one) matching per schema pair;
     useful as the "clean" extreme when studying how much network constraints
-    matter.
+    matter.  Candidates are ranked by ``(-score, left, right)`` — the array
+    path extracts and sorts them with one ``lexsort``; only the (short)
+    greedy pass remains sequential.
     """
 
     name = "stable-marriage"
@@ -193,23 +311,28 @@ class StableMarriageSelector(Selector):
         self.threshold = threshold
 
     def select(self, matrix: SimilarityMatrix) -> dict[Correspondence, float]:
-        scored = sorted(
-            (
-                (score, left_attr, right_attr)
-                for (left_attr, right_attr), score in matrix.items()
-                if score >= self.threshold
-            ),
-            key=lambda triple: (-triple[0], triple[1], triple[2]),
-        )
-        used_left: set[Attribute] = set()
-        used_right: set[Attribute] = set()
+        scores = matrix.scores
+        eligible = matrix.set_mask & (scores >= self.threshold)
+        rows, cols = np.nonzero(eligible)
+        if rows.size == 0:
+            return {}
+        left_ranks = _attribute_ranks(matrix.left_attrs)
+        right_ranks = _attribute_ranks(matrix.right_attrs)
+        values = scores[rows, cols]
+        order = np.lexsort((right_ranks[cols], left_ranks[rows], -values))
+        used_left: set[int] = set()
+        used_right: set[int] = set()
         chosen: dict[Correspondence, float] = {}
-        for score, left_attr, right_attr in scored:
-            if left_attr in used_left or right_attr in used_right:
+        left_attrs, right_attrs = matrix.left_attrs, matrix.right_attrs
+        for index in order.tolist():
+            i, j = int(rows[index]), int(cols[index])
+            if i in used_left or j in used_right:
                 continue
-            used_left.add(left_attr)
-            used_right.add(right_attr)
-            chosen[correspondence(left_attr, right_attr)] = score
+            used_left.add(i)
+            used_right.add(j)
+            chosen[correspondence(left_attrs[i], right_attrs[j])] = float(
+                values[index]
+            )
         return chosen
 
 

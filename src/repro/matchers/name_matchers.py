@@ -2,12 +2,22 @@
 
 Each matcher wraps one string metric from
 :mod:`repro.matchers.string_metrics`, applied to the normalised name or the
-token sequence produced by :mod:`repro.matchers.tokenization`.
+token sequence produced by :mod:`repro.matchers.tokenization`.  Derived name
+views (token sequences, normal forms, q-gram profiles) come from the shared
+unique-name registry (:mod:`repro.matchers.registry`), so they are computed
+once per distinct name regardless of how many pairs or edges reuse it.
+
+All matchers here implement both the scalar reference path
+(``_name_similarity``) and a vectorised block kernel
+(``_name_similarity_matrix``) — except :class:`SubstringMatcher`, which
+still rides the scalar fallback (see ROADMAP open items).
 """
 
 from __future__ import annotations
 
-from . import string_metrics, tokenization
+import numpy as np
+
+from . import registry, string_metrics
 from .base import CachedMatcher
 
 
@@ -16,9 +26,22 @@ class EditDistanceMatcher(CachedMatcher):
 
     name = "edit-distance"
 
+    def __init__(self) -> None:
+        super().__init__()
+        # Norm-pair similarity cache shared across edges/calls: distinct
+        # names collapse to far fewer distinct normal-form pairs.
+        self._pair_cache: string_metrics.PairCache = {}
+
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.levenshtein_similarity(
-            tokenization.normalize(left_name), tokenization.normalize(right_name)
+            registry.profile(left_name).norm, registry.profile(right_name).norm
+        )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        return string_metrics.levenshtein_similarity_matrix(
+            [registry.profile(name).norm for name in left_names],
+            [registry.profile(name).norm for name in right_names],
+            cache=self._pair_cache,
         )
 
 
@@ -27,9 +50,20 @@ class JaroWinklerMatcher(CachedMatcher):
 
     name = "jaro-winkler"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._pair_cache: string_metrics.PairCache = {}
+
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.jaro_winkler_similarity(
-            tokenization.normalize(left_name), tokenization.normalize(right_name)
+            registry.profile(left_name).norm, registry.profile(right_name).norm
+        )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        return string_metrics.jaro_winkler_similarity_matrix(
+            [registry.profile(name).norm for name in left_names],
+            [registry.profile(name).norm for name in right_names],
+            cache=self._pair_cache,
         )
 
 
@@ -40,7 +74,13 @@ class TokenMatcher(CachedMatcher):
 
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.jaccard_similarity(
-            tokenization.tokenize(left_name), tokenization.tokenize(right_name)
+            registry.profile(left_name).tokens, registry.profile(right_name).tokens
+        )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        return string_metrics.jaccard_matrix(
+            [registry.profile(name).token_set for name in left_names],
+            [registry.profile(name).token_set for name in right_names],
         )
 
 
@@ -48,14 +88,29 @@ class MongeElkanMatcher(CachedMatcher):
     """Monge-Elkan over tokens with a Jaro-Winkler inner metric.
 
     Robust to token reordering and partial abbreviation, the classic hybrid
-    measure used by matcher toolkits.
+    measure used by matcher toolkits.  The batch kernel evaluates the inner
+    metric once per unique token pair and gathers the best-match means from
+    that token-pair matrix.
     """
 
     name = "monge-elkan"
 
+    def __init__(self) -> None:
+        super().__init__()
+        # Token-pair inner-metric cache: the token vocabulary is tiny and
+        # stable across edges, so later blocks reuse almost every value.
+        self._inner_cache: string_metrics.PairCache = {}
+
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.monge_elkan_similarity(
-            tokenization.tokenize(left_name), tokenization.tokenize(right_name)
+            registry.profile(left_name).tokens, registry.profile(right_name).tokens
+        )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        return string_metrics.monge_elkan_matrix(
+            [registry.profile(name).tokens for name in left_names],
+            [registry.profile(name).tokens for name in right_names],
+            inner_cache=self._inner_cache,
         )
 
 
@@ -70,20 +125,30 @@ class NGramMatcher(CachedMatcher):
 
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.qgram_similarity(
-            tokenization.normalize(left_name),
-            tokenization.normalize(right_name),
+            registry.profile(left_name).norm,
+            registry.profile(right_name).norm,
             q=self.q,
+        )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        return string_metrics.dice_multiset_matrix(
+            [registry.profile(name).qgram_counts(self.q) for name in left_names],
+            [registry.profile(name).qgram_counts(self.q) for name in right_names],
         )
 
 
 class SubstringMatcher(CachedMatcher):
-    """Longest-common-substring similarity over normalised names."""
+    """Longest-common-substring similarity over normalised names.
+
+    Scalar-only: the LCS dynamic program has no batch kernel yet, so the
+    matrix path rides the cached per-pair fallback.
+    """
 
     name = "substring"
 
     def _name_similarity(self, left_name: str, right_name: str) -> float:
         return string_metrics.lcs_similarity(
-            tokenization.normalize(left_name), tokenization.normalize(right_name)
+            registry.profile(left_name).norm, registry.profile(right_name).norm
         )
 
 
@@ -97,10 +162,28 @@ class PrefixSuffixMatcher(CachedMatcher):
 
     name = "prefix-suffix"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._prefix_cache: string_metrics.PairCache = {}
+        self._suffix_cache: string_metrics.PairCache = {}
+
     def _name_similarity(self, left_name: str, right_name: str) -> float:
-        normalized_left = tokenization.normalize(left_name, expand=False)
-        normalized_right = tokenization.normalize(right_name, expand=False)
+        normalized_left = registry.profile(left_name).norm_plain
+        normalized_right = registry.profile(right_name).norm_plain
         return max(
             string_metrics.prefix_similarity(normalized_left, normalized_right),
             string_metrics.suffix_similarity(normalized_left, normalized_right),
         )
+
+    def _name_similarity_matrix(self, left_names, right_names) -> np.ndarray:
+        left_keys = [registry.profile(name).norm_plain for name in left_names]
+        right_keys = [registry.profile(name).norm_plain for name in right_names]
+        prefix = string_metrics.prefix_similarity_matrix(
+            left_keys, right_keys, cache=self._prefix_cache
+        )
+        suffix = string_metrics.prefix_similarity_matrix(
+            [key[::-1] for key in left_keys],
+            [key[::-1] for key in right_keys],
+            cache=self._suffix_cache,
+        )
+        return np.maximum(prefix, suffix)

@@ -4,7 +4,19 @@ A :class:`MatcherPipeline` bundles an ensemble matcher with a selector and
 can match a whole network: every edge of the interaction graph yields the
 candidate correspondences for that schema pair, merged into one
 :class:`~repro.core.correspondence.CandidateSet` — exactly the input the
-paper's probabilistic matching network is built from.
+paper's probabilistic matching network is built from.  Matching is batch
+end-to-end: each edge is scored as one
+:meth:`~repro.matchers.base.Matcher.similarity_matrix` block, and blocks
+are computed only once per distinct attribute profile — edges whose schema
+pair projects to identical ``(name, data_type)`` tuples (scaled synthetic
+corpora replicate schemas heavily) share the same score array.
+
+Fitting is explicit: call :meth:`MatcherPipeline.fit` with the corpus the
+corpus-dependent matchers (TF-IDF) should learn from.  ``match_pair`` and
+``match_network`` fit lazily on their own input *only when the pipeline has
+never been fitted* and reuse the fitted state afterwards — repeated pair
+matching no longer silently re-learns statistics from two-schema corpora
+nor discards the ensemble's score cache on every call.
 
 ``coma_like()`` and ``amc_like()`` are the two configurations standing in
 for the closed-source tools of the paper's evaluation (Section VI-A).  They
@@ -18,17 +30,18 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..core.correspondence import CandidateSet
 from ..core.graphs import InteractionGraph, complete_graph
 from ..core.schema import Schema
-from .base import Matcher
+from .base import Matcher, SimilarityMatrix
 from .ensemble import (
     EnsembleMatcher,
     MaxDeltaSelector,
     Selector,
     ThresholdSelector,
     TopKSelector,
-    harmonic_mean,
     weighted_average,
 )
 from .name_matchers import (
@@ -37,7 +50,6 @@ from .name_matchers import (
     MongeElkanMatcher,
     NGramMatcher,
     PrefixSuffixMatcher,
-    SubstringMatcher,
     TokenMatcher,
 )
 from .semantic import DataTypeMatcher, SynonymMatcher, Thesaurus
@@ -45,29 +57,55 @@ from .tfidf import TfIdfTokenMatcher
 
 
 class MatcherPipeline:
-    """A named matcher+selector combination usable on pairs or networks."""
+    """A named matcher+selector combination usable on pairs or networks.
+
+    Corpus-dependent matchers are fitted at most once: :meth:`fit` fixes the
+    corpus explicitly, and the ``match_*`` entry points fall back to fitting
+    on their own input only while the pipeline is still unfitted.
+    """
 
     def __init__(self, name: str, matcher: Matcher, selector: Selector):
         self.name = name
         self.matcher = matcher
         self.selector = selector
+        self._fitted = False
 
-    def _fit(self, schemas: Sequence[Schema]) -> None:
-        """Fit corpus-dependent matchers (TF-IDF and friends) if supported."""
+    @property
+    def is_fitted(self) -> bool:
+        """Whether corpus statistics have been learned (by :meth:`fit`)."""
+        return self._fitted
+
+    def fit(self, schemas: Sequence[Schema]) -> "MatcherPipeline":
+        """Fit corpus-dependent matchers (TF-IDF and friends) on ``schemas``.
+
+        Refitting re-learns the corpus statistics and invalidates the
+        matcher's score caches; call it only when the corpus changes.
+        """
         fit = getattr(self.matcher, "fit", None)
         if callable(fit):
             fit(schemas)
+        self._fitted = True
+        return self
 
     def _match_pair_fitted(self, left: Schema, right: Schema) -> CandidateSet:
-        chosen = self.selector.select(self.matcher.match(left, right))
+        return self._select(self.matcher.match(left, right))
+
+    def _select(self, matrix: SimilarityMatrix) -> CandidateSet:
+        chosen = self.selector.select(matrix)
         candidates = CandidateSet()
         for corr, confidence in chosen.items():
             candidates.add(corr, confidence)
         return candidates
 
     def match_pair(self, left: Schema, right: Schema) -> CandidateSet:
-        """Candidate correspondences for one schema pair."""
-        self._fit([left, right])
+        """Candidate correspondences for one schema pair.
+
+        Uses the fitted corpus statistics when :meth:`fit` has been called;
+        otherwise fits on just these two schemas (once — repeated calls
+        reuse that state instead of re-learning it per call).
+        """
+        if not self._fitted:
+            self.fit([left, right])
         return self._match_pair_fitted(left, right)
 
     def match_network(
@@ -75,16 +113,82 @@ class MatcherPipeline:
         schemas: Sequence[Schema],
         graph: Optional[InteractionGraph] = None,
     ) -> CandidateSet:
-        """Candidate correspondences for every edge of the interaction graph."""
+        """Candidate correspondences for every edge of the interaction graph.
+
+        Fits on the whole corpus unless already fitted.  When the matcher
+        declares :attr:`~repro.matchers.base.Matcher.depends_on`, the
+        matcher work is deduplicated across edges: one block is computed
+        over the *universe* of distinct attribute profiles and every edge
+        gathers its submatrix from it, so attribute profiles repeated
+        across the O(n²) schema pairs are scored exactly once.  (When the
+        universe square would dwarf the edges actually requested — sparse
+        graphs over near-disjoint schemas — it falls back to per-edge
+        blocks, still shared between profile-identical edges.)
+        """
         graph = graph or complete_graph([s.name for s in schemas])
         by_name = {schema.name: schema for schema in schemas}
-        self._fit(list(schemas))
+        if not self._fitted:
+            self.fit(list(schemas))
+        edges = list(graph.edges)
         candidates = CandidateSet()
-        for left_name, right_name in graph.edges:
-            pair_candidates = self._match_pair_fitted(
-                by_name[left_name], by_name[right_name]
+
+        def select_into(matrix: SimilarityMatrix) -> None:
+            for corr, confidence in self.selector.select(matrix).items():
+                candidates.add(corr, confidence)
+
+        depends_on = self.matcher.depends_on
+        if depends_on is None:
+            for left_name, right_name in edges:
+                select_into(self.matcher.match(by_name[left_name], by_name[right_name]))
+            return candidates
+
+        def profile(attr) -> tuple:
+            return tuple(getattr(attr, field) for field in depends_on)
+
+        universe: dict[tuple, object] = {}
+        for schema in schemas:
+            for attr in schema:
+                universe.setdefault(profile(attr), attr)
+        index = {key: i for i, key in enumerate(universe)}
+        rows = {
+            schema.name: np.fromiter(
+                (index[profile(attr)] for attr in schema),
+                dtype=np.intp,
+                count=len(schema),
             )
-            candidates = candidates.merged_with(pair_candidates)
+            for schema in schemas
+        }
+        edge_cells = sum(
+            len(by_name[left]) * len(by_name[right]) for left, right in edges
+        )
+        if len(universe) ** 2 <= max(4 * edge_cells, 4096):
+            representatives = list(universe.values())
+            block = self.matcher.similarity_matrix(representatives, representatives)
+            for left_name, right_name in edges:
+                select_into(
+                    SimilarityMatrix.from_array(
+                        by_name[left_name],
+                        by_name[right_name],
+                        block[np.ix_(rows[left_name], rows[right_name])],
+                    )
+                )
+            return candidates
+
+        blocks: dict[tuple[tuple, tuple], np.ndarray] = {}
+        schema_profiles = {
+            schema.name: tuple(profile(attr) for attr in schema)
+            for schema in schemas
+        }
+        for left_name, right_name in edges:
+            left, right = by_name[left_name], by_name[right_name]
+            key = (schema_profiles[left_name], schema_profiles[right_name])
+            block = blocks.get(key)
+            if block is None:
+                block = self.matcher.similarity_matrix(
+                    left.attributes, right.attributes
+                )
+                blocks[key] = block
+            select_into(SimilarityMatrix.from_array(left, right, block))
         return candidates
 
 

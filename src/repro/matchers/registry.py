@@ -1,0 +1,99 @@
+"""Corpus-level unique-name registry for the batch matching engine.
+
+Attribute names repeat heavily across the O(n²) schema pairs of a network,
+and every first-line matcher needs the *same* derived views of a name:
+its token sequence, the concatenated normal form, the un-expanded normal
+form (for prefix/suffix keys) and its q-gram profile.  The seed code
+recomputed these per pair per matcher per edge; the registry computes them
+exactly once per distinct name and shares them process-wide, which is what
+makes the vectorised ``similarity_matrix`` kernels cheap to assemble.
+
+Profiles are derived with the default tokenization pipeline (default
+lexicon, abbreviation expansion on/off).  Matchers that fold tokens through
+a matcher-specific resource (a thesaurus, fitted IDF weights) keep their own
+small per-matcher caches on top of these shared profiles.
+"""
+
+from __future__ import annotations
+
+from . import string_metrics, tokenization
+
+
+class NameProfile:
+    """Every derived view of one attribute name, computed once.
+
+    Attributes
+    ----------
+    name:
+        The raw attribute name this profile describes.
+    tokens:
+        The canonical token sequence (:func:`repro.matchers.tokenization.tokenize`).
+    token_set:
+        ``tokens`` as a frozenset, for overlap measures.
+    norm:
+        Concatenated token form (:func:`repro.matchers.tokenization.normalize`).
+    norm_plain:
+        Concatenated form *without* abbreviation expansion — the
+        prefix/suffix key (``normalize(name, expand=False)``).
+    """
+
+    __slots__ = ("name", "tokens", "token_set", "norm", "norm_plain", "_qgram_counts")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tokens: tuple[str, ...] = tuple(tokenization.tokenize(name))
+        self.token_set: frozenset[str] = frozenset(self.tokens)
+        self.norm: str = "".join(self.tokens)
+        self.norm_plain: str = "".join(tokenization.tokenize(name, expand=False))
+        self._qgram_counts: dict[int, dict[str, int]] = {}
+
+    def qgram_counts(self, q: int) -> dict[str, int]:
+        """Padded q-gram multiset of the normal form, as gram → count."""
+        cached = self._qgram_counts.get(q)
+        if cached is None:
+            cached = {}
+            for gram in string_metrics.qgrams(self.norm, q):
+                cached[gram] = cached.get(gram, 0) + 1
+            self._qgram_counts[q] = cached
+        return cached
+
+
+def folded_token_set(name, thesaurus, cache: dict) -> frozenset[str]:
+    """The (optionally thesaurus-folded) token set of a name, memoised.
+
+    Shared by every matcher that folds tokens through a synonym resource
+    (TF-IDF, synonym matcher).  ``cache`` is the *matcher's own* dict — the
+    folding depends on its thesaurus, so it cannot live on the shared
+    profile — and stays valid for the matcher's lifetime because both the
+    tokenizer and the thesaurus are fixed at construction.
+    """
+    cached = cache.get(name)
+    if cached is None:
+        tokens = profile(name).tokens
+        if thesaurus is not None:
+            cached = frozenset(thesaurus.canonical(t) for t in tokens)
+        else:
+            cached = frozenset(tokens)
+        cache[name] = cached
+    return cached
+
+
+_PROFILES: dict[str, NameProfile] = {}
+
+
+def profile(name: str) -> NameProfile:
+    """The (memoised) :class:`NameProfile` of ``name``."""
+    cached = _PROFILES.get(name)
+    if cached is None:
+        cached = _PROFILES[name] = NameProfile(name)
+    return cached
+
+
+def profiles(names) -> list[NameProfile]:
+    """Profiles for a sequence of names (memoised per distinct name)."""
+    return [profile(name) for name in names]
+
+
+def clear() -> None:
+    """Drop all cached profiles (tests; lexicon experiments)."""
+    _PROFILES.clear()

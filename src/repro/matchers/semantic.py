@@ -3,15 +3,19 @@
 ``SynonymMatcher`` scores token overlap modulo a thesaurus of synonym rings
 (two tokens in the same ring count as equal), the classic dictionary-based
 component of matcher toolkits.  ``DataTypeMatcher`` compares declared
-attribute types through a compatibility table.
+attribute types through a compatibility table.  Both implement the batch
+``similarity_matrix`` API: synonym overlap as a folded-token incidence
+product, type compatibility as a lookup table over the distinct types.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..core.schema import Attribute
-from . import tokenization
+from . import registry, string_metrics
 from .base import CachedMatcher, Matcher
 
 #: Built-in synonym rings covering the domains of the paper's four datasets
@@ -96,20 +100,29 @@ class SynonymMatcher(CachedMatcher):
     def __init__(self, thesaurus: Thesaurus | None = None):
         super().__init__()
         self.thesaurus = thesaurus or Thesaurus()
+        self._folded_cache: dict[str, frozenset[str]] = {}
+
+    def _folded_tokens(self, name: str) -> frozenset[str]:
+        """Ring-folded token set of a name, memoised per distinct name."""
+        return registry.folded_token_set(name, self.thesaurus, self._folded_cache)
 
     def _name_similarity(self, left_name: str, right_name: str) -> float:
-        left_tokens = {
-            self.thesaurus.canonical(t) for t in tokenization.tokenize(left_name)
-        }
-        right_tokens = {
-            self.thesaurus.canonical(t) for t in tokenization.tokenize(right_name)
-        }
+        left_tokens = self._folded_tokens(left_name)
+        right_tokens = self._folded_tokens(right_name)
         if not left_tokens and not right_tokens:
             return 1.0
         union = left_tokens | right_tokens
         if not union:
             return 0.0
         return len(left_tokens & right_tokens) / len(union)
+
+    def _name_similarity_matrix(
+        self, left_names: Sequence[str], right_names: Sequence[str]
+    ) -> np.ndarray:
+        return string_metrics.jaccard_matrix(
+            [self._folded_tokens(name) for name in left_names],
+            [self._folded_tokens(name) for name in right_names],
+        )
 
 
 #: Pairs of distinct-but-compatible type families.
@@ -134,10 +147,38 @@ class DataTypeMatcher(Matcher):
 
     name = "data-type"
 
-    def similarity(self, left: Attribute, right: Attribute) -> float:
-        if left.data_type is None or right.data_type is None:
+    depends_on = ("data_type",)
+
+    @staticmethod
+    def _type_score(left_type: str | None, right_type: str | None) -> float:
+        if left_type is None or right_type is None:
             return 0.5
-        if left.data_type == right.data_type:
+        if left_type == right_type:
             return 1.0
-        pair = frozenset({left.data_type, right.data_type})
+        pair = frozenset({left_type, right_type})
         return 0.5 if pair in _COMPATIBLE_TYPES else 0.0
+
+    def similarity(self, left: Attribute, right: Attribute) -> float:
+        return self._type_score(left.data_type, right.data_type)
+
+    def similarity_matrix(
+        self,
+        left_attrs: Sequence[Attribute],
+        right_attrs: Sequence[Attribute],
+    ) -> np.ndarray:
+        """Type-compatibility block via a distinct-type lookup table."""
+        left_types = [attr.data_type for attr in left_attrs]
+        right_types = [attr.data_type for attr in right_attrs]
+        pool: dict[str | None, int] = {}
+        for declared in left_types:
+            pool.setdefault(declared, len(pool))
+        for declared in right_types:
+            pool.setdefault(declared, len(pool))
+        types = list(pool)
+        table = np.empty((len(types), len(types)), dtype=np.float64)
+        for i, left_type in enumerate(types):
+            for j, right_type in enumerate(types):
+                table[i, j] = self._type_score(left_type, right_type)
+        rows = [pool[declared] for declared in left_types]
+        cols = [pool[declared] for declared in right_types]
+        return table[np.ix_(rows, cols)]

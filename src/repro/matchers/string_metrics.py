@@ -5,11 +5,25 @@ These are the classic first-line measures schema matchers are built from
 Jaro/Jaro-Winkler, q-grams, token-set overlap, longest common substring and
 Monge-Elkan.  All similarity functions are symmetric and map into [0, 1]
 with 1 meaning identical.
+
+Two implementations coexist on purpose.  The scalar functions in the first
+half of the module are the *reference* semantics; the ``*_matrix`` kernels
+in the second half compute whole similarity blocks at once — batched over
+the deduplicated unique-pair set with numpy (and scipy.sparse incidence
+products where available) — and are pinned to the scalar functions by
+property tests.  The batch kernels back :meth:`Matcher.similarity_matrix`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+try:  # scipy is optional: incidence products fall back to dense numpy.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
 
 
 def levenshtein_distance(left: str, right: str) -> int:
@@ -214,3 +228,559 @@ def prefix_similarity(left: str, right: str) -> float:
 def suffix_similarity(left: str, right: str) -> float:
     """Common-suffix length over the shorter string length."""
     return prefix_similarity(left[::-1], right[::-1])
+
+
+# ---------------------------------------------------------------------------
+# Batch kernels: whole similarity blocks at once.
+#
+# Every kernel below reproduces its scalar counterpart exactly (same
+# formulas, same division order) so the matrix path can be pinned against
+# the scalar path to 1e-9.  String pairs are deduplicated before the heavy
+# kernels run: attribute names repeat across the O(n²) schema pairs of a
+# network, so the unique-pair set is far smaller than the naive pair count.
+# ---------------------------------------------------------------------------
+
+
+def _encode_pool(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """One shared codepoint matrix for a *deduplicated* string pool.
+
+    Encoding is the per-string cost of the batch metrics; doing it once per
+    unique string (rather than once per pair occurrence) is what keeps the
+    unique-pair kernels cheap.  Pad is ``-1`` (codepoints are non-negative)
+    on both sides of a comparison; the kernels mask by string length
+    wherever pad-equals-pad could matter.
+    """
+    count = len(strings)
+    width = max((len(s) for s in strings), default=0)
+    codes = np.full((count, width), -1, dtype=np.int64)
+    for i, text in enumerate(strings):
+        if text:
+            codes[i, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int64)
+    lengths = np.fromiter((len(s) for s in strings), count=count, dtype=np.int64)
+    return codes, lengths
+
+
+PairCache = dict[tuple[str, str], float]
+
+
+def _unique_pair_matrix(
+    left: Sequence[str],
+    right: Sequence[str],
+    kernel: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    cache: PairCache | None = None,
+) -> np.ndarray:
+    """Evaluate a symmetric pairwise kernel over the deduplicated pair set.
+
+    ``kernel(codes, lengths, first, second)`` receives the pooled codepoint
+    matrix plus aligned index arrays (one entry per unique unordered pair)
+    and returns one value per pair; the result is broadcast back to the full
+    ``len(left) × len(right)`` block.  ``cache`` (string-pair → value, keys
+    lexicographically canonicalised) persists values across calls — names
+    repeat across the edges of a network, so later edges only pay for pairs
+    they introduce.
+    """
+    n_left, n_right = len(left), len(right)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right), dtype=np.float64)
+    pool: dict[str, int] = {}
+    for text in left:
+        pool.setdefault(text, len(pool))
+    for text in right:
+        pool.setdefault(text, len(pool))
+    strings = list(pool)
+    left_ids = np.fromiter((pool[s] for s in left), count=n_left, dtype=np.int64)
+    right_ids = np.fromiter((pool[s] for s in right), count=n_right, dtype=np.int64)
+    low = np.minimum(left_ids[:, None], right_ids[None, :])
+    high = np.maximum(left_ids[:, None], right_ids[None, :])
+    keys = (low * len(strings) + high).ravel()
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    first, second = np.divmod(unique_keys, len(strings))
+    codes, lengths = _encode_pool(strings)
+    if cache is None:
+        values = np.asarray(kernel(codes, lengths, first, second), dtype=np.float64)
+    else:
+        values = np.empty(len(unique_keys), dtype=np.float64)
+        missing: list[int] = []
+        pair_keys: list[tuple[str, str]] = []
+        for idx, (i, j) in enumerate(zip(first.tolist(), second.tolist())):
+            a, b = strings[i], strings[j]
+            key = (a, b) if a <= b else (b, a)
+            pair_keys.append(key)
+            cached = cache.get(key)
+            if cached is None:
+                missing.append(idx)
+            else:
+                values[idx] = cached
+        if missing:
+            miss = np.asarray(missing, dtype=np.int64)
+            computed = np.asarray(
+                kernel(codes, lengths, first[miss], second[miss]),
+                dtype=np.float64,
+            )
+            values[miss] = computed
+            for pos, idx in enumerate(missing):
+                cache[pair_keys[idx]] = float(computed[pos])
+    return values[inverse].reshape(n_left, n_right)
+
+
+def _chunked_pairs(
+    kernel: Callable[..., np.ndarray],
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+) -> np.ndarray:
+    """Run a pair kernel in bounded chunks along the pair axis.
+
+    The deduplicated pair set grows ~U²/2 in the number of unique names, so
+    the per-pair work arrays (DP rows, match bitmaps) are capped at ~4M
+    cells per chunk regardless of corpus size.  Chunking also re-trims the
+    kernel's width to each chunk's longest string.
+    """
+    count = len(first)
+    chunk = max(1, int(4_000_000 // max(1, codes.shape[1])))
+    if count <= chunk:
+        return kernel(codes, lengths, first, second)
+    out = np.empty(count, dtype=np.float64)
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        out[start:stop] = kernel(
+            codes, lengths, first[start:stop], second[start:stop]
+        )
+    return out
+
+
+def _levenshtein_pairs(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+) -> np.ndarray:
+    """Levenshtein *similarity* for index-aligned pairs of pooled strings.
+
+    DP-vectorised over the batch: the classic row recurrence has a
+    sequential dependency along the inner dimension (insertions); it is
+    resolved with the min-plus prefix-scan trick —
+    ``cur[j] = j + min_accumulate(cand[k] - k)`` — so each DP row is one
+    vectorised sweep over all pairs at once.
+    """
+    count = len(first)
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    len_a, len_b = lengths[first], lengths[second]
+    width_a = int(len_a.max())
+    width_b = int(len_b.max())
+    codes_a = codes[first, :width_a]
+    codes_b = codes[second, :width_b]
+    distances = np.zeros(count, dtype=np.int64)
+    distances[len_a == 0] = len_b[len_a == 0]
+    col = np.arange(width_b + 1, dtype=np.int64)
+    previous = np.broadcast_to(col, (count, width_b + 1)).copy()
+    current = np.empty_like(previous)
+    for i in range(1, width_a + 1):
+        cost = codes_a[:, i - 1][:, None] != codes_b
+        current[:, 0] = i
+        np.minimum(
+            previous[:, 1:] + 1, previous[:, :-1] + cost, out=current[:, 1:]
+        )
+        current -= col
+        np.minimum.accumulate(current, axis=1, out=current)
+        current += col
+        done = len_a == i
+        if done.any():
+            distances[done] = current[done, len_b[done]]
+        previous, current = current, previous
+    longest = np.maximum(len_a, len_b).astype(np.float64)
+    similarity = np.ones(count, dtype=np.float64)
+    nonempty = longest > 0
+    similarity[nonempty] = 1.0 - distances[nonempty] / longest[nonempty]
+    return similarity
+
+
+def levenshtein_similarity_matrix(
+    left: Sequence[str],
+    right: Sequence[str],
+    cache: PairCache | None = None,
+) -> np.ndarray:
+    """Batch :func:`levenshtein_similarity` over all left × right pairs."""
+    return _unique_pair_matrix(
+        left,
+        right,
+        lambda codes, lengths, first, second: _chunked_pairs(
+            _levenshtein_pairs, codes, lengths, first, second
+        ),
+        cache,
+    )
+
+
+def _jaro_winkler_pairs(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+    prefix_weight: float = 0.1,
+    max_prefix: int = 4,
+) -> np.ndarray:
+    """Jaro-Winkler for index-aligned pairs of pooled strings.
+
+    The greedy match phase loops over left positions (bounded by the longest
+    string) updating all pairs' match bitmaps at once — an exact replication
+    of the scalar greedy scan, including first-eligible tie resolution.
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError("prefix_weight must lie in [0, 0.25]")
+    count = len(first)
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    len_a, len_b = lengths[first], lengths[second]
+    width_a = int(len_a.max())
+    width_b = int(len_b.max())
+    codes_a = codes[first, :width_a]
+    codes_b = codes[second, :width_b]
+    either_empty = (len_a == 0) | (len_b == 0)
+    both_empty = (len_a == 0) & (len_b == 0)
+    if width_a == 0 or width_b == 0:
+        return np.where(both_empty, 1.0, 0.0)
+
+    window = np.maximum(np.maximum(len_a, len_b) // 2 - 1, 0)
+    left_matched = np.zeros((count, width_a), dtype=bool)
+    right_matched = np.zeros((count, width_b), dtype=bool)
+    col = np.arange(width_b)
+    for i in range(width_a):
+        active = len_a > i
+        if not active.any():
+            break
+        start = i - window
+        end = np.minimum(i + window + 1, len_b)
+        eligible = (
+            (col[None, :] >= start[:, None])
+            & (col[None, :] < end[:, None])
+            & ~right_matched
+            & (codes_b == codes_a[:, i][:, None])
+            & active[:, None]
+        )
+        hit = eligible.any(axis=1)
+        first_hit = eligible.argmax(axis=1)
+        right_matched[hit, first_hit[hit]] = True
+        left_matched[hit, i] = True
+    matches = left_matched.sum(axis=1)
+
+    # Transpositions: compare the matched characters of both sides in
+    # positional order (stable sort floats matched positions to the front).
+    order_a = np.argsort(~left_matched, axis=1, kind="stable")
+    order_b = np.argsort(~right_matched, axis=1, kind="stable")
+    matched_a = np.take_along_axis(codes_a, order_a, axis=1)
+    matched_b = np.take_along_axis(codes_b, order_b, axis=1)
+    compare = min(width_a, width_b)
+    valid = np.arange(compare)[None, :] < matches[:, None]
+    transpositions = (
+        (matched_a[:, :compare] != matched_b[:, :compare]) & valid
+    ).sum(axis=1) // 2
+
+    m = matches.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaro = (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
+    jaro = np.where(matches == 0, 0.0, jaro)
+    jaro[either_empty] = 0.0
+    jaro[both_empty] = 1.0
+
+    prefix_cap = min(max_prefix, width_a, width_b)
+    if prefix_cap > 0:
+        # Shared pad on both sides: bound the scan by the shorter length so
+        # pad-equals-pad positions never count as common prefix.
+        agreement = (codes_a[:, :prefix_cap] == codes_b[:, :prefix_cap]) & (
+            np.arange(prefix_cap)[None, :]
+            < np.minimum(len_a, len_b)[:, None]
+        )
+        prefix = np.logical_and.accumulate(agreement, axis=1).sum(axis=1)
+        prefix = np.minimum(prefix, max_prefix)
+    else:
+        prefix = np.zeros(count, dtype=np.int64)
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def jaro_winkler_similarity_matrix(
+    left: Sequence[str],
+    right: Sequence[str],
+    prefix_weight: float = 0.1,
+    max_prefix: int = 4,
+    cache: PairCache | None = None,
+) -> np.ndarray:
+    """Batch :func:`jaro_winkler_similarity` over all left × right pairs."""
+    return _unique_pair_matrix(
+        left,
+        right,
+        lambda codes, lengths, first, second: _chunked_pairs(
+            lambda c, l, f, s: _jaro_winkler_pairs(
+                c, l, f, s, prefix_weight, max_prefix
+            ),
+            codes,
+            lengths,
+            first,
+            second,
+        ),
+        cache,
+    )
+
+
+def _incidence_product(
+    left_features: Sequence[Iterable],
+    right_features: Sequence[Iterable],
+    weight: Callable[[object], float] | None = None,
+) -> np.ndarray:
+    """``Σ_f w(f)·1[f ∈ L]·1[f ∈ R]`` for every (left, right) row pair.
+
+    Built as a sparse feature-incidence matrix product (dense numpy when
+    scipy is unavailable).  ``weight`` scales the *left* incidence rows, so
+    the product is the weighted intersection; with ``weight=None`` it is the
+    plain intersection size.  Feature iterables must be duplicate-free.
+    """
+    vocabulary: dict = {}
+
+    def compress(rows: Sequence[Iterable], weighted: bool):
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for features in rows:
+            for feature in features:
+                indices.append(vocabulary.setdefault(feature, len(vocabulary)))
+                data.append(weight(feature) if weighted else 1.0)
+            indptr.append(len(indices))
+        return indptr, indices, data
+
+    left_csr = compress(left_features, weight is not None)
+    right_csr = compress(right_features, False)
+    n_features = max(len(vocabulary), 1)
+    if _scipy_sparse is not None:
+        left_mat = _scipy_sparse.csr_matrix(
+            (left_csr[2], left_csr[1], left_csr[0]),
+            shape=(len(left_features), n_features),
+        )
+        right_mat = _scipy_sparse.csr_matrix(
+            (right_csr[2], right_csr[1], right_csr[0]),
+            shape=(len(right_features), n_features),
+        )
+        return np.asarray((left_mat @ right_mat.T).todense(), dtype=np.float64)
+    left_dense = np.zeros((len(left_features), n_features))
+    right_dense = np.zeros((len(right_features), n_features))
+    for row in range(len(left_features)):
+        cols = left_csr[1][left_csr[0][row] : left_csr[0][row + 1]]
+        left_dense[row, cols] = left_csr[2][left_csr[0][row] : left_csr[0][row + 1]]
+    for row in range(len(right_features)):
+        cols = right_csr[1][right_csr[0][row] : right_csr[0][row + 1]]
+        right_dense[row, cols] = 1.0
+    return left_dense @ right_dense.T
+
+
+def jaccard_matrix(
+    left_sets: Sequence[frozenset], right_sets: Sequence[frozenset]
+) -> np.ndarray:
+    """Batch :func:`jaccard_similarity` over precomputed token sets."""
+    intersection = _incidence_product(left_sets, right_sets)
+    size_left = np.fromiter(
+        (len(s) for s in left_sets), count=len(left_sets), dtype=np.float64
+    )
+    size_right = np.fromiter(
+        (len(s) for s in right_sets), count=len(right_sets), dtype=np.float64
+    )
+    union = size_left[:, None] + size_right[None, :] - intersection
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = intersection / union
+    similarity[union == 0] = 1.0  # both sides empty
+    return similarity
+
+
+def weighted_jaccard_matrix(
+    left_sets: Sequence[frozenset],
+    right_sets: Sequence[frozenset],
+    weight: Callable[[str], float],
+) -> np.ndarray:
+    """Batch IDF-weighted Jaccard (the :class:`TfIdfTokenMatcher` measure).
+
+    ``similarity = Σ_{t ∈ A∩B} w(t) / Σ_{t ∈ A∪B} w(t)``, computed as a
+    weighted incidence product for the numerator and row-weight sums for the
+    denominator.  Clipped to [0, 1] to absorb last-ulp drift of the float
+    summation orders.
+    """
+    intersection = _incidence_product(left_sets, right_sets, weight=weight)
+    weight_left = np.fromiter(
+        (sum(weight(t) for t in s) for s in left_sets),
+        count=len(left_sets),
+        dtype=np.float64,
+    )
+    weight_right = np.fromiter(
+        (sum(weight(t) for t in s) for s in right_sets),
+        count=len(right_sets),
+        dtype=np.float64,
+    )
+    union = weight_left[:, None] + weight_right[None, :] - intersection
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = np.where(union > 0.0, intersection / union, 0.0)
+    empty_left = np.fromiter(
+        (len(s) == 0 for s in left_sets), count=len(left_sets), dtype=bool
+    )
+    empty_right = np.fromiter(
+        (len(s) == 0 for s in right_sets), count=len(right_sets), dtype=bool
+    )
+    similarity[np.ix_(empty_left, empty_right)] = 1.0
+    return np.clip(similarity, 0.0, 1.0)
+
+
+def dice_multiset_matrix(
+    left_counts: Sequence[Mapping[str, int]],
+    right_counts: Sequence[Mapping[str, int]],
+) -> np.ndarray:
+    """Batch Dice over multisets (the q-gram measure), via occurrence keys.
+
+    ``Σ_g min(a_g, b_g)`` is not a plain incidence product, but expanding
+    the k-th occurrence of gram ``g`` into the distinct feature ``(g, k)``
+    makes it one: a multiset holds ``(g, k)`` iff it has > k copies of ``g``.
+    """
+
+    def expand(counts: Mapping[str, int]) -> list[tuple[str, int]]:
+        return [(gram, k) for gram, n in counts.items() for k in range(n)]
+
+    overlap = _incidence_product(
+        [expand(c) for c in left_counts], [expand(c) for c in right_counts]
+    )
+    total_left = np.fromiter(
+        (sum(c.values()) for c in left_counts),
+        count=len(left_counts),
+        dtype=np.float64,
+    )
+    total_right = np.fromiter(
+        (sum(c.values()) for c in right_counts),
+        count=len(right_counts),
+        dtype=np.float64,
+    )
+    denominator = total_left[:, None] + total_right[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = 2.0 * overlap / denominator
+    similarity[denominator == 0] = 1.0  # both sides gram-free
+    return similarity
+
+
+def _prefix_pairs(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+) -> np.ndarray:
+    """Common-prefix similarity for index-aligned pairs of pooled strings."""
+    count = len(first)
+    values = np.zeros(count, dtype=np.float64)
+    if count == 0:
+        return values
+    len_a, len_b = lengths[first], lengths[second]
+    shortest = np.minimum(len_a, len_b)
+    width = int(shortest.max())
+    if width > 0:
+        codes_a = codes[first, :width]
+        codes_b = codes[second, :width]
+        # Shared pad on both sides: bound by the shorter length so
+        # pad-equals-pad never counts as agreement.
+        agreement = (codes_a == codes_b) & (
+            np.arange(width)[None, :] < shortest[:, None]
+        )
+        prefix = np.logical_and.accumulate(agreement, axis=1).sum(axis=1)
+        nonempty = shortest > 0
+        values[nonempty] = prefix[nonempty] / shortest[nonempty]
+    values[(len_a == 0) & (len_b == 0)] = 1.0
+    return values
+
+
+def prefix_similarity_matrix(
+    left: Sequence[str],
+    right: Sequence[str],
+    cache: PairCache | None = None,
+) -> np.ndarray:
+    """Batch :func:`prefix_similarity` over all left × right pairs."""
+    return _unique_pair_matrix(
+        left,
+        right,
+        lambda codes, lengths, first, second: _chunked_pairs(
+            _prefix_pairs, codes, lengths, first, second
+        ),
+        cache,
+    )
+
+
+def monge_elkan_matrix(
+    left_tokens: Sequence[Sequence[str]],
+    right_tokens: Sequence[Sequence[str]],
+    inner_cache: PairCache | None = None,
+) -> np.ndarray:
+    """Batch symmetrised Monge-Elkan with the Jaro-Winkler inner metric.
+
+    The inner metric is evaluated once per unique token pair (tokens repeat
+    massively across attribute names); the per-name-pair best-match means
+    are then gathered from the token-pair matrix with padded index arrays.
+    """
+    n_left, n_right = len(left_tokens), len(right_tokens)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right), dtype=np.float64)
+    out = np.zeros((n_left, n_right), dtype=np.float64)
+    len_a = np.fromiter(
+        (len(t) for t in left_tokens), count=n_left, dtype=np.float64
+    )
+    len_b = np.fromiter(
+        (len(t) for t in right_tokens), count=n_right, dtype=np.float64
+    )
+
+    vocab_left: dict[str, int] = {}
+    for tokens in left_tokens:
+        for token in tokens:
+            vocab_left.setdefault(token, len(vocab_left))
+    vocab_right: dict[str, int] = {}
+    for tokens in right_tokens:
+        for token in tokens:
+            vocab_right.setdefault(token, len(vocab_right))
+
+    if vocab_left and vocab_right:
+        inner = jaro_winkler_similarity_matrix(
+            list(vocab_left), list(vocab_right), cache=inner_cache
+        )
+        width_a = max(max((len(t) for t in left_tokens), default=0), 1)
+        width_b = max(max((len(t) for t in right_tokens), default=0), 1)
+        index_a = np.zeros((n_left, width_a), dtype=np.int64)
+        mask_a = np.zeros((n_left, width_a), dtype=bool)
+        for i, tokens in enumerate(left_tokens):
+            index_a[i, : len(tokens)] = [vocab_left[t] for t in tokens]
+            mask_a[i, : len(tokens)] = True
+        index_b = np.zeros((n_right, width_b), dtype=np.int64)
+        mask_b = np.zeros((n_right, width_b), dtype=bool)
+        for j, tokens in enumerate(right_tokens):
+            index_b[j, : len(tokens)] = [vocab_right[t] for t in tokens]
+            mask_b[j, : len(tokens)] = True
+
+        chunk = max(1, int(4_000_000 // max(1, n_right * width_a * width_b)))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for start in range(0, n_left, chunk):
+                stop = min(start + chunk, n_left)
+                gathered = inner[
+                    index_a[start:stop][:, None, :, None],
+                    index_b[None, :, None, :],
+                ]
+                gathered = np.where(
+                    mask_b[None, :, None, :], gathered, -np.inf
+                )
+                best_ab = gathered.max(axis=3)
+                directed_ab = np.where(
+                    mask_a[start:stop][:, None, :], best_ab, 0.0
+                ).sum(axis=2) / len_a[start:stop][:, None]
+                best_ba = np.where(
+                    mask_a[start:stop][:, None, :, None], gathered, -np.inf
+                ).max(axis=2)
+                directed_ba = np.where(
+                    mask_b[None, :, :], best_ba, 0.0
+                ).sum(axis=2) / len_b[None, :]
+                out[start:stop] = (directed_ab + directed_ba) / 2.0
+
+    empty_left = len_a == 0
+    empty_right = len_b == 0
+    out[empty_left, :] = 0.0
+    out[:, empty_right] = 0.0
+    out[np.ix_(empty_left, empty_right)] = 1.0
+    return np.clip(out, 0.0, 1.0)

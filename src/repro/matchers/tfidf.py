@@ -8,16 +8,21 @@ attribute names, so rare (discriminative) tokens dominate the score — the
 corpus-based trick of COMA-family matchers.
 
 The matcher is *fittable*: call :meth:`fit` with the network's schemas
-before matching (pipelines do this automatically).
+before matching (pipelines do this automatically).  Token sets are derived
+once per distinct name (shared registry profiles plus a per-matcher
+synonym-folding cache), and the batch path computes whole schema-pair
+blocks as a sparse IDF-weighted token-incidence matrix product.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..core.schema import Schema
-from . import tokenization
+from . import registry, string_metrics
 from .base import CachedMatcher
 from .semantic import Thesaurus
 
@@ -38,12 +43,15 @@ class TfIdfTokenMatcher(CachedMatcher):
         self.thesaurus = thesaurus
         self._idf: dict[str, float] = {}
         self._default_idf = 1.0
+        self._token_cache: dict[str, frozenset[str]] = {}
 
     def _tokens(self, name: str) -> frozenset[str]:
-        tokens = tokenization.tokenize(name)
-        if self.thesaurus is not None:
-            return frozenset(self.thesaurus.canonical(t) for t in tokens)
-        return frozenset(tokens)
+        """The (optionally synonym-folded) token set of a name, memoised.
+
+        Depends only on the tokenizer and the thesaurus — both fixed for the
+        matcher's lifetime — so the cache survives :meth:`fit`.
+        """
+        return registry.folded_token_set(name, self.thesaurus, self._token_cache)
 
     def fit(self, schemas: Iterable[Schema]) -> "TfIdfTokenMatcher":
         """Learn token document frequencies from attribute names."""
@@ -88,3 +96,12 @@ class TfIdfTokenMatcher(CachedMatcher):
             return 0.0
         intersection_weight = sum(self.idf(t) for t in left_tokens & right_tokens)
         return intersection_weight / union_weight
+
+    def _name_similarity_matrix(
+        self, left_names: Sequence[str], right_names: Sequence[str]
+    ) -> np.ndarray:
+        return string_metrics.weighted_jaccard_matrix(
+            [self._tokens(name) for name in left_names],
+            [self._tokens(name) for name in right_names],
+            self.idf,
+        )

@@ -5,6 +5,12 @@ Schema attribute names arrive in wildly mixed conventions — ``camelCase``,
 (``txtFirstName``) — and the string matchers must compare them on a common
 footing.  This module splits names into lowercase token sequences, strips
 widget prefixes, and expands a curated abbreviation dictionary.
+
+The functions here are pure and stateless; matchers do not call them per
+pair.  The unique-name registry (:mod:`repro.matchers.registry`) invokes the
+pipeline once per distinct attribute name and caches every derived view
+(token sequence, normal forms, q-gram profiles) for the batch
+``similarity_matrix`` kernels to assemble their inputs from.
 """
 
 from __future__ import annotations

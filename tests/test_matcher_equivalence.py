@@ -1,0 +1,328 @@
+"""Property tests: batch ``similarity_matrix`` ≡ scalar ``similarity``.
+
+The vectorised kernels (string_metrics batch section, the per-matcher
+``_name_similarity_matrix`` overrides, ensemble block aggregation and the
+array selectors) are pinned to the scalar reference semantics to 1e-9 on
+randomly generated attribute names, including empty/degenerate names,
+duplicated names (the dedup/gather path), the thesaurus-folded TF-IDF path
+and mixed declared types.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.correspondence import correspondence
+from repro.core.schema import Attribute, Schema
+from repro.matchers import (
+    DataTypeMatcher,
+    EditDistanceMatcher,
+    EnsembleMatcher,
+    JaroWinklerMatcher,
+    MaxDeltaSelector,
+    MongeElkanMatcher,
+    NGramMatcher,
+    PrefixSuffixMatcher,
+    StableMarriageSelector,
+    SubstringMatcher,
+    SynonymMatcher,
+    TfIdfTokenMatcher,
+    Thesaurus,
+    TokenMatcher,
+    TopKSelector,
+    harmonic_mean,
+    matrix_from_scores,
+    maximum,
+    weighted_average,
+)
+from repro.matchers.base import SimilarityMatrix
+
+#: Realistic attribute-name material: mixed conventions, abbreviations,
+#: widget prefixes, concatenations — plus degenerate entries (empty,
+#: delimiter-only, single char, numeric, repeated-character, unicode).
+_NAME_POOL = [
+    "billingAddressLine1",
+    "billing_street",
+    "BillingCity",
+    "cust_addr",
+    "CustAddr",
+    "customerName",
+    "customer-name",
+    "custName",
+    "txtFirstName",
+    "fname",
+    "lname",
+    "PO_total_amt",
+    "po_number",
+    "orderDate",
+    "order_date",
+    "dob",
+    "qty",
+    "quantity",
+    "unitPrice",
+    "unit_price",
+    "zip",
+    "postalcode",
+    "postal_code",
+    "telephoneNumber",
+    "tel",
+    "email",
+    "eMail",
+    "billingstate",
+    "shipToState",
+    "X",
+    "a",
+    "1",
+    "",
+    "_",
+    "--",
+    "aaaaaaaaaaaaaaaaaaaaaaaa",
+    "café",
+    "ítem_número",
+    "id",
+    "ID2",
+]
+
+_TYPE_POOL = [None, "string", "integer", "decimal", "date", "datetime", "boolean", "custom"]
+
+
+def _random_attrs(rng: random.Random, side: str, count: int) -> list[Attribute]:
+    """Random attributes with repeated names (exercises dedup paths)."""
+    return [
+        Attribute(side, rng.choice(_NAME_POOL), rng.choice(_TYPE_POOL))
+        for _ in range(count)
+    ]
+
+
+def _assert_block_matches_scalar(matcher, left, right):
+    batch = matcher.similarity_matrix(left, right)
+    reference = matcher.similarity_matrix_scalar(left, right)
+    np.testing.assert_allclose(batch, reference, rtol=0.0, atol=1e-9)
+
+
+def _custom_aggregation(scores, weights):
+    """A deliberately unknown aggregation: forces the per-cell fallback."""
+    return min(1.0, 0.25 + 0.5 * weighted_average(scores, weights))
+
+
+def _first_line_matchers():
+    return [
+        EditDistanceMatcher(),
+        JaroWinklerMatcher(),
+        TokenMatcher(),
+        MongeElkanMatcher(),
+        NGramMatcher(),
+        NGramMatcher(q=2),
+        SubstringMatcher(),  # scalar-only: rides the cached fallback
+        PrefixSuffixMatcher(),
+        SynonymMatcher(),
+        DataTypeMatcher(),
+    ]
+
+
+class TestMatrixScalarEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_first_line_matchers(self, seed):
+        rng = random.Random(seed)
+        left = _random_attrs(rng, "L", rng.randint(1, 18))
+        right = _random_attrs(rng, "R", rng.randint(1, 18))
+        for matcher in _first_line_matchers():
+            _assert_block_matches_scalar(matcher, left, right)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_empty_sides(self, seed):
+        rng = random.Random(seed)
+        attrs = _random_attrs(rng, "L", 4)
+        for matcher in _first_line_matchers():
+            assert matcher.similarity_matrix(attrs, []).shape == (4, 0)
+            assert matcher.similarity_matrix([], attrs).shape == (0, 4)
+
+    def test_all_degenerate_names(self):
+        left = [Attribute("L", name) for name in ["", "_", "--", "1", "X"]]
+        right = [Attribute("R", name) for name in ["", "-", "2", "X", "_"]]
+        for matcher in _first_line_matchers():
+            _assert_block_matches_scalar(matcher, left, right)
+
+    @pytest.mark.parametrize("thesaurus", [None, Thesaurus()])
+    @pytest.mark.parametrize("fitted", [False, True])
+    def test_tfidf_paths(self, thesaurus, fitted):
+        rng = random.Random(7)
+        left = _random_attrs(rng, "L", 14)
+        right = _random_attrs(rng, "R", 14)
+        matcher = TfIdfTokenMatcher(thesaurus)
+        if fitted:
+            matcher.fit(
+                [
+                    Schema("L", dict.fromkeys(left).keys()),
+                    Schema("R", dict.fromkeys(right).keys()),
+                ]
+            )
+        _assert_block_matches_scalar(matcher, left, right)
+
+    @pytest.mark.parametrize(
+        "aggregation", [weighted_average, maximum, harmonic_mean, _custom_aggregation]
+    )
+    def test_ensemble_aggregations(self, aggregation):
+        rng = random.Random(11)
+        left = _random_attrs(rng, "L", 10)
+        right = _random_attrs(rng, "R", 10)
+        ensemble = EnsembleMatcher(
+            [
+                EditDistanceMatcher(),
+                TokenMatcher(),
+                DataTypeMatcher(),
+                TfIdfTokenMatcher(Thesaurus()),
+            ],
+            weights=[1.0, 0.5, 0.25, 2.0],
+            aggregation=aggregation,
+        )
+        _assert_block_matches_scalar(ensemble, left, right)
+
+    def test_from_array_rejects_nan(self):
+        """NaN blocks must fail loudly, like the scalar set() path."""
+        left = Schema.from_names("L", ["a"])
+        right = Schema.from_names("R", ["b"])
+        with pytest.raises(ValueError, match="outside"):
+            SimilarityMatrix.from_array(left, right, np.array([[np.nan]]))
+
+    def test_cached_matcher_repeated_names_gather(self):
+        """Per-side duplicates must broadcast the unique-name block."""
+        matcher = EditDistanceMatcher()
+        left = [Attribute("L", n) for n in ["qty", "qty", "orderDate", "qty"]]
+        right = [Attribute("R", n) for n in ["quantity", "orderDate", "quantity"]]
+        block = matcher.similarity_matrix(left, right)
+        assert np.array_equal(block[0], block[1])
+        assert np.array_equal(block[:, 0], block[:, 2])
+        _assert_block_matches_scalar(matcher, left, right)
+
+
+class TestDependsOn:
+    def test_builtin_declarations(self):
+        assert EditDistanceMatcher().depends_on == ("name",)
+        assert DataTypeMatcher().depends_on == ("data_type",)
+
+    def test_ensemble_union(self):
+        ensemble = EnsembleMatcher([EditDistanceMatcher(), DataTypeMatcher()])
+        assert ensemble.depends_on == ("data_type", "name")
+
+    def test_ensemble_unknown_member(self):
+        class Opaque(DataTypeMatcher):
+            depends_on = None
+
+        ensemble = EnsembleMatcher([EditDistanceMatcher(), Opaque()])
+        assert ensemble.depends_on is None
+
+
+# ---------------------------------------------------------------------------
+# Selector parity: the array implementations against the historical
+# dict-based reference semantics (including tie handling).
+# ---------------------------------------------------------------------------
+
+
+def _reference_top_k(matrix, k, threshold):
+    per_left, per_right = {}, {}
+    for (left_attr, right_attr), score in matrix.items():
+        if score < threshold:
+            continue
+        per_left.setdefault(left_attr, []).append((score, right_attr))
+        per_right.setdefault(right_attr, []).append((score, left_attr))
+    chosen = {}
+    for left_attr, partners in per_left.items():
+        partners.sort(key=lambda pair: (-pair[0], pair[1]))
+        for score, right_attr in partners[:k]:
+            chosen[correspondence(left_attr, right_attr)] = score
+    for right_attr, partners in per_right.items():
+        partners.sort(key=lambda pair: (-pair[0], pair[1]))
+        for score, left_attr in partners[:k]:
+            chosen[correspondence(left_attr, right_attr)] = score
+    return chosen
+
+
+def _reference_max_delta(matrix, delta, threshold):
+    best_left, best_right = {}, {}
+    for (left_attr, right_attr), score in matrix.items():
+        best_left[left_attr] = max(best_left.get(left_attr, 0.0), score)
+        best_right[right_attr] = max(best_right.get(right_attr, 0.0), score)
+    chosen = {}
+    for (left_attr, right_attr), score in matrix.items():
+        if score < threshold:
+            continue
+        if (
+            score >= best_left[left_attr] - delta
+            or score >= best_right[right_attr] - delta
+        ):
+            chosen[correspondence(left_attr, right_attr)] = score
+    return chosen
+
+
+def _reference_stable_marriage(matrix, threshold):
+    scored = sorted(
+        (
+            (score, left_attr, right_attr)
+            for (left_attr, right_attr), score in matrix.items()
+            if score >= threshold
+        ),
+        key=lambda triple: (-triple[0], triple[1], triple[2]),
+    )
+    used_left, used_right, chosen = set(), set(), {}
+    for score, left_attr, right_attr in scored:
+        if left_attr in used_left or right_attr in used_right:
+            continue
+        used_left.add(left_attr)
+        used_right.add(right_attr)
+        chosen[correspondence(left_attr, right_attr)] = score
+    return chosen
+
+
+def _random_matrix(rng: random.Random) -> SimilarityMatrix:
+    """A random matrix with heavy score ties and (sometimes) unset cells."""
+    n_left, n_right = rng.randint(1, 9), rng.randint(1, 9)
+    left = Schema.from_names("L", [f"a{i}" for i in range(n_left)])
+    right = Schema.from_names("R", [f"b{j}" for j in range(n_right)])
+    if rng.random() < 0.5:
+        scores = np.round(
+            np.array(
+                [[rng.random() for _ in range(n_right)] for _ in range(n_left)]
+            ),
+            1,  # quantise to force ties
+        )
+        return SimilarityMatrix.from_array(left, right, scores)
+    explicit = {
+        (la, rb): round(rng.random(), 1)
+        for la in left
+        for rb in right
+        if rng.random() < 0.6
+    }
+    return matrix_from_scores(left, right, explicit)
+
+
+@pytest.mark.parametrize("seed", range(25))
+class TestSelectorParity:
+    def test_top_k(self, seed):
+        rng = random.Random(seed)
+        matrix = _random_matrix(rng)
+        k = rng.randint(1, 3)
+        threshold = rng.choice([0.0, 0.3, 0.5])
+        assert TopKSelector(k=k, threshold=threshold).select(
+            matrix
+        ) == _reference_top_k(matrix, k, threshold)
+
+    def test_max_delta(self, seed):
+        rng = random.Random(seed)
+        matrix = _random_matrix(rng)
+        delta = rng.choice([0.0, 0.1, 0.3])
+        threshold = rng.choice([0.0, 0.3, 0.6])
+        assert MaxDeltaSelector(delta=delta, threshold=threshold).select(
+            matrix
+        ) == _reference_max_delta(matrix, delta, threshold)
+
+    def test_stable_marriage(self, seed):
+        rng = random.Random(seed)
+        matrix = _random_matrix(rng)
+        threshold = rng.choice([0.0, 0.3, 0.6])
+        assert StableMarriageSelector(threshold=threshold).select(
+            matrix
+        ) == _reference_stable_marriage(matrix, threshold)

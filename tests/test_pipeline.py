@@ -57,6 +57,62 @@ class TestMatchPair:
         assert ("orderDate", "order_date") in names
 
 
+class TestFitSemantics:
+    def _tfidf_member(self, pipeline):
+        from repro.matchers import TfIdfTokenMatcher
+
+        return next(
+            m
+            for m in pipeline.matcher.matchers
+            if isinstance(m, TfIdfTokenMatcher)
+        )
+
+    def test_explicit_fit_is_reused_by_match_pair(self, tiny_schemas):
+        """`match_pair` must not silently re-learn corpus statistics."""
+        s1, s2, _ = tiny_schemas
+        pipeline = coma_like().fit(tiny_schemas)
+        assert pipeline.is_fitted
+        corpus_idf = dict(self._tfidf_member(pipeline)._idf)
+        pipeline.match_pair(s1, s2)
+        pipeline.match_pair(s1, s2)
+        assert self._tfidf_member(pipeline)._idf == corpus_idf
+
+    def test_unfitted_match_pair_fits_once(self, tiny_schemas):
+        s1, s2, s3 = tiny_schemas
+        pipeline = coma_like()
+        assert not pipeline.is_fitted
+        pipeline.match_pair(s1, s2)
+        assert pipeline.is_fitted
+        pair_idf = dict(self._tfidf_member(pipeline)._idf)
+        pipeline.match_pair(s1, s3)  # reuses state, no refit on (s1, s3)
+        assert self._tfidf_member(pipeline)._idf == pair_idf
+
+    def test_match_network_respects_prior_fit(self, tiny_schemas):
+        pipeline = coma_like().fit(tiny_schemas)
+        corpus_idf = dict(self._tfidf_member(pipeline)._idf)
+        pipeline.match_network(tiny_schemas[:2])
+        assert self._tfidf_member(pipeline)._idf == corpus_idf
+
+    def test_block_dedup_matches_per_edge_results(self, tiny_schemas):
+        """Cross-edge block reuse must not change any edge's candidates."""
+        from repro.core.schema import Attribute, Schema
+
+        # S2 and S4 share an identical (name, data_type) profile.
+        s1, s2, s3 = tiny_schemas
+        s4 = Schema(
+            "S4", [Attribute("S4", a.name, a.data_type) for a in s2]
+        )
+        schemas = [s1, s2, s3, s4]
+        pipeline = amc_like().fit(schemas)
+        assert pipeline.matcher.depends_on is not None
+        merged = pipeline.match_network(schemas)
+        by_pair = merged.by_schema_pair()
+        for left, right in [(s1, s2), (s1, s4), (s2, s4), (s3, s4)]:
+            expected = pipeline.match_pair(left, right)
+            pair = tuple(sorted((left.name, right.name)))
+            assert set(by_pair.get(pair, [])) == set(expected.correspondences)
+
+
 class TestMatchNetwork:
     def test_covers_all_edges_of_complete_graph(self, tiny_schemas):
         candidates = coma_like().match_network(tiny_schemas)
