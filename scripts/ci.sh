@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI entrypoint: byte-compile the package, then the fast test profile
+# Tier-1 CI entrypoint: byte-compile the package, the fast test profile, then
+# the src/repro/core line-coverage floor (stdlib settrace tracer over the
+# deterministic core test files — the container ships no coverage.py).
 # (pytest.ini deselects the slow benchmark/experiment regenerations; run
 # `pytest -m ""` for the full matrix).
 set -euo pipefail
@@ -7,3 +9,8 @@ cd "$(dirname "$0")/.."
 
 python -m compileall -q src
 python -m pytest -q
+# The traced floor re-runs the deterministic core test files; the overlap
+# with the plain pass above is deliberate — the plain pass is the exact
+# tier-1 gate profile (all tests, no tracer), the floor is a coverage
+# measurement, and neither substitutes for the other.
+python scripts/coverage_floor.py --min 85

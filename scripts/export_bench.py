@@ -21,6 +21,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILES = (
     "benchmarks/test_bench_kernels.py",
     "benchmarks/test_bench_match_network.py",
+    "benchmarks/test_bench_reconciliation.py",
 )
 
 

@@ -63,15 +63,19 @@ from .selection import (
     rank_by_information_gain,
     EntropySelection,
     InformationGainSelection,
+    LikelihoodSelection,
     RandomSelection,
     SelectionStrategy,
 )
 from .uncertainty import (
     binary_entropy,
+    binary_entropy_cached,
     conditional_uncertainty,
     information_gain,
+    information_gain_array,
     information_gains,
     network_uncertainty,
+    network_uncertainty_vector,
     probabilities_from_samples,
     sample_matrix,
 )
@@ -91,6 +95,7 @@ __all__ = [
     "InformationGainSelection",
     "InstanceSampler",
     "InteractionGraph",
+    "LikelihoodSelection",
     "MajorityOracle",
     "MatchingNetwork",
     "MutualExclusionConstraint",
@@ -110,6 +115,7 @@ __all__ = [
     "UnrepairableError",
     "Violation",
     "binary_entropy",
+    "binary_entropy_cached",
     "complete_graph",
     "conditional_uncertainty",
     "correspondence",
@@ -122,11 +128,13 @@ __all__ = [
     "greedy_maximalize",
     "greedy_maximalize_mask",
     "information_gain",
+    "information_gain_array",
     "information_gains",
     "instantiate",
     "is_matching_instance",
     "log_likelihood",
     "network_uncertainty",
+    "network_uncertainty_vector",
     "path_graph",
     "probabilities_from_samples",
     "rank_by_information_gain",

@@ -281,6 +281,16 @@ def kth_set_bit(mask: int, k: int) -> int:
             raise ValueError("mask has fewer set bits than k")
 
 
+def mask_indices(mask: int) -> list[int]:
+    """Ascending indices of the set bits of ``mask``."""
+    indices: list[int] = []
+    while mask:
+        bit = mask & -mask
+        indices.append(bit.bit_length() - 1)
+        mask ^= bit
+    return indices
+
+
 def shuffled(indices: Iterable[int], rng) -> list[int]:
     """Fisher–Yates shuffle driven by ``rng.random()``.
 
@@ -384,6 +394,21 @@ class ConstraintEngine:
         self._pair_partners: tuple[int, ...] = tuple(pair_partners)
         self._large_vmasks: tuple[tuple[int, ...], ...] = tuple(
             tuple(masks) for masks in large
+        )
+        # Candidates untouched by any violation can never block (or be
+        # blocked by) anything: maximalisation adds them unconditionally and
+        # in any order, so kernels treat them wholesale via these masks.
+        conflicted = 0
+        for vmask in vmasks:
+            conflicted |= vmask
+        self.conflicted_mask: int = conflicted
+        self.conflicted_count: int = conflicted.bit_count()
+        self.violation_free_mask: int = self.full_mask & ~conflicted
+        # Fused per-index rows for the maximalisation scan: one tuple unpack
+        # per tried candidate instead of three separate table hits.
+        self._scan_rows: tuple[tuple[int, int, tuple[int, ...]], ...] = tuple(
+            (self.bits[i], pair_partners[i], self._large_vmasks[i])
+            for i in range(n)
         )
         # Union of every co-member of every violation involving an index:
         # if a selection misses this union entirely, adding the index cannot

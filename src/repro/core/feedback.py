@@ -49,6 +49,16 @@ class Feedback:
         """F⁺ ∪ F⁻ — everything the expert has looked at."""
         return frozenset(self._approved | self._disapproved)
 
+    @property
+    def approved_count(self) -> int:
+        """|F⁺| without materialising the frozenset view."""
+        return len(self._approved)
+
+    @property
+    def disapproved_count(self) -> int:
+        """|F⁻| without materialising the frozenset view."""
+        return len(self._disapproved)
+
     def approve(self, corr: Correspondence) -> None:
         """Record ``corr ∈ F⁺``; idempotent, contradictions raise."""
         if corr in self._disapproved:
@@ -75,10 +85,14 @@ class Feedback:
         return Feedback(self._approved, self._disapproved)
 
     def effort(self, total_candidates: int) -> float:
-        """User effort E = |F⁺ ∪ F⁻| / |C| (paper Section VI-A)."""
+        """User effort E = |F⁺ ∪ F⁻| / |C| (paper Section VI-A).
+
+        F⁺ and F⁻ are disjoint by construction, so the union size is the
+        sum of the set sizes — no frozenset needs materialising.
+        """
         if total_candidates <= 0:
             raise ValueError("total_candidates must be positive")
-        return len(self.asserted) / total_candidates
+        return len(self) / total_candidates
 
     def __len__(self) -> int:
         return len(self._approved) + len(self._disapproved)

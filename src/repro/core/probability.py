@@ -16,11 +16,14 @@ import abc
 import random
 from typing import Optional, Sequence
 
+import numpy as np
+
 from .correspondence import Correspondence
 from .feedback import Feedback
 from .instances import exact_probabilities
 from .network import MatchingNetwork
 from .sampling import InstanceSampler, SampleStore
+from .uncertainty import network_uncertainty_vector
 
 
 class ProbabilityEstimator(abc.ABC):
@@ -38,6 +41,30 @@ class ProbabilityEstimator(abc.ABC):
     @abc.abstractmethod
     def feedback(self) -> Feedback:
         """The assertions integrated so far."""
+
+    @property
+    def version(self) -> int:
+        """Monotone state tag: changes whenever the estimate may change.
+
+        Callers cache derived views (probability vectors, entropies) keyed
+        on this tag.  The default counts assertions, which is correct for
+        estimators whose state changes only through ``record_assertion``.
+        """
+        return len(self.feedback)
+
+    def probability_vector(
+        self, correspondences: Sequence[Correspondence]
+    ) -> np.ndarray:
+        """P as a float64 vector aligned to ``correspondences``.
+
+        The base implementation materialises the mapping; estimators with a
+        native array representation override this to skip the dict.
+        """
+        probabilities = self.probabilities()
+        return np.asarray(
+            [probabilities[corr] for corr in correspondences],
+            dtype=np.float64,
+        )
 
 
 class ExactEstimator(ProbabilityEstimator):
@@ -71,8 +98,18 @@ class SampledEstimator(ProbabilityEstimator):
         target_samples: int = 500,
         walk_steps: int = 5,
         rng: Optional[random.Random] = None,
+        sampler: Optional[InstanceSampler] = None,
     ):
-        sampler = InstanceSampler(network, walk_steps=walk_steps, rng=rng)
+        """``sampler`` overrides the default :class:`InstanceSampler`
+        entirely — ``walk_steps`` and ``rng`` configure only the default,
+        a supplied sampler keeps its own settings (and must be built for
+        the same ``network``)."""
+        if sampler is None:
+            sampler = InstanceSampler(network, walk_steps=walk_steps, rng=rng)
+        elif sampler.network is not network:
+            raise ValueError(
+                "the supplied sampler was built for a different network"
+            )
         self.store = SampleStore(network, sampler, target_samples=target_samples)
         self.network = network
 
@@ -99,6 +136,21 @@ class SampledEstimator(ProbabilityEstimator):
         # because ProbabilisticNetwork folds assertions into the result.
         return dict(self.store.frequencies())
 
+    @property
+    def version(self) -> int:
+        return self.store.version
+
+    def probability_vector(
+        self, correspondences: Sequence[Correspondence]
+    ) -> np.ndarray:
+        # The store's vector is aligned to the engine index, i.e. the
+        # network's candidate order; serve it directly for that order (the
+        # reconciliation loop's call) and fall back to the mapping-based
+        # base path for any other alignment a caller requests.
+        if tuple(correspondences) == self.network.correspondences:
+            return self.store.probability_vector()
+        return super().probability_vector(correspondences)
+
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         self.store.record_assertion(corr, approved)
 
@@ -122,6 +174,18 @@ class ProbabilisticNetwork:
         self.estimator = estimator or SampledEstimator(
             network, target_samples=target_samples, rng=rng
         )
+        self._view_tag: Optional[tuple[int, int]] = None
+        self._vector_cache: Optional[np.ndarray] = None
+        self._uncertainty_cache: Optional[float] = None
+        self._uncertain_indices_cache: Optional[np.ndarray] = None
+        self._unasserted_indices_cache: Optional[np.ndarray] = None
+        # Incrementally maintained F⁺/F⁻ engine indices; rebuilt from the
+        # feedback sets only when the counts disagree (i.e. someone mutated
+        # the estimator without going through record_assertion).
+        self._approved_indices: list[int] = []
+        self._disapproved_indices: list[int] = []
+        self._approved_seen = -1
+        self._disapproved_seen = -1
 
     @property
     def feedback(self) -> Feedback:
@@ -131,6 +195,115 @@ class ProbabilisticNetwork:
     def correspondences(self) -> tuple[Correspondence, ...]:
         return self.network.correspondences
 
+    # ------------------------------------------------------------------
+    # Array-native views (the reconciliation loop's hot representation)
+    # ------------------------------------------------------------------
+    def _views_current(self) -> bool:
+        """Validate the cached vector views against the estimator state.
+
+        The tag pairs the estimator's version with the feedback size, so
+        views stay correct even when callers mutate the estimator (or its
+        store) directly instead of going through :meth:`record_assertion`.
+        """
+        tag = (self.estimator.version, len(self.feedback))
+        if tag != self._view_tag:
+            self._view_tag = tag
+            self._vector_cache = None
+            self._uncertainty_cache = None
+            self._uncertain_indices_cache = None
+            self._unasserted_indices_cache = None
+            return False
+        return True
+
+    def _asserted_index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Engine indices of F⁺ and F⁻ (non-candidates have no index).
+
+        Normally the incrementally maintained lists; rebuilt from the
+        feedback sets when assertions bypassed :meth:`record_assertion`.
+        """
+        feedback = self.feedback
+        index_of = self.network.engine.index_of
+        if self._approved_seen != feedback.approved_count:
+            self._approved_indices = [
+                index_of[corr]
+                for corr in feedback.approved
+                if corr in index_of
+            ]
+            self._approved_seen = feedback.approved_count
+        if self._disapproved_seen != feedback.disapproved_count:
+            self._disapproved_indices = [
+                index_of[corr]
+                for corr in feedback.disapproved
+                if corr in index_of
+            ]
+            self._disapproved_seen = feedback.disapproved_count
+        return (
+            np.asarray(self._approved_indices, dtype=np.intp),
+            np.asarray(self._disapproved_indices, dtype=np.intp),
+        )
+
+    def probability_vector(self) -> np.ndarray:
+        """P as a frozen float64 vector over the candidate index, with user
+        assertions folded in (p ∈ {0, 1} for them) — the array counterpart
+        of :meth:`probabilities`, cached until the estimator state moves."""
+        self._views_current()
+        if self._vector_cache is None:
+            vector = np.array(
+                self.estimator.probability_vector(self.network.correspondences),
+                dtype=np.float64,
+            )
+            approved, disapproved = self._asserted_index_arrays()
+            if len(approved):
+                vector[approved] = 1.0
+            if len(disapproved):
+                vector[disapproved] = 0.0
+            vector.setflags(write=False)
+            self._vector_cache = vector
+        return self._vector_cache
+
+    def uncertainty(self) -> float:
+        """Network uncertainty H(C, P) (Equation 3), cached per state.
+
+        Summing only the uncertain entries is bit-for-bit equal to summing
+        all of them: certain entries contribute an exact ``0.0``, and adding
+        ``0.0`` to a non-negative partial sum is the IEEE identity, so the
+        left-to-right accumulation is unchanged.
+        """
+        self._views_current()
+        if self._uncertainty_cache is None:
+            self._uncertainty_cache = network_uncertainty_vector(
+                self.probability_vector()[self.uncertain_indices()]
+            )
+        return self._uncertainty_cache
+
+    def uncertain_indices(self) -> np.ndarray:
+        """Candidate indices with 0 < p < 1, ascending (frozen, cached)."""
+        self._views_current()
+        if self._uncertain_indices_cache is None:
+            vector = self.probability_vector()
+            indices = np.flatnonzero((vector > 0.0) & (vector < 1.0))
+            indices.setflags(write=False)
+            self._uncertain_indices_cache = indices
+        return self._uncertain_indices_cache
+
+    def unasserted_indices(self) -> np.ndarray:
+        """Candidate indices the expert has not asserted yet (ascending)."""
+        self._views_current()
+        if self._unasserted_indices_cache is None:
+            asserted = np.zeros(self.network.engine.n, dtype=bool)
+            approved, disapproved = self._asserted_index_arrays()
+            if len(approved):
+                asserted[approved] = True
+            if len(disapproved):
+                asserted[disapproved] = True
+            indices = np.flatnonzero(~asserted)
+            indices.setflags(write=False)
+            self._unasserted_indices_cache = indices
+        return self._unasserted_indices_cache
+
+    # ------------------------------------------------------------------
+    # Mapping-level views (module boundaries)
+    # ------------------------------------------------------------------
     def probabilities(self) -> dict[Correspondence, float]:
         """P — user assertions are already folded in (p ∈ {0, 1} for them)."""
         probabilities = self.estimator.probabilities()
@@ -147,11 +320,8 @@ class ProbabilisticNetwork:
 
     def uncertain_correspondences(self) -> list[Correspondence]:
         """Candidates with 0 < p < 1 — the only ones worth asserting."""
-        return [
-            corr
-            for corr, p in self.probabilities().items()
-            if 0.0 < p < 1.0
-        ]
+        correspondences = self.network.correspondences
+        return [correspondences[i] for i in self.uncertain_indices().tolist()]
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         """Feedback step ⟨N,P⟩ →ᶜ ⟨N,P'⟩.
@@ -178,6 +348,20 @@ class ProbabilisticNetwork:
                     f"the {conflicts[0].constraint} constraint"
                 )
         self.estimator.record_assertion(corr, approved)
+        # Keep the maintained F⁺/F⁻ index lists in step with the feedback
+        # (append-only; a repeated assertion changes no count and falls
+        # through, any out-of-band mutation triggers the lazy rebuild).
+        feedback = self.feedback
+        index = self.network.engine.index_of.get(corr)
+        if approved:
+            if self._approved_seen == feedback.approved_count - 1:
+                if index is not None:
+                    self._approved_indices.append(index)
+                self._approved_seen += 1
+        elif self._disapproved_seen == feedback.disapproved_count - 1:
+            if index is not None:
+                self._disapproved_indices.append(index)
+            self._disapproved_seen += 1
 
     def samples(self) -> Sequence[frozenset[Correspondence]]:
         """The sample multiset when a sampling estimator backs the network."""

@@ -6,6 +6,14 @@ selection strategy and the (simulated) expert oracle.  Each :meth:`step`
 performs one iteration of Algorithm 1 — select, elicit, integrate — and the
 session records a :class:`ReconciliationTrace` so experiments can plot
 uncertainty/precision against user effort, exactly as Figs. 9–11 do.
+
+The loop is array-native end to end: probabilities flow as the network's
+cached float64 vector, uncertainty is one memoised entropy reduction over
+it, selection strategies consume the vector and the sample store's
+membership matrix directly, and each assertion *conditions* the store's Ω*
+view instead of tearing it down.  The scalar semantics this replaced live
+on in :mod:`repro.core.reference_loop`; the equivalence harness keeps the
+two bit-for-bit identical under seeded runs.
 """
 
 from __future__ import annotations
@@ -19,7 +27,6 @@ from .feedback import Oracle
 from .instantiation import instantiate
 from .probability import ProbabilisticNetwork
 from .selection import RandomSelection, SelectionStrategy
-from .uncertainty import network_uncertainty
 
 
 @dataclass(frozen=True)
@@ -93,8 +100,14 @@ class ReconciliationSession:
     # State inspection
     # ------------------------------------------------------------------
     def uncertainty(self) -> float:
-        """Current network uncertainty H(C, P)."""
-        return network_uncertainty(self.pnet.probabilities())
+        """Current network uncertainty H(C, P).
+
+        Delegates to the network's cached vector reduction — repeated reads
+        between assertions are O(1), and the value is bit-for-bit what
+        :func:`~repro.core.uncertainty.network_uncertainty` computes over
+        the probability mapping.
+        """
+        return self.pnet.uncertainty()
 
     def effort(self) -> float:
         """User effort spent so far, E = |F⁺ ∪ F⁻| / |C|."""
@@ -102,7 +115,7 @@ class ReconciliationSession:
 
     def is_done(self) -> bool:
         """True when no uncertain correspondence remains."""
-        return not self.pnet.uncertain_correspondences()
+        return len(self.pnet.uncertain_indices()) == 0
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -154,8 +167,14 @@ class ReconciliationSession:
         relative ``effort_budget`` (fraction of |C|), an
         ``uncertainty_goal`` threshold, or full reconciliation when none is
         given.
+
+        The ``uncertainty_goal`` check reuses the uncertainty each
+        :class:`ReconciliationStep` just recorded instead of recomputing
+        H(C, P) once more per iteration; only the first iteration (no step
+        taken yet) reads the live value.
         """
         total = len(self.pnet.correspondences)
+        current_uncertainty: Optional[float] = None
         while True:
             if budget is not None and len(self.trace.steps) >= budget:
                 break
@@ -164,13 +183,15 @@ class ReconciliationSession:
                 and (len(self.trace.steps) + 1) / total > effort_budget + 1e-12
             ):
                 break
-            if (
-                uncertainty_goal is not None
-                and self.uncertainty() <= uncertainty_goal
-            ):
+            if uncertainty_goal is not None:
+                if current_uncertainty is None:
+                    current_uncertainty = self.uncertainty()
+                if current_uncertainty <= uncertainty_goal:
+                    break
+            record = self.step()
+            if record is None:
                 break
-            if self.step() is None:
-                break
+            current_uncertainty = record.uncertainty
         return self.trace
 
     # ------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""The pinned scalar reference of the reconciliation loop.
+
+:class:`ReferenceReconciliationSession` re-implements Algorithm 1 exactly
+the way the loop worked before it went array-native: every quantity is
+derived from the mapping-level APIs (``probabilities()`` dicts, scalar
+``binary_entropy`` sums, list comprehensions over correspondences) and the
+sample store's numpy caches are torn down after every assertion so each
+step re-derives them from the mask multiset — the non-incremental
+behaviour the view-maintained store replaced.
+
+It exists for the equivalence harness: the store, sampler and constraint
+kernels are *shared* with the production loop, so a reference session and a
+:class:`~repro.core.reconciliation.ReconciliationSession` driven with
+identical seeds consume identical random streams and must produce
+**bit-for-bit identical traces** — same uncertainties, same selections,
+same feedback state at every step.  ``tests/test_loop_equivalence.py``
+enforces exactly that, and the seeded golden tests pin the shared result.
+It also doubles as the baseline of the reconciliation-session benchmark,
+paying the scalar per-step costs the incremental loop eliminated.
+
+The class supports the strategies the scenario harness drives (random,
+information-gain, likelihood) with the historical dict-based selection
+code, including the historical rng-consumption pattern, so seeded
+selections match the vectorised strategies tie for tie.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .correspondence import Correspondence
+from .feedback import Oracle
+from .probability import ProbabilisticNetwork, SampledEstimator
+from .reconciliation import ReconciliationStep, ReconciliationTrace
+from .uncertainty import binary_entropy, information_gains, network_uncertainty
+
+
+class ReferenceReconciliationSession:
+    """Scalar, teardown-per-step Algorithm 1 — the equivalence baseline."""
+
+    def __init__(
+        self,
+        pnet: ProbabilisticNetwork,
+        oracle: Oracle,
+        strategy: str = "random",
+        rng: Optional[random.Random] = None,
+        on_conflict: str = "raise",
+    ):
+        if strategy not in ("random", "information-gain", "likelihood"):
+            raise ValueError(f"unknown reference strategy {strategy!r}")
+        if on_conflict not in ("raise", "disapprove"):
+            raise ValueError("on_conflict must be 'raise' or 'disapprove'")
+        self.pnet = pnet
+        self.oracle = oracle
+        self.strategy = strategy
+        self.rng = rng or random.Random()
+        self.on_conflict = on_conflict
+        self.conflicts_resolved = 0
+        self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
+
+    # ------------------------------------------------------------------
+    # Scalar state inspection (historical implementations, verbatim)
+    # ------------------------------------------------------------------
+    def uncertainty(self) -> float:
+        """H(C, P) as the scalar sum over the probability mapping."""
+        return network_uncertainty(self.pnet.probabilities())
+
+    def effort(self) -> float:
+        """E via the materialised F⁺ ∪ F⁻ frozenset."""
+        return len(self.pnet.feedback.asserted) / len(self.pnet.correspondences)
+
+    def _uncertain(self) -> list[Correspondence]:
+        return [
+            corr
+            for corr, p in self.pnet.probabilities().items()
+            if 0.0 < p < 1.0
+        ]
+
+    def _unasserted(self) -> list[Correspondence]:
+        feedback = self.pnet.feedback
+        return [
+            corr
+            for corr in self.pnet.correspondences
+            if not feedback.is_asserted(corr)
+        ]
+
+    def is_done(self) -> bool:
+        return not self._uncertain()
+
+    # ------------------------------------------------------------------
+    # Historical dict-based selection
+    # ------------------------------------------------------------------
+    def _select(self) -> Optional[Correspondence]:
+        if self.strategy == "random":
+            unasserted = self._unasserted()
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        uncertain = self._uncertain()
+        if not uncertain:
+            unasserted = self._unasserted()
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        if self.strategy == "likelihood":
+            probabilities = self.pnet.probabilities()
+            best_p = max(probabilities[corr] for corr in uncertain)
+            best = [corr for corr in uncertain if probabilities[corr] == best_p]
+            return best[self.rng.randrange(len(best))]
+        if not isinstance(self.pnet.estimator, SampledEstimator):
+            raise TypeError("information-gain needs a SampledEstimator")
+        gains = information_gains(
+            (),
+            self.pnet.correspondences,
+            restrict_to=uncertain,
+            matrix=self.pnet.estimator.membership_matrix(),
+        )
+        best_gain = max(gains.values())
+        best = [corr for corr, gain in gains.items() if gain == best_gain]
+        return best[self.rng.randrange(len(best))]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, scalar edition
+    # ------------------------------------------------------------------
+    def _teardown(self) -> None:
+        """Discard the store's derived caches, as the pre-incremental store
+        did after every assertion (the next read re-derives everything)."""
+        estimator = self.pnet.estimator
+        if isinstance(estimator, SampledEstimator):
+            estimator.store._invalidate()
+
+    def step(self) -> Optional[ReconciliationStep]:
+        from .instances import InconsistentFeedbackError
+
+        corr = self._select()
+        if corr is None:
+            return None
+        # The random baseline may pick an already-certain correspondence;
+        # mirror RandomSelection's contract exactly (it selects among the
+        # unasserted, certain or not).
+        approved = self.oracle.assert_correspondence(corr)
+        try:
+            self.pnet.record_assertion(corr, approved)
+        except InconsistentFeedbackError:
+            if self.on_conflict == "raise":
+                raise
+            approved = False
+            self.conflicts_resolved += 1
+            self.pnet.record_assertion(corr, approved)
+        self._teardown()
+        record = ReconciliationStep(
+            index=len(self.trace.steps) + 1,
+            correspondence=corr,
+            approved=approved,
+            uncertainty=self.uncertainty(),
+            effort=self.effort(),
+        )
+        self.trace.steps.append(record)
+        return record
+
+    def run(
+        self,
+        budget: Optional[int] = None,
+        uncertainty_goal: Optional[float] = None,
+    ) -> ReconciliationTrace:
+        """Historical goal loop: recompute H(C, P) on every iteration."""
+        while True:
+            if budget is not None and len(self.trace.steps) >= budget:
+                break
+            if (
+                uncertainty_goal is not None
+                and self.uncertainty() <= uncertainty_goal
+            ):
+                break
+            if self.step() is None:
+                break
+        return self.trace

@@ -31,7 +31,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from .constraints import ConstraintEngine, shuffled
+from .constraints import ConstraintEngine, mask_indices, shuffled
 from .correspondence import Correspondence
 
 #: Above this many available candidates, ``greedy_maximalize_mask`` runs the
@@ -201,49 +201,89 @@ def greedy_maximalize_mask(
     instance: int,
     allowed: int,
     rng: Optional[random.Random] = None,
+    np_rng: Optional[np.random.Generator] = None,
+    conflicted_avail: Optional[set] = None,
 ) -> int:
     """Mask-space greedy maximalisation: the sampler's emission kernel.
 
     ``allowed`` is the candidate mask minus F⁻.  Candidates are tried in
     random order (insertion order when ``rng`` is None) and added whenever
-    they activate no violation.  A vectorised pre-filter first discards the
-    candidates already blocked by ``instance`` — blocking is monotone, so
-    they could never be added in any order — leaving the exact sequential
-    check to the few survivors.
+    they activate no violation.
+
+    Violation-free candidates — the ones no compiled violation mentions —
+    can neither block nor be blocked, so the outcome never depends on where
+    they land in the scan order: they are OR-ed in wholesale and only the
+    conflict-involved availability is shuffled and scanned.  (The resulting
+    maximal-instance distribution is exactly the full-shuffle one; the
+    consumed random stream is shorter.)  A vectorised pre-filter further
+    discards the candidates already blocked by ``instance`` — blocking is
+    monotone, so they could never be added in any order — leaving the exact
+    sequential check to the few survivors.
+
+    ``np_rng`` supplies the scan permutation from a numpy generator (a
+    C-level shuffle) instead of the pure-Python Fisher–Yates over ``rng`` —
+    same uniform-permutation distribution, an order of magnitude cheaper for
+    the sampler, which emits thousands of maximalisations per refill.  When
+    both are given, ``np_rng`` wins; when neither is, the scan is the
+    deterministic insertion order.
+
+    ``conflicted_avail`` (only with ``np_rng``) hands over the available
+    conflict-involved indices as a pre-maintained set — the sampler's walk
+    keeps it patched incrementally — skipping the mask-to-indices
+    round-trip here entirely.  It must equal the conflicted part of
+    ``allowed & ~instance``.
     """
     cur = instance
     avail = allowed & ~cur
     if not avail:
         return cur
-    bits = engine.bits
-    # The pre-filter pays off when the selection is dense enough that a
-    # good share of candidates are already blocked; from a sparse walk
-    # state almost everything survives and the array round-trip is pure
-    # overhead.  In the sparse case, shuffling the full index range and
-    # bit-testing availability inside the scan beats materialising the
-    # availability indices first.
-    if (
-        avail.bit_count() > _PREFILTER_MIN_AVAIL
-        and cur.bit_count() * 3 >= engine.n
-    ):
-        blocked = engine.blocked_candidates(cur)
+    free = avail & engine.violation_free_mask
+    if free:
+        cur |= free
+        avail ^= free
+        if not avail:
+            return cur
+    if conflicted_avail is not None and np_rng is not None:
+        count = len(conflicted_avail)
+        if count > 1:
+            indices = np_rng.permutation(
+                np.fromiter(conflicted_avail, dtype=np.intp, count=count)
+            ).tolist()
+        else:
+            indices = list(conflicted_avail)
+    elif avail.bit_count() > _PREFILTER_MIN_AVAIL:
+        # Large availability: extract the index list with array ops.  The
+        # blocked pre-filter additionally pays off when the *conflicted*
+        # part of the selection is dense enough that a good share of the
+        # candidates are already blocked; from a sparse walk state almost
+        # everything survives and the extra array pass is pure overhead.
+        # (Free bits never block, so they are excluded from the estimate.)
         avail_vector = engine.selection_array(avail)[:-1]
-        indices = np.flatnonzero(avail_vector & ~blocked).tolist()
-        if rng is not None:
-            indices = shuffled(indices, rng)
+        if (
+            (cur & engine.conflicted_mask).bit_count() * 3
+            >= engine.conflicted_count
+        ):
+            survivors = np.flatnonzero(avail_vector & ~engine.blocked_candidates(cur))
+        else:
+            survivors = np.flatnonzero(avail_vector)
+        if np_rng is not None:
+            indices = np_rng.permutation(survivors).tolist()
+        elif rng is not None:
+            indices = shuffled(survivors.tolist(), rng)
+        else:
+            indices = survivors.tolist()
+    elif np_rng is not None:
+        indices = np_rng.permutation(
+            np.asarray(mask_indices(avail), dtype=np.intp)
+        ).tolist()
     elif rng is not None:
-        indices = shuffled(range(engine.n), rng)
+        indices = shuffled(mask_indices(avail), rng)
     else:
-        indices = range(engine.n)
-    pair_partners = engine._pair_partners
-    large_vmasks = engine._large_vmasks
-    for index in indices:
-        bit = bits[index]
-        if not (avail & bit):
+        indices = mask_indices(avail)
+    scan_rows = engine._scan_rows
+    for bit, partners, large in map(scan_rows.__getitem__, indices):
+        if cur & partners:
             continue
-        if cur & pair_partners[index]:
-            continue
-        large = large_vmasks[index]
         if large:
             grown = cur | bit
             for vmask in large:

@@ -82,6 +82,10 @@ class InstanceSampler:
         self.walk_steps = walk_steps
         self.rng = rng or random.Random()
         self.restart_probability = restart_probability
+        # Emission permutations come from a numpy generator (C-level
+        # shuffles), seeded off the walk rng so a seeded sampler stays fully
+        # deterministic while the two streams remain independent.
+        self.np_rng = np.random.default_rng(self.rng.getrandbits(64))
 
     def sample_masks(
         self, n_samples: int, feedback: Optional[Feedback] = None
@@ -104,6 +108,22 @@ class InstanceSampler:
         exp = math.exp
         random_float = rng.random
         n = engine.n
+        bits = engine.bits
+        conflicted_mask = engine.conflicted_mask
+        # The conflicted availability (the only candidates the emission scan
+        # must order) is maintained as an index set across the walk — reset
+        # on restart, patched per accepted proposal — so each emission reads
+        # it directly instead of re-deriving it from the masks.
+        base_avail = allowed & ~approved & conflicted_mask
+        base_avail_set: set[int] = set(
+            np.flatnonzero(engine.selection_array(base_avail)[:-1]).tolist()
+        )
+        conflicted_avail = set(base_avail_set)
+        extra_conflicted = current & ~approved & conflicted_mask
+        while extra_conflicted:
+            bit = extra_conflicted & -extra_conflicted
+            conflicted_avail.discard(bit.bit_length() - 1)
+            extra_conflicted ^= bit
         for _ in range(n_samples):
             # Occasional restart from the feedback core: the constraint
             # structure splits the instance space into regions the local
@@ -112,6 +132,7 @@ class InstanceSampler:
             # reachable regardless of the walk's current position.
             if current != approved and random_float() < restart_probability:
                 current = approved
+                conflicted_avail = set(base_avail_set)
             for _ in range(walk_steps):
                 avail = allowed & ~current
                 if not avail:
@@ -121,7 +142,7 @@ class InstanceSampler:
                 # falling back to an exact k-th-bit scan when unlucky.
                 for _ in range(4):
                     index = int(random_float() * n)
-                    if (avail >> index) & 1:
+                    if avail & bits[index]:
                         break
                 else:
                     index = kth_set_bit(avail, rng.randrange(avail.bit_count()))
@@ -129,8 +150,22 @@ class InstanceSampler:
                 distance = (current ^ proposal).bit_count()
                 acceptance = 1.0 - exp(-distance)
                 if random_float() < acceptance:
+                    changed = (current ^ proposal) & conflicted_mask
+                    while changed:
+                        bit = changed & -changed
+                        if proposal & bit:
+                            conflicted_avail.discard(bit.bit_length() - 1)
+                        else:
+                            conflicted_avail.add(bit.bit_length() - 1)
+                        changed ^= bit
                     current = proposal
-            maximal = greedy_maximalize_mask(engine, current, allowed, rng=rng)
+            maximal = greedy_maximalize_mask(
+                engine,
+                current,
+                allowed,
+                np_rng=self.np_rng,
+                conflicted_avail=conflicted_avail,
+            )
             discovered[maximal] = None
         return list(discovered)
 
@@ -175,6 +210,18 @@ class SampleStore:
     Samples are stored as engine bitmasks; ``samples`` converts to
     frozensets (cached), ``matrix`` exposes the boolean membership matrix
     that the frequency and information-gain reductions run on.
+
+    **The Ω*-conditioning invariant.**  The numpy caches (membership matrix,
+    float view, counts, probability vector) are *views over Ω**: row *i*
+    always describes ``_sample_masks[i]``, in order.  An assertion
+    *conditions* Ω* on the asserted bit — it partitions the sample set into
+    the instances containing the correspondence and those not containing it,
+    and keeps the side consistent with the verdict.  The caches are
+    maintained by applying the *same* partition to their rows (and appending
+    rows for top-up discoveries) rather than being torn down and re-derived,
+    so ``record_assertion`` costs one boolean row-filter instead of a full
+    rebuild; ``version`` increments on every mutation so downstream caches
+    (e.g. the probabilistic network's folded vector) can validate cheaply.
     """
 
     def __init__(
@@ -195,9 +242,12 @@ class SampleStore:
         self._sample_masks: list[int] = []
         self._sample_set: set[int] = set()
         self._exhausted = False
+        self.version = 0
         self._samples_cache: Optional[tuple[frozenset[Correspondence], ...]] = None
         self._matrix_cache: Optional[np.ndarray] = None
         self._matrix_float_cache: Optional[np.ndarray] = None
+        self._counts_cache: Optional[np.ndarray] = None
+        self._prob_vector_cache: Optional[np.ndarray] = None
         self._frequency_cache: Optional[Mapping[Correspondence, float]] = None
         self.refresh()
 
@@ -239,10 +289,74 @@ class SampleStore:
         self._invalidate()
 
     def _invalidate(self) -> None:
+        self.version += 1
         self._samples_cache = None
         self._matrix_cache = None
         self._matrix_float_cache = None
+        self._counts_cache = None
+        self._prob_vector_cache = None
         self._frequency_cache = None
+
+    def _invalidate_derived(self) -> None:
+        """Drop the summaries re-derived from the (maintained) matrix."""
+        self.version += 1
+        self._samples_cache = None
+        self._counts_cache = None
+        self._prob_vector_cache = None
+        self._frequency_cache = None
+
+    def _rows_for(self, masks: Sequence[int]) -> np.ndarray:
+        """Boolean membership rows for the given sample masks."""
+        n = self.network.engine.n
+        nbytes = max(1, (n + 7) // 8)
+        if not masks:
+            return np.zeros((0, n), dtype=bool)
+        buffer = b"".join(m.to_bytes(nbytes, "little") for m in masks)
+        bits = np.unpackbits(
+            np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, :n].astype(bool)
+
+    def _condition_caches(self, index: int, approved: bool) -> None:
+        """Apply the Ω*-partition of one assertion to the cached matrices.
+
+        Keeps the matrix rows (and the float view) aligned with the filtered
+        ``_sample_masks`` — the view-maintenance counterpart of the mask
+        filter in :meth:`record_assertion`.
+        """
+        matrix = self._matrix_cache
+        if matrix is None:
+            self._matrix_float_cache = None
+            return
+        column = matrix[:, index]
+        keep = column if approved else ~column
+        if keep.all():
+            return
+        matrix = matrix[keep]
+        matrix.setflags(write=False)
+        self._matrix_cache = matrix
+        fmatrix = self._matrix_float_cache
+        if fmatrix is not None:
+            fmatrix = fmatrix[keep]
+            fmatrix.setflags(write=False)
+            self._matrix_float_cache = fmatrix
+
+    def _append_cached_rows(self, start: int) -> None:
+        """Append membership rows for masks discovered by a top-up."""
+        matrix = self._matrix_cache
+        if matrix is None or start >= len(self._sample_masks):
+            return
+        fresh = self._rows_for(self._sample_masks[start:])
+        matrix = np.vstack((matrix, fresh))
+        matrix.setflags(write=False)
+        self._matrix_cache = matrix
+        fmatrix = self._matrix_float_cache
+        if fmatrix is not None:
+            fmatrix = np.vstack((fmatrix, fresh.astype(np.float64)))
+            fmatrix.setflags(write=False)
+            self._matrix_float_cache = fmatrix
 
     def _merge(self, fresh: Sequence[int]) -> int:
         """Union new sample masks into the store; return how many were new."""
@@ -257,28 +371,44 @@ class SampleStore:
         return added
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
-        """View maintenance for one assertion, then top up if short."""
+        """Condition Ω* on one assertion, then top up only the deficit.
+
+        Per the Ω*-conditioning invariant (class docstring), the cached
+        matrices are partitioned on the asserted bit alongside the masks —
+        an approval keeps the rows containing the correspondence, a
+        disapproval the rows without it — so no cache is re-derived from
+        scratch.
+        """
         self.feedback.record(corr, approved)
         engine = self.network.engine
         index = engine.index_of.get(corr)
+        dropped = 0
         if index is not None:
             bit = engine.bits[index]
             if approved:
-                self._sample_masks = [m for m in self._sample_masks if m & bit]
+                survivors = [m for m in self._sample_masks if m & bit]
             else:
-                self._sample_masks = [
-                    m for m in self._sample_masks if not (m & bit)
-                ]
-            self._sample_set = set(self._sample_masks)
+                survivors = [m for m in self._sample_masks if not (m & bit)]
+            dropped = len(self._sample_masks) - len(survivors)
+            if dropped:
+                self._sample_masks = survivors
+                self._sample_set = set(survivors)
+            self._condition_caches(index, approved)
         # else: a non-candidate participates in no violation, so approval
         # keeps every sample (it is restored at the frozenset boundary) and
         # disapproval removes nothing — no filtering either way.
-        self._invalidate()
+        self._invalidate_derived()
         if self._exhausted:
-            # Filtering a complete instance space stays complete: the
-            # instances under the stronger feedback are exactly the
-            # surviving ones.
-            return
+            if approved or not dropped:
+                # Approval-conditioning is exact: Ω(F⁺∪{c}, F⁻) is precisely
+                # the surviving side of the partition, so a complete store
+                # stays complete.
+                return
+            # Disapproval is not: maximality is judged modulo F⁻, so
+            # dropping the instances containing c can expose *newly maximal*
+            # instances the filtered view has never seen.  The store is no
+            # longer provably complete — resume sampling.
+            self._exhausted = False
         if len(self._sample_masks) < self.min_samples:
             self._top_up(goal=self.target_samples)
 
@@ -299,6 +429,7 @@ class SampleStore:
         mixing poorly, so later feedback still triggers fresh attempts
         rather than freezing probabilities on a partial Ω* forever.
         """
+        start = len(self._sample_masks)
         fruitless_full_rounds = 0
         escalate = False
         while len(self._sample_masks) < goal:
@@ -318,7 +449,8 @@ class SampleStore:
                         if len(self._sample_masks) < self.min_samples:
                             self._exhausted = True
                         break
-        self._invalidate()
+        self._append_cached_rows(start)
+        self._invalidate_derived()
 
     def matrix(self) -> np.ndarray:
         """Boolean membership matrix: rows = samples, columns = candidates.
@@ -327,20 +459,7 @@ class SampleStore:
         directly instead of re-densifying frozensets per selection step.
         """
         if self._matrix_cache is None:
-            engine = self.network.engine
-            n = engine.n
-            nbytes = max(1, (n + 7) // 8)
-            masks = self._sample_masks
-            if masks:
-                buffer = b"".join(m.to_bytes(nbytes, "little") for m in masks)
-                bits = np.unpackbits(
-                    np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes),
-                    axis=1,
-                    bitorder="little",
-                )
-                matrix = bits[:, :n].astype(bool)
-            else:
-                matrix = np.zeros((0, n), dtype=bool)
+            matrix = self._rows_for(self._sample_masks)
             # The cached array is shared with callers; freeze it so what-if
             # mutations cannot silently corrupt frequencies and gains.
             matrix.setflags(write=False)
@@ -357,6 +476,32 @@ class SampleStore:
             self._matrix_float_cache = matrix
         return self._matrix_float_cache
 
+    def counts(self) -> np.ndarray:
+        """Per-candidate sample counts over Ω* (int64, frozen, cached)."""
+        if self._counts_cache is None:
+            counts = self.matrix().sum(axis=0, dtype=np.int64)
+            counts.setflags(write=False)
+            self._counts_cache = counts
+        return self._counts_cache
+
+    def probability_vector(self) -> np.ndarray:
+        """Sample frequencies as a float64 vector over the engine's candidate
+        index — the representation the reconciliation loop consumes.
+
+        Values are exactly ``count / |Ω*|`` (bit-for-bit what the
+        ``frequencies`` mapping holds); the dict view is materialised from
+        this vector only at module boundaries.
+        """
+        if self._prob_vector_cache is None:
+            total = len(self._sample_masks)
+            if total:
+                vector = self.counts() / float(total)
+            else:
+                vector = np.zeros(self.network.engine.n, dtype=np.float64)
+            vector.setflags(write=False)
+            self._prob_vector_cache = vector
+        return self._prob_vector_cache
+
     def frequencies(self) -> Mapping[Correspondence, float]:
         """Sample frequency of each candidate: the estimated probabilities.
 
@@ -366,16 +511,13 @@ class SampleStore:
         that need to mutate must copy explicitly (``dict(frequencies)``).
         """
         if self._frequency_cache is None:
-            total = len(self._sample_masks)
-            matrix = self.matrix()
-            counts = matrix.sum(axis=0, dtype=np.int64)
             self._frequency_cache = MappingProxyType(
-                {
-                    corr: (count / total if total else 0.0)
-                    for corr, count in zip(
-                        self.network.correspondences, counts.tolist()
+                dict(
+                    zip(
+                        self.network.correspondences,
+                        self.probability_vector().tolist(),
                     )
-                }
+                )
             )
         return self._frequency_cache
 

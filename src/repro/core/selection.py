@@ -3,10 +3,17 @@ Algorithm 1.
 
 The paper evaluates two strategies: **Random** (the unaided-expert baseline)
 and the **information-gain heuristic** of Section IV-D.  We provide both plus
-two further baselines that are natural ablations of the heuristic: picking
+three further baselines that are natural ablations of the heuristic: picking
 the correspondence with maximal marginal entropy (probability closest to ½,
-i.e. information gain without the network coupling) and picking the
+i.e. information gain without the network coupling), picking the most likely
+uncertain correspondence (likelihood-ordered review), and picking the
 correspondence with the lowest matcher confidence.
+
+The strategies consume the network's array views — the folded probability
+vector and the sample store's membership matrix — directly; Correspondence
+objects are materialised only for the single returned selection.  Tie-breaks
+and rng consumption are unchanged from the mapping-based implementations, so
+seeded sessions select identically.
 """
 
 from __future__ import annotations
@@ -15,9 +22,15 @@ import abc
 import random
 from typing import Optional
 
+import numpy as np
+
 from .correspondence import Correspondence
 from .probability import ProbabilisticNetwork, SampledEstimator
-from .uncertainty import binary_entropy, information_gains
+from .uncertainty import (
+    binary_entropy_cached,
+    information_gain_array,
+    information_gains,
+)
 
 
 class SelectionStrategy(abc.ABC):
@@ -35,9 +48,9 @@ class SelectionStrategy(abc.ABC):
 
 
 def _unasserted(pnet: ProbabilisticNetwork) -> list[Correspondence]:
-    """Candidates the expert has not yet looked at."""
-    feedback = pnet.feedback
-    return [c for c in pnet.correspondences if not feedback.is_asserted(c)]
+    """Candidates the expert has not yet looked at (insertion order)."""
+    correspondences = pnet.correspondences
+    return [correspondences[i] for i in pnet.unasserted_indices().tolist()]
 
 
 class RandomSelection(SelectionStrategy):
@@ -82,8 +95,8 @@ class InformationGainSelection(SelectionStrategy):
         self.max_candidates = max_candidates
 
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
-        uncertain = pnet.uncertain_correspondences()
-        if not uncertain:
+        columns = pnet.uncertain_indices()
+        if len(columns) == 0:
             # Nothing informative left: fall back to any unasserted
             # correspondence (zero gain) so effort sweeps can continue, or
             # report completion.
@@ -96,24 +109,27 @@ class InformationGainSelection(SelectionStrategy):
                 "information-gain selection needs a SampledEstimator; use "
                 "EntropySelection with exact estimators instead"
             )
-        if self.max_candidates is not None and len(uncertain) > self.max_candidates:
-            probabilities = pnet.probabilities()
-            uncertain = sorted(
-                uncertain,
-                key=lambda c: binary_entropy(probabilities[c]),
-                reverse=True,
+        if self.max_candidates is not None and len(columns) > self.max_candidates:
+            # Two-stage filter: keep the highest-marginal-entropy targets.
+            # ``sorted`` is stable, so ties keep ascending-index order —
+            # exactly the mapping-based behaviour.
+            vector = pnet.probability_vector()
+            entropies = [
+                binary_entropy_cached(p) for p in vector[columns].tolist()
+            ]
+            order = sorted(
+                range(len(columns)), key=entropies.__getitem__, reverse=True
             )[: self.max_candidates]
-        # With the store's matrix supplied, the samples argument is unused —
-        # don't force the store to materialise its frozenset view.
-        gains = information_gains(
-            (),
-            pnet.correspondences,
-            restrict_to=uncertain,
-            matrix=pnet.estimator.membership_matrix(),
+            columns = columns[order]
+        # One batched gain reduction over the store's cached float matrix —
+        # the same array core information_gains funnels through, so the
+        # floats (and tie sets) match the mapping API bit-for-bit.
+        gains = information_gain_array(
+            pnet.estimator.membership_matrix(), columns
         )
-        best_gain = max(gains.values())
-        best = [corr for corr, gain in gains.items() if gain == best_gain]
-        return best[self.rng.randrange(len(best))]
+        best = np.flatnonzero(gains == gains.max())
+        choice = best[self.rng.randrange(len(best))]
+        return pnet.correspondences[int(columns[choice])]
 
 
 def rank_by_information_gain(
@@ -156,18 +172,47 @@ class EntropySelection(SelectionStrategy):
         self.rng = rng or random.Random()
 
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
-        probabilities = pnet.probabilities()
-        uncertain = [c for c, p in probabilities.items() if 0.0 < p < 1.0]
-        if not uncertain:
+        uncertain = pnet.uncertain_indices()
+        if len(uncertain) == 0:
             unasserted = _unasserted(pnet)
             if not unasserted:
                 return None
             return unasserted[self.rng.randrange(len(unasserted))]
-        best_entropy = max(binary_entropy(probabilities[c]) for c in uncertain)
-        best = [
-            c for c in uncertain if binary_entropy(probabilities[c]) == best_entropy
+        vector = pnet.probability_vector()
+        entropies = [
+            binary_entropy_cached(p) for p in vector[uncertain].tolist()
         ]
-        return best[self.rng.randrange(len(best))]
+        best_entropy = max(entropies)
+        best = [i for i, h in enumerate(entropies) if h == best_entropy]
+        choice = best[self.rng.randrange(len(best))]
+        return pnet.correspondences[int(uncertain[choice])]
+
+
+class LikelihoodSelection(SelectionStrategy):
+    """Likelihood-ordered review: the most probable uncertain candidate first.
+
+    A natural manual policy — confirm the matches the network already
+    believes in, locking in approvals early so the constraints propagate.
+    Complements :class:`ConfidenceSelection` (which orders by the *matcher's*
+    score) by ordering on the sampled posterior instead.
+    """
+
+    name = "likelihood"
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random()
+
+    def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
+        uncertain = pnet.uncertain_indices()
+        if len(uncertain) == 0:
+            unasserted = _unasserted(pnet)
+            if not unasserted:
+                return None
+            return unasserted[self.rng.randrange(len(unasserted))]
+        probabilities = pnet.probability_vector()[uncertain]
+        best = np.flatnonzero(probabilities == probabilities.max())
+        choice = best[self.rng.randrange(len(best))]
+        return pnet.correspondences[int(uncertain[choice])]
 
 
 class ConfidenceSelection(SelectionStrategy):

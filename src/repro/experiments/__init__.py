@@ -12,6 +12,7 @@ from . import (
     fig9_uncertainty_reduction,
     fig10_ordering_instantiation,
     fig11_likelihood,
+    scenarios,
     table2_datasets,
     table3_violations,
 )
@@ -19,15 +20,38 @@ from .harness import (
     NetworkFixture,
     build_fixture,
     conflicted_subnetwork,
+    synthetic_fixture,
     synthetic_network,
 )
 from .reporting import ExperimentResult, render_markdown, render_table
+from .scenarios import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    build_session,
+    make_oracle,
+    make_strategy,
+    run_effort_grid,
+    run_matrix,
+    run_scenario,
+    scenario_matrix,
+)
 
 __all__ = [
     "ExperimentResult",
     "NetworkFixture",
+    "ScenarioOutcome",
+    "ScenarioSpec",
     "build_fixture",
+    "build_session",
     "conflicted_subnetwork",
+    "make_oracle",
+    "make_strategy",
+    "run_effort_grid",
+    "run_matrix",
+    "run_scenario",
+    "scenario_matrix",
+    "scenarios",
+    "synthetic_fixture",
     "fig10_ordering_instantiation",
     "fig11_likelihood",
     "fig6_sampling_time",

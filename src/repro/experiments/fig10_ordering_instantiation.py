@@ -13,12 +13,10 @@ import random
 from typing import Sequence
 
 from ..core.instantiation import instantiate
-from ..core.probability import ProbabilisticNetwork
-from ..core.reconciliation import ReconciliationSession
-from ..core.selection import InformationGainSelection, RandomSelection
 from ..metrics import precision, recall
 from .harness import NetworkFixture, build_fixture
 from .reporting import ExperimentResult
+from .scenarios import ScenarioSpec, build_session, run_effort_grid
 
 DEFAULT_EFFORTS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15)
 
@@ -33,34 +31,24 @@ def _instantiation_quality(
     use_likelihood: bool = True,
 ) -> list[tuple[float, float]]:
     """(precision, recall) of the instantiated matching per effort level."""
-    pnet = ProbabilisticNetwork(
-        fixture.network, target_samples=target_samples, rng=random.Random(seed)
+    spec = ScenarioSpec(
+        strategy="random" if strategy_name == "random" else "information-gain",
+        target_samples=target_samples,
+        seed=seed,
     )
-    strategy = (
-        RandomSelection(rng=random.Random(seed + 1))
-        if strategy_name == "random"
-        else InformationGainSelection(rng=random.Random(seed + 1))
-    )
-    session = ReconciliationSession(pnet, fixture.oracle(), strategy)
-    total = len(fixture.network.correspondences)
+    session = build_session(fixture, spec, oracle=fixture.oracle())
     truth = fixture.ground_truth
 
-    points: list[tuple[float, float]] = []
-    steps_done = 0
-    for effort in efforts:
-        target = round(effort * total)
-        while steps_done < target:
-            if session.step() is None:
-                break
-            steps_done += 1
+    def snapshot(session) -> tuple[float, float]:
         matching = instantiate(
-            pnet,
+            session.pnet,
             iterations=instantiation_iterations,
             use_likelihood=use_likelihood,
             rng=random.Random(seed + 2),
         )
-        points.append((precision(matching, truth), recall(matching, truth)))
-    return points
+        return (precision(matching, truth), recall(matching, truth))
+
+    return run_effort_grid(session, efforts, snapshot)
 
 
 def run(

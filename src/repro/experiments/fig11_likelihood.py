@@ -13,12 +13,10 @@ import random
 from typing import Sequence
 
 from ..core.instantiation import instantiate
-from ..core.probability import ProbabilisticNetwork
-from ..core.reconciliation import ReconciliationSession
-from ..core.selection import InformationGainSelection
 from ..metrics import precision, recall
 from .harness import build_fixture
 from .reporting import ExperimentResult
+from .scenarios import ScenarioSpec, build_session, run_effort_grid
 
 DEFAULT_EFFORTS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15)
 
@@ -37,7 +35,6 @@ def run(
     fixture = build_fixture(
         corpus_name=corpus_name, scale=scale, seed=seed, pipeline=pipeline
     )
-    total = len(fixture.network.correspondences)
     truth = fixture.ground_truth
     result = ExperimentResult(
         experiment="fig11",
@@ -58,45 +55,34 @@ def run(
     per_run: list[list[tuple[float, float, float, float]]] = []
     for run_index in range(runs):
         run_seed = seed + 31 * run_index
-        pnet = ProbabilisticNetwork(
-            fixture.network,
+        spec = ScenarioSpec(
+            strategy="information-gain",
             target_samples=target_samples,
-            rng=random.Random(run_seed),
+            seed=run_seed,
         )
-        session = ReconciliationSession(
-            pnet,
-            fixture.oracle(),
-            InformationGainSelection(rng=random.Random(run_seed + 1)),
-        )
-        rows: list[tuple[float, float, float, float]] = []
-        steps_done = 0
-        for effort in efforts:
-            target = round(effort * total)
-            while steps_done < target:
-                if session.step() is None:
-                    break
-                steps_done += 1
+        session = build_session(fixture, spec, oracle=fixture.oracle())
+
+        def snapshot(session) -> tuple[float, float, float, float]:
             without = instantiate(
-                pnet,
+                session.pnet,
                 iterations=instantiation_iterations,
                 use_likelihood=False,
                 rng=random.Random(run_seed + 2),
             )
             with_likelihood = instantiate(
-                pnet,
+                session.pnet,
                 iterations=instantiation_iterations,
                 use_likelihood=True,
                 rng=random.Random(run_seed + 2),
             )
-            rows.append(
-                (
-                    precision(without, truth),
-                    precision(with_likelihood, truth),
-                    recall(without, truth),
-                    recall(with_likelihood, truth),
-                )
+            return (
+                precision(without, truth),
+                precision(with_likelihood, truth),
+                recall(without, truth),
+                recall(with_likelihood, truth),
             )
-        per_run.append(rows)
+
+        per_run.append(run_effort_grid(session, efforts, snapshot))
 
     for index, effort in enumerate(efforts):
         cells = [run_rows[index] for run_rows in per_run]

@@ -10,15 +10,12 @@ heuristic, e.g. uncertainty ≈ 0.1 at ~30% effort (heuristic) vs ~75%
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
-from ..core.probability import ProbabilisticNetwork
-from ..core.reconciliation import ReconciliationSession
-from ..core.selection import InformationGainSelection, RandomSelection
 from ..metrics import precision
 from .harness import NetworkFixture, build_fixture
 from .reporting import ExperimentResult
+from .scenarios import ScenarioSpec, build_session, run_effort_grid
 
 #: Effort grid (fractions of |C|) at which the curves are sampled.
 DEFAULT_EFFORTS: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
@@ -32,38 +29,24 @@ def _trace_run(
     seed: int,
 ) -> list[tuple[float, float]]:
     """One full reconciliation run; returns (H/H0, Prec(C\\F-)) per grid point."""
-    rng = random.Random(seed)
-    pnet = ProbabilisticNetwork(
-        fixture.network, target_samples=target_samples, rng=rng
+    spec = ScenarioSpec(
+        strategy="random" if strategy_name == "random" else "information-gain",
+        target_samples=target_samples,
+        seed=seed,
     )
-    strategy = (
-        RandomSelection(rng=random.Random(seed + 1))
-        if strategy_name == "random"
-        else InformationGainSelection(rng=random.Random(seed + 1))
-    )
-    session = ReconciliationSession(pnet, fixture.oracle(), strategy)
+    session = build_session(fixture, spec, oracle=fixture.oracle())
     initial = session.trace.initial_uncertainty or 1.0
-    total = len(fixture.network.correspondences)
     truth = fixture.ground_truth
+    correspondences = fixture.network.correspondences
 
-    def snapshot() -> tuple[float, float]:
+    def snapshot(session) -> tuple[float, float]:
+        disapproved = session.pnet.feedback.disapproved
         remaining = [
-            corr
-            for corr in fixture.network.correspondences
-            if corr not in pnet.feedback.disapproved
+            corr for corr in correspondences if corr not in disapproved
         ]
         return (session.uncertainty() / initial, precision(remaining, truth))
 
-    points: list[tuple[float, float]] = []
-    step_targets = [round(effort * total) for effort in efforts]
-    steps_done = 0
-    for target in step_targets:
-        while steps_done < target:
-            if session.step() is None:
-                break
-            steps_done += 1
-        points.append(snapshot())
-    return points
+    return run_effort_grid(session, efforts, snapshot)
 
 
 def run(

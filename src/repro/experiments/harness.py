@@ -23,9 +23,13 @@ from ..matchers.pipeline import PIPELINES, MatcherPipeline
 
 @dataclass
 class NetworkFixture:
-    """Everything an experiment needs: network, ground truth, oracle."""
+    """Everything an experiment needs: network, ground truth, oracle.
 
-    corpus: Corpus
+    ``corpus`` is None for purely synthetic fixtures (no generated
+    documents back the schemas, only the network itself).
+    """
+
+    corpus: Optional[Corpus]
     network: MatchingNetwork
     ground_truth: frozenset[Correspondence]
 
@@ -129,6 +133,37 @@ def synthetic_network(
             "increase schemas/attributes"
         )
     return MatchingNetwork(schemas, candidates, graph=graph)
+
+
+def synthetic_fixture(
+    n_correspondences: int,
+    n_schemas: int = 12,
+    attributes_per_schema: int = 40,
+    edge_probability: float = 0.35,
+    conflict_bias: float = 0.6,
+    seed: int = 0,
+) -> NetworkFixture:
+    """A :func:`synthetic_network` wrapped with a simulatable ground truth.
+
+    The ground truth is the deterministic greedy maximal matching instance
+    (insertion-order scan), so every platform derives the same selective
+    matching and oracles answer reproducibly.  This is the fixture the
+    scenario harness and the reconciliation-session benchmarks drive.
+    """
+    from ..core.repair import greedy_maximalize
+
+    network = synthetic_network(
+        n_correspondences,
+        n_schemas=n_schemas,
+        attributes_per_schema=attributes_per_schema,
+        edge_probability=edge_probability,
+        conflict_bias=conflict_bias,
+        seed=seed,
+    )
+    truth = frozenset(
+        greedy_maximalize(set(), network.correspondences, [], network.engine)
+    )
+    return NetworkFixture(corpus=None, network=network, ground_truth=truth)
 
 
 def conflicted_subnetwork(

@@ -1,0 +1,240 @@
+"""Scenario harness: full pay-as-you-go sessions, declaratively.
+
+A :class:`ScenarioSpec` names one full reconciliation session — which
+selection strategy drives it, whether the oracle is perfect or noisy, how
+conflicts with Γ are handled, the sample budget and the seed — and
+:func:`run_scenario` executes it over a :class:`~.harness.NetworkFixture`
+into a :class:`ScenarioOutcome`.  Crossing fixtures × strategies ×
+oracles (:func:`run_matrix`) is how the robustness suite and the
+reconciliation benchmarks drive the loop over large synthetic networks;
+Figs. 9–11 reuse the same machinery through :func:`build_session` /
+:func:`run_effort_grid` so every experiment steps sessions the same way.
+
+Seed conventions (kept identical to the historical figure runners so the
+experiment outputs stay reproducible): the probabilistic network samples
+with ``Random(seed)``, the strategy breaks ties with ``Random(seed + 1)``,
+a noisy oracle flips answers with ``Random(seed + 2)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from ..core.feedback import NoisyOracle, Oracle
+from ..core.probability import ProbabilisticNetwork
+from ..core.reconciliation import ReconciliationSession, ReconciliationTrace
+from ..core.selection import (
+    ConfidenceSelection,
+    EntropySelection,
+    InformationGainSelection,
+    LikelihoodSelection,
+    RandomSelection,
+    SelectionStrategy,
+)
+from ..metrics import precision, recall
+from .harness import NetworkFixture
+
+T = TypeVar("T")
+
+#: Registered strategy factories, keyed by the names scenarios use.
+STRATEGIES: dict[str, Callable[..., SelectionStrategy]] = {
+    "random": RandomSelection,
+    "information-gain": InformationGainSelection,
+    "entropy": EntropySelection,
+    "likelihood": LikelihoodSelection,
+    "confidence": ConfidenceSelection,
+}
+
+
+def make_strategy(
+    name: str, rng: Optional[random.Random] = None
+) -> SelectionStrategy:
+    """Instantiate a registered selection strategy by name."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return factory(rng=rng)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One full-session scenario: strategy × oracle × goal × seed."""
+
+    strategy: str = "information-gain"
+    oracle: str = "perfect"  # "perfect" | "noisy"
+    error_rate: float = 0.0
+    on_conflict: str = "raise"  # "raise" | "disapprove"
+    target_samples: int = 300
+    budget: Optional[int] = None
+    effort_budget: Optional[float] = None
+    uncertainty_goal: Optional[float] = None
+    seed: int = 0
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        oracle = (
+            "perfect"
+            if self.oracle == "perfect"
+            else f"noisy({self.error_rate:g})"
+        )
+        return f"{self.strategy}×{oracle}@{self.seed}"
+
+
+@dataclass
+class ScenarioOutcome:
+    """What a finished scenario produced, ready for tables and assertions."""
+
+    spec: ScenarioSpec
+    trace: ReconciliationTrace
+    steps: int
+    conflicts_resolved: int
+    final_uncertainty: float
+    final_effort: float
+    #: Precision of the non-disapproved candidates, Prec(C \ F⁻) — the
+    #: pay-as-you-go quality measure Fig. 9 tracks.
+    precision_remaining: float
+    #: Recall of F⁺ against the ground truth.
+    recall_approved: float
+
+    @property
+    def uncertainty_ratio(self) -> float:
+        initial = self.trace.initial_uncertainty
+        return self.final_uncertainty / initial if initial else 0.0
+
+
+def make_oracle(fixture: NetworkFixture, spec: ScenarioSpec) -> Oracle:
+    """The simulated expert a scenario interrogates."""
+    if spec.oracle == "perfect":
+        return Oracle(fixture.ground_truth)
+    if spec.oracle == "noisy":
+        return NoisyOracle(
+            fixture.ground_truth,
+            error_rate=spec.error_rate,
+            rng=random.Random(spec.seed + 2),
+        )
+    raise ValueError(f"unknown oracle kind {spec.oracle!r}")
+
+
+def build_session(
+    fixture: NetworkFixture,
+    spec: ScenarioSpec,
+    oracle: Optional[Oracle] = None,
+) -> ReconciliationSession:
+    """Assemble the probabilistic network, strategy and oracle of a spec."""
+    pnet = ProbabilisticNetwork(
+        fixture.network,
+        target_samples=spec.target_samples,
+        rng=random.Random(spec.seed),
+    )
+    strategy = make_strategy(spec.strategy, random.Random(spec.seed + 1))
+    return ReconciliationSession(
+        pnet,
+        oracle if oracle is not None else make_oracle(fixture, spec),
+        strategy,
+        on_conflict=spec.on_conflict,
+    )
+
+
+def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome:
+    """Execute one scenario end to end and summarise it."""
+    session = build_session(fixture, spec)
+    session.run(
+        budget=spec.budget,
+        effort_budget=spec.effort_budget,
+        uncertainty_goal=spec.uncertainty_goal,
+    )
+    pnet = session.pnet
+    truth = fixture.ground_truth
+    remaining = [
+        corr
+        for corr in fixture.network.correspondences
+        if corr not in pnet.feedback.disapproved
+    ]
+    return ScenarioOutcome(
+        spec=spec,
+        trace=session.trace,
+        steps=len(session.trace.steps),
+        conflicts_resolved=session.conflicts_resolved,
+        final_uncertainty=session.uncertainty(),
+        final_effort=session.effort(),
+        precision_remaining=precision(remaining, truth),
+        recall_approved=recall(pnet.feedback.approved, truth),
+    )
+
+
+def run_matrix(
+    fixture: NetworkFixture, specs: Iterable[ScenarioSpec]
+) -> list[ScenarioOutcome]:
+    """Run a whole scenario matrix over one fixture."""
+    return [run_scenario(fixture, spec) for spec in specs]
+
+
+def scenario_matrix(
+    strategies: Sequence[str] = ("random", "information-gain", "likelihood"),
+    oracles: Sequence[tuple[str, float]] = (("perfect", 0.0), ("noisy", 0.1)),
+    seeds: Sequence[int] = (0,),
+    **common,
+) -> list[ScenarioSpec]:
+    """The cross product the robustness suite drives: strategies × oracles
+    × seeds.  Noisy scenarios default to the ``disapprove`` conflict policy
+    (an imperfect expert *will* eventually contradict Γ); pass
+    ``on_conflict=...`` to force one policy across the whole matrix.
+    ``common`` forwards any other :class:`ScenarioSpec` field except the
+    matrix axes themselves."""
+    overlap = {"strategy", "oracle", "error_rate", "seed"} & common.keys()
+    if overlap:
+        raise TypeError(
+            f"{sorted(overlap)} are matrix axes; pass them via the "
+            "strategies/oracles/seeds parameters"
+        )
+    specs = []
+    for strategy in strategies:
+        for oracle, error_rate in oracles:
+            for seed in seeds:
+                fields = dict(common)
+                fields.setdefault(
+                    "on_conflict",
+                    "raise" if oracle == "perfect" else "disapprove",
+                )
+                specs.append(
+                    ScenarioSpec(
+                        strategy=strategy,
+                        oracle=oracle,
+                        error_rate=error_rate,
+                        seed=seed,
+                        **fields,
+                    )
+                )
+    return specs
+
+
+def run_effort_grid(
+    session: ReconciliationSession,
+    efforts: Sequence[float],
+    snapshot: Callable[[ReconciliationSession], T],
+) -> list[T]:
+    """Step a session through an effort grid, snapshotting at each point.
+
+    This is the stepping loop Figs. 9–11 share: for each effort fraction,
+    assert correspondences until ``round(effort · |C|)`` steps have been
+    taken (or the session is exhausted), then record ``snapshot(session)``.
+    """
+    total = len(session.pnet.correspondences)
+    points: list[T] = []
+    steps_done = 0
+    for effort in efforts:
+        target = round(effort * total)
+        while steps_done < target:
+            if session.step() is None:
+                break
+            steps_done += 1
+        points.append(snapshot(session))
+    return points

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import (
     InformationGainSelection,
+    LikelihoodSelection,
     ProbabilisticNetwork,
     RandomSelection,
     ReconciliationSession,
@@ -61,6 +62,25 @@ class TestRun:
     def test_uncertainty_goal(self, session):
         session.run(uncertainty_goal=0.0)
         assert session.uncertainty() <= 0.0 + 1e-12
+
+    def test_uncertainty_goal_reuses_step_values(self, session, monkeypatch):
+        """run() must not recompute H(C, P) per iteration: the value each
+        step just recorded in the trace is reused for the goal check."""
+        calls = 0
+        original = ReconciliationSession.uncertainty
+
+        def counting(self):
+            nonlocal calls
+            calls += 1
+            return original(self)
+
+        monkeypatch.setattr(ReconciliationSession, "uncertainty", counting)
+        session.run(uncertainty_goal=0.0)
+        steps = len(session.trace.steps)
+        assert steps > 0
+        # One live read before the first step (the trace may be stale) plus
+        # the one read inside each step's record — nothing per-iteration.
+        assert calls == steps + 1
 
     def test_uncertainty_decreases_monotonically_with_ig(self, session):
         trace = session.run()
@@ -128,3 +148,27 @@ class TestStrategies:
         ig = steps_to_zero(InformationGainSelection, 31)
         rnd = steps_to_zero(RandomSelection, 31)
         assert ig <= rnd
+
+    def test_likelihood_session_completes(self, movie_network, movie_oracle):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(23)
+        )
+        session = ReconciliationSession(
+            pnet, movie_oracle, LikelihoodSelection(rng=random.Random(2))
+        )
+        session.run()
+        assert session.uncertainty() == pytest.approx(0.0)
+
+    def test_likelihood_picks_most_probable_uncertain(
+        self, movie_network, movie_oracle
+    ):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=60, rng=random.Random(23)
+        )
+        strategy = LikelihoodSelection(rng=random.Random(2))
+        chosen = strategy.select(pnet)
+        probabilities = pnet.probabilities()
+        best = max(
+            p for p in probabilities.values() if 0.0 < p < 1.0
+        )
+        assert probabilities[chosen] == best

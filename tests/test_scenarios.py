@@ -1,0 +1,237 @@
+"""Tests for the scenario harness: specs, registry, grids, robustness.
+
+The noisy-oracle scenarios double as the coverage for the
+``on_conflict="disapprove"`` conflict-resolution path: an imperfect expert
+on a constrained network reliably approves correspondences that jointly
+violate Γ, and the session must absorb that by trusting the constraints.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import NoisyOracle, Oracle, RandomSelection
+from repro.experiments import (
+    ScenarioSpec,
+    build_session,
+    make_oracle,
+    make_strategy,
+    run_effort_grid,
+    run_matrix,
+    run_scenario,
+    scenario_matrix,
+    synthetic_fixture,
+)
+
+_CACHE: dict[str, object] = {}
+
+
+def scenario_fixture():
+    if "fixture" not in _CACHE:
+        _CACHE["fixture"] = synthetic_fixture(
+            110, n_schemas=8, attributes_per_schema=30, seed=5
+        )
+    return _CACHE["fixture"]
+
+
+class TestSpecAndRegistry:
+    def test_make_strategy_known(self):
+        strategy = make_strategy("random", random.Random(0))
+        assert isinstance(strategy, RandomSelection)
+
+    def test_make_strategy_unknown(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            make_strategy("nope")
+
+    def test_make_oracle_kinds(self):
+        fixture = scenario_fixture()
+        assert isinstance(
+            make_oracle(fixture, ScenarioSpec(oracle="perfect")), Oracle
+        )
+        noisy = make_oracle(
+            fixture, ScenarioSpec(oracle="noisy", error_rate=0.2)
+        )
+        assert isinstance(noisy, NoisyOracle)
+        assert noisy.error_rate == 0.2
+
+    def test_make_oracle_unknown(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            make_oracle(scenario_fixture(), ScenarioSpec(oracle="psychic"))
+
+    def test_label(self):
+        spec = ScenarioSpec(strategy="likelihood", oracle="noisy", error_rate=0.1, seed=3)
+        assert spec.label == "likelihood×noisy(0.1)@3"
+        assert ScenarioSpec(name="custom").label == "custom"
+
+    def test_scenario_matrix_shape_and_policies(self):
+        specs = scenario_matrix(
+            strategies=("random", "information-gain"),
+            oracles=(("perfect", 0.0), ("noisy", 0.2)),
+            seeds=(0, 1),
+        )
+        assert len(specs) == 8
+        for spec in specs:
+            expected = "raise" if spec.oracle == "perfect" else "disapprove"
+            assert spec.on_conflict == expected
+
+
+class TestRunScenario:
+    def test_perfect_oracle_full_reconciliation(self):
+        fixture = scenario_fixture()
+        outcome = run_scenario(
+            fixture,
+            ScenarioSpec(strategy="information-gain", target_samples=100, seed=1),
+        )
+        assert outcome.final_uncertainty == pytest.approx(0.0)
+        assert outcome.steps == len(fixture.network.correspondences)
+        assert outcome.final_effort == pytest.approx(1.0)
+        assert outcome.conflicts_resolved == 0
+        # A perfect oracle asserting everything recovers the ground truth.
+        assert outcome.precision_remaining == pytest.approx(1.0)
+        assert outcome.recall_approved == pytest.approx(1.0)
+        assert outcome.uncertainty_ratio == pytest.approx(0.0)
+
+    def test_budget_limits_steps(self):
+        outcome = run_scenario(
+            scenario_fixture(),
+            ScenarioSpec(strategy="random", target_samples=100, seed=2, budget=7),
+        )
+        assert outcome.steps == 7
+
+    def test_run_matrix_covers_specs(self):
+        fixture = scenario_fixture()
+        specs = scenario_matrix(
+            strategies=("random", "likelihood"),
+            oracles=(("perfect", 0.0),),
+            seeds=(0,),
+            target_samples=80,
+            budget=5,
+        )
+        outcomes = run_matrix(fixture, specs)
+        assert [o.spec for o in outcomes] == specs
+        assert all(o.steps == 5 for o in outcomes)
+
+
+class TestNoisyDisapprovePath:
+    """Satellite coverage: NoisyOracle × on_conflict="disapprove"."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_scenario(
+            scenario_fixture(),
+            ScenarioSpec(
+                strategy="information-gain",
+                oracle="noisy",
+                error_rate=0.4,
+                on_conflict="disapprove",
+                target_samples=100,
+                seed=3,
+            ),
+        )
+
+    def test_conflicts_were_resolved(self, outcome):
+        # Noise at 40% on a constrained network reliably produces approvals
+        # that contradict Γ; the disapprove policy must absorb every one.
+        assert outcome.conflicts_resolved > 0
+
+    def test_trace_monotone_effort(self, outcome):
+        efforts = outcome.trace.efforts
+        assert all(a < b + 1e-12 for a, b in zip(efforts, efforts[1:]))
+        assert efforts[0] == 0.0
+
+    def test_trace_index_continuity(self, outcome):
+        indices = [step.index for step in outcome.trace.steps]
+        assert indices == list(range(1, len(indices) + 1))
+
+    def test_feedback_disjoint_after_forced_flips(self, outcome):
+        # run_scenario keeps the session internal; re-run to inspect state.
+        fixture = scenario_fixture()
+        session = build_session(
+            fixture,
+            ScenarioSpec(
+                strategy="information-gain",
+                oracle="noisy",
+                error_rate=0.4,
+                on_conflict="disapprove",
+                target_samples=100,
+                seed=3,
+            ),
+        )
+        session.run()
+        feedback = session.pnet.feedback
+        assert not feedback.approved & feedback.disapproved
+        assert session.conflicts_resolved > 0
+        # Forced flips land in F⁻ even though the oracle said "approve".
+        assert len(feedback.approved) + len(feedback.disapproved) == len(
+            session.trace.steps
+        )
+        # The approved set satisfies the constraints.
+        assert fixture.network.engine.is_consistent(feedback.approved)
+
+    def test_flipped_verdict_recorded_in_trace(self, outcome):
+        # Every forced flip is recorded as a disapproval in its step.
+        flips = [
+            step
+            for step in outcome.trace.steps
+            if not step.approved
+        ]
+        assert len(flips) >= outcome.conflicts_resolved
+
+    def test_raise_policy_raises_on_same_scenario(self):
+        from repro.core import InconsistentFeedbackError
+
+        session = build_session(
+            scenario_fixture(),
+            ScenarioSpec(
+                strategy="information-gain",
+                oracle="noisy",
+                error_rate=0.4,
+                on_conflict="raise",
+                target_samples=100,
+                seed=3,
+            ),
+        )
+        with pytest.raises(InconsistentFeedbackError):
+            session.run()
+
+
+class TestEffortGrid:
+    def test_grid_snapshots_at_each_point(self):
+        fixture = scenario_fixture()
+        session = build_session(
+            fixture, ScenarioSpec(strategy="random", target_samples=80, seed=1)
+        )
+        efforts = (0.0, 0.1, 0.5)
+        points = run_effort_grid(
+            session, efforts, lambda s: len(s.trace.steps)
+        )
+        total = len(fixture.network.correspondences)
+        assert points == [round(e * total) for e in efforts]
+
+    def test_grid_stops_when_exhausted(self):
+        fixture = scenario_fixture()
+        session = build_session(
+            fixture, ScenarioSpec(strategy="random", target_samples=80, seed=1)
+        )
+        points = run_effort_grid(session, (1.0, 2.0), lambda s: len(s.trace.steps))
+        total = len(fixture.network.correspondences)
+        assert points == [total, total]
+
+
+class TestSyntheticFixture:
+    def test_ground_truth_is_matching_instance(self):
+        from repro.core import is_matching_instance
+
+        fixture = scenario_fixture()
+        assert is_matching_instance(fixture.ground_truth, fixture.network)
+
+    def test_deterministic(self):
+        left = synthetic_fixture(60, n_schemas=6, seed=9)
+        right = synthetic_fixture(60, n_schemas=6, seed=9)
+        assert left.ground_truth == right.ground_truth
+        assert left.network.correspondences == right.network.correspondences
+
+    def test_no_corpus(self):
+        assert scenario_fixture().corpus is None
