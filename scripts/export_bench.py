@@ -20,6 +20,7 @@ import tempfile
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILES = (
     "benchmarks/test_bench_kernels.py",
+    "benchmarks/test_bench_emission.py",
     "benchmarks/test_bench_match_network.py",
     "benchmarks/test_bench_reconciliation.py",
 )

@@ -48,6 +48,7 @@ from .reconciliation import (
     ReconciliationSession,
     ReconciliationStep,
     ReconciliationTrace,
+    resolve_conflicting_approval,
 )
 from .repair import (
     UnrepairableError,
@@ -55,6 +56,7 @@ from .repair import (
     greedy_maximalize_mask,
     repair,
     repair_mask,
+    wave_maximalize_batch,
 )
 from .sampling import InstanceSampler, SampleStore, symmetric_difference_size
 from .schema import Attribute, Schema, validate_disjoint
@@ -139,6 +141,7 @@ __all__ = [
     "probabilities_from_samples",
     "rank_by_information_gain",
     "repair",
+    "resolve_conflicting_approval",
     "repair_distance",
     "repair_mask",
     "ring_graph",
@@ -146,4 +149,5 @@ __all__ = [
     "star_graph",
     "symmetric_difference_size",
     "validate_disjoint",
+    "wave_maximalize_batch",
 ]

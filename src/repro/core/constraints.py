@@ -45,7 +45,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -306,6 +306,43 @@ def shuffled(indices: Iterable[int], rng) -> list[int]:
     return items
 
 
+@dataclass(frozen=True)
+class WaveTables:
+    """CSR-style array views of the violation hypergraph, compacted to the
+    conflicted candidates — the representation the batched priority-wave
+    maximaliser (:func:`repro.core.repair.wave_maximalize_batch`) consumes.
+
+    All indices below are *compact*: position ``k`` refers to the ``k``-th
+    conflicted candidate (``conflicted[k]`` is its engine index), and ``m``
+    (= ``len(conflicted)``) is the always-True sentinel column, so padded
+    rows are harmless under ``all()`` reductions.
+
+    * ``dep_src``/``dep_dst`` list, row by row, every (candidate, violation
+      partner) arc; ``dep_tie`` breaks equal priorities deterministically
+      (the lower compact index wins).  Arcs are grouped by ``dep_src`` so
+      the per-candidate "some arc fired" OR is one
+      ``np.bitwise_or.reduceat`` over ``dep_starts`` (the kernel packs the
+      emission axis into uint8 bit-lanes, which makes the reduction rows a
+      few dozen bytes); group ``g`` belongs to candidate ``dep_group[g]``.
+    * ``blk_others`` rows mirror the engine's blocked pre-filter:
+      ``blk_others[r]`` holds the co-members of one violation through a
+      candidate, padded with the sentinel ``m``; the candidate is blocked
+      when some row's co-members are all selected.  Rows are grouped by
+      member (``blk_starts``/``blk_group``) exactly like the dependency
+      side.
+    """
+
+    conflicted: np.ndarray  # (m,) engine indices of the conflicted candidates
+    dep_src: np.ndarray  # (P,) compact candidate per dependency arc
+    dep_dst: np.ndarray  # (P,) compact partner per dependency arc
+    dep_tie: np.ndarray  # (P, 1) bool, dst < src (tie-break: lower index first)
+    dep_starts: np.ndarray  # (G,) reduceat group starts into the arcs
+    dep_group: np.ndarray  # (G,) compact candidate of each arc group
+    blk_others: np.ndarray  # (R, W) compact co-member rows, sentinel-padded
+    blk_starts: np.ndarray  # (G2,) reduceat group starts into the rows
+    blk_group: np.ndarray  # (G2,) compact candidate of each row group
+
+
 class ConstraintEngine:
     """Compiled violation hypergraph for one network state.
 
@@ -473,6 +510,8 @@ class ConstraintEngine:
             else np.empty((0, max_others), dtype=np.int32)
         )
         self._nbytes = max(1, (n + 7) // 8)
+        # Lazily built CSR tables for the batched wave maximaliser.
+        self._wave_tables: Optional[WaveTables] = None
         # Mask → frozenset memo: the sampler re-discovers the same maximal
         # instances across refills, so the boundary conversion is hit with a
         # small working set of masks.  Bounded to keep giant networks safe.
@@ -553,6 +592,106 @@ class ConstraintEngine:
         sel[self.n] = True
         return sel
 
+    def selection_matrix(
+        self, masks: Sequence[int], sentinel: bool = False
+    ) -> np.ndarray:
+        """Bool membership rows for a batch of selection masks.
+
+        One ``unpackbits`` over the concatenated little-endian byte images —
+        the batched counterpart of :meth:`selection_array`.  With
+        ``sentinel`` the matrix gains an always-True column at index ``n``
+        so padded index rows stay harmless under ``all()`` reductions.
+        """
+        n = self.n
+        count = len(masks)
+        width = n + 1 if sentinel else n
+        if not count:
+            return np.zeros((0, width), dtype=bool)
+        nbytes = self._nbytes
+        buffer = b"".join(m.to_bytes(nbytes, "little") for m in masks)
+        bits = np.unpackbits(
+            np.frombuffer(buffer, dtype=np.uint8).reshape(count, nbytes),
+            axis=1,
+            bitorder="little",
+        )
+        if not sentinel:
+            return bits[:, :n].astype(bool)
+        rows = np.empty((count, width), dtype=bool)
+        rows[:, :n] = bits[:, :n]
+        rows[:, n] = True
+        return rows
+
+    def wave_tables(self) -> WaveTables:
+        """The (cached) CSR violation tables of the wave maximaliser."""
+        if self._wave_tables is None:
+            self._wave_tables = self._build_wave_tables()
+        return self._wave_tables
+
+    def _build_wave_tables(self) -> WaveTables:
+        conflicted = np.asarray(mask_indices(self.conflicted_mask), dtype=np.intp)
+        m = len(conflicted)
+        compact = {int(full): k for k, full in enumerate(conflicted)}
+        compact_members = [
+            [compact[i] for i in mask_indices(vmask)]
+            for vmask in self.violation_masks
+        ]
+        # Dependency arcs: all (member, co-member) pairs, deduped per member.
+        partners: list[set[int]] = [set() for _ in range(m)]
+        for members in compact_members:
+            for a in members:
+                partners[a].update(members)
+        dep_src: list[int] = []
+        dep_dst: list[int] = []
+        dep_starts: list[int] = []
+        dep_group: list[int] = []
+        for a in range(m):
+            partners[a].discard(a)
+            if not partners[a]:
+                continue
+            dep_starts.append(len(dep_src))
+            dep_group.append(a)
+            for b in sorted(partners[a]):
+                dep_src.append(a)
+                dep_dst.append(b)
+        # Blocking rows: one (member, padded co-members) row per violation
+        # membership, grouped by member.  Width is clamped to ≥1 so that a
+        # network whose violations are all singletons still yields rows —
+        # all-sentinel ones, vacuously satisfied, i.e. always blocked,
+        # exactly the scalar kernel's semantics.
+        width = max(max((len(v) - 1 for v in self.violations), default=1), 1)
+        by_member: list[list[list[int]]] = [[] for _ in range(m)]
+        for members in compact_members:
+            for a in members:
+                row = [b for b in members if b != a]
+                row.extend([m] * (width - len(row)))
+                by_member[a].append(row)
+        blk_others: list[list[int]] = []
+        blk_starts: list[int] = []
+        blk_group: list[int] = []
+        for a in range(m):
+            if not by_member[a]:
+                continue
+            blk_starts.append(len(blk_others))
+            blk_group.append(a)
+            blk_others.extend(by_member[a])
+        return WaveTables(
+            conflicted=conflicted,
+            dep_src=np.asarray(dep_src, dtype=np.intp),
+            dep_dst=np.asarray(dep_dst, dtype=np.intp),
+            dep_tie=np.asarray(
+                [d < s for s, d in zip(dep_src, dep_dst)], dtype=bool
+            ).reshape(-1, 1),
+            dep_starts=np.asarray(dep_starts, dtype=np.intp),
+            dep_group=np.asarray(dep_group, dtype=np.intp),
+            blk_others=(
+                np.asarray(blk_others, dtype=np.intp)
+                if blk_others
+                else np.empty((0, width), dtype=np.intp)
+            ),
+            blk_starts=np.asarray(blk_starts, dtype=np.intp),
+            blk_group=np.asarray(blk_group, dtype=np.intp),
+        )
+
     # ------------------------------------------------------------------
     # Mask primitives (hot kernels)
     # ------------------------------------------------------------------
@@ -622,6 +761,17 @@ class ConstraintEngine:
                 if found:
                     active = found if active is None else active + found
         return active if active is not None else []
+
+    def conflict_partner_union(self, index: int) -> int | None:
+        """Union mask of every co-member of every violation involving
+        ``index``, or ``None`` when a singleton violation refutes the
+        candidate outright (no selection is compatible with it).
+
+        The public face of the repair kernel's fast-exit probe: conflict
+        repair uses it to count how many of a tentative F⁺'s members
+        contest a candidate (``popcount(mask & union)``).
+        """
+        return self._conflict_union[index]
 
     def mask_has_live_violation(self, index: int, disapproved: int) -> bool:
         """Whether some violation involving ``index`` could still activate,

@@ -78,6 +78,20 @@ class Feedback:
         else:
             self.disapprove(corr)
 
+    def retract_approval(self, corr: Correspondence) -> None:
+        """Move an approval to F⁻: the one sanctioned contradiction.
+
+        Conflict repair (Section III-A: trust the constraints over the
+        answer) may conclude that an *earlier* approval sits on the minority
+        side of a violated constraint; retracting it re-files the assertion
+        as a disapproval.  F⁺/F⁻ stay disjoint and |F⁺ ∪ F⁻| is unchanged —
+        the expert's effort was spent either way.
+        """
+        if corr not in self._approved:
+            raise ValueError(f"{corr} is not approved")
+        self._approved.discard(corr)
+        self._disapproved.add(corr)
+
     def is_asserted(self, corr: Correspondence) -> bool:
         return corr in self._approved or corr in self._disapproved
 

@@ -37,6 +37,18 @@ class ProbabilityEstimator(abc.ABC):
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         """Integrate one user assertion."""
 
+    def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
+        """Re-file an earlier approval as a disapproval (conflict repair).
+
+        The default mutates the feedback and relies on the next
+        ``probabilities()`` read to recompute; estimators with maintained
+        views override this to re-condition them.  ``refill=False`` lets a
+        caller mid-repair defer any sample replenishment to the assertion
+        that ends the repair (see ``SampleStore.retract_approval``);
+        estimators without a sample pool ignore it.
+        """
+        self.feedback.retract_approval(corr)
+
     @property
     @abc.abstractmethod
     def feedback(self) -> Feedback:
@@ -86,6 +98,10 @@ class ExactEstimator(ProbabilityEstimator):
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         self._feedback.record(corr, approved)
+        self._cache = None
+
+    def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
+        self._feedback.retract_approval(corr)
         self._cache = None
 
 
@@ -153,6 +169,9 @@ class SampledEstimator(ProbabilityEstimator):
 
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         self.store.record_assertion(corr, approved)
+
+    def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
+        self.store.retract_approval(corr, refill=refill)
 
 
 class ProbabilisticNetwork:
@@ -362,6 +381,25 @@ class ProbabilisticNetwork:
             if index is not None:
                 self._disapproved_indices.append(index)
             self._disapproved_seen += 1
+
+    def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
+        """Move an earlier approval to F⁻ (conflict repair, Section III-A).
+
+        The inverse-direction feedback step the ``disapprove`` conflict
+        policy needs when the *older* approval sits on the minority side of
+        a violated constraint: the estimator re-conditions its state on the
+        corrected verdict, and the maintained F⁺/F⁻ index lists and vector
+        views are rebuilt (a retraction is the one mutation that shrinks
+        F⁺, so the append-only bookkeeping cannot absorb it).
+        ``refill=False`` defers sample replenishment to the assertion that
+        ends the repair — see ``SampleStore.retract_approval``.
+        """
+        if corr not in self.feedback.approved:
+            raise ValueError(f"{corr} is not an approved correspondence")
+        self.estimator.retract_approval(corr, refill=refill)
+        self._approved_seen = -1
+        self._disapproved_seen = -1
+        self._view_tag = None
 
     def samples(self) -> Sequence[frozenset[Correspondence]]:
         """The sample multiset when a sampling estimator backs the network."""

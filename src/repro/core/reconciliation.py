@@ -20,13 +20,86 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from .correspondence import Correspondence
 from .feedback import Oracle
 from .instantiation import instantiate
 from .probability import ProbabilisticNetwork
 from .selection import RandomSelection, SelectionStrategy
+
+
+def resolve_conflicting_approval(
+    pnet: ProbabilisticNetwork,
+    corr: Correspondence,
+    assertion_order: Mapping[Correspondence, int],
+) -> tuple[bool, list[Correspondence]]:
+    """Minority-side conflict repair for an approval that contradicts Γ.
+
+    Section III-A argues that when assertions jointly violate the integrity
+    constraints, the constraints are to be trusted over the answers.  For
+    every violation the new approval of ``corr`` would complete, the policy
+    retracts the member with the *fewest supporting approvals* — support
+    being the approvals compatible with keeping the member, so the member
+    contradicted by the most approved conflict partners (counted over every
+    compiled violation it appears in, active or latent) loses.  Ties go
+    against the *newest* assertion (``assertion_order`` ranks the session's
+    elicitations; ``corr`` itself is always newest), which reduces to the
+    historical flip-the-new-approval behaviour for an isolated pairwise
+    conflict.
+
+    Retracting an earlier approval re-files it as a disapproval through
+    :meth:`ProbabilisticNetwork.retract_approval` (F± stay disjoint); when
+    ``corr`` itself loses it is recorded as a disapproval directly.  Repair
+    iterates until the surviving approvals satisfy Γ again.  Returns the
+    final verdict recorded for ``corr`` plus the retracted approvals.
+    """
+    engine = pnet.network.engine
+    retracted: list[Correspondence] = []
+    newest = max(assertion_order.values(), default=0) + 1
+    while True:
+        approved = pnet.feedback.approved
+        conflicts = [
+            violation
+            for violation in engine.violations_involving(corr)
+            if violation.correspondences - {corr} <= approved
+        ]
+        if not conflicts:
+            pnet.record_assertion(corr, True)
+            return True, retracted
+        tentative_mask = engine.mask_of(approved) | engine.bits[
+            engine.index_of[corr]
+        ]
+
+        def contested(member: Correspondence) -> int:
+            union = engine.conflict_partner_union(engine.index_of[member])
+            if union is None:
+                # A singleton violation: the constraint alone refutes the
+                # member, no approval can support it.
+                return engine.n + 1
+            return (tentative_mask & union).bit_count()
+
+        members = {
+            member for violation in conflicts for member in violation
+        }
+        # Sorted so a full tie (equal support, equal recency — possible only
+        # among pre-seeded approvals) resolves canonically, not by hash seed.
+        victim = max(
+            sorted(members),
+            key=lambda member: (
+                contested(member),
+                assertion_order.get(member, newest if member == corr else -1),
+            ),
+        )
+        if victim == corr:
+            pnet.record_assertion(corr, False)
+            return False, retracted
+        # refill=False: the loop always ends in a record_assertion for
+        # ``corr``, which re-conditions the sample pool and refills it once
+        # under the final feedback — refilling per retraction would mostly
+        # be discarded by that very call.
+        pnet.retract_approval(victim, refill=False)
+        retracted.append(victim)
 
 
 @dataclass(frozen=True)
@@ -94,6 +167,7 @@ class ReconciliationSession:
         self.strategy = strategy or RandomSelection(rng=rng)
         self.on_conflict = on_conflict
         self.conflicts_resolved = 0
+        self.approvals_retracted = 0
         self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
 
     # ------------------------------------------------------------------
@@ -129,7 +203,12 @@ class ReconciliationSession:
         policy decides whether that raises
         (:class:`~repro.core.instances.InconsistentFeedbackError`, default)
         or — trusting the constraints over the answer, as Section III-A
-        argues — records the contradictory approval as a disapproval.
+        argues — repairs the feedback by retracting the *minority side* of
+        each violated constraint (:func:`resolve_conflicting_approval`):
+        the member with the fewest supporting approvals loses, newest
+        assertion as the tie-break.  ``conflicts_resolved`` counts the
+        conflicted steps, ``approvals_retracted`` the earlier approvals
+        re-filed as disapprovals along the way.
         """
         from .instances import InconsistentFeedbackError
 
@@ -142,9 +221,13 @@ class ReconciliationSession:
         except InconsistentFeedbackError:
             if self.on_conflict == "raise":
                 raise
-            approved = False
             self.conflicts_resolved += 1
-            self.pnet.record_assertion(corr, approved)
+            approved, retracted = resolve_conflicting_approval(
+                self.pnet,
+                corr,
+                {step.correspondence: step.index for step in self.trace.steps},
+            )
+            self.approvals_retracted += len(retracted)
         record = ReconciliationStep(
             index=len(self.trace.steps) + 1,
             correspondence=corr,

@@ -32,7 +32,11 @@ from typing import Optional
 from .correspondence import Correspondence
 from .feedback import Oracle
 from .probability import ProbabilisticNetwork, SampledEstimator
-from .reconciliation import ReconciliationStep, ReconciliationTrace
+from .reconciliation import (
+    ReconciliationStep,
+    ReconciliationTrace,
+    resolve_conflicting_approval,
+)
 from .uncertainty import binary_entropy, information_gains, network_uncertainty
 
 
@@ -57,6 +61,7 @@ class ReferenceReconciliationSession:
         self.rng = rng or random.Random()
         self.on_conflict = on_conflict
         self.conflicts_resolved = 0
+        self.approvals_retracted = 0
         self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
 
     # ------------------------------------------------------------------
@@ -145,9 +150,16 @@ class ReferenceReconciliationSession:
         except InconsistentFeedbackError:
             if self.on_conflict == "raise":
                 raise
-            approved = False
+            # The minority-side policy is a loop-layer *semantic*, shared
+            # with the incremental session (like the pnet feedback step
+            # itself) so the equivalence harness pins one behaviour.
             self.conflicts_resolved += 1
-            self.pnet.record_assertion(corr, approved)
+            approved, retracted = resolve_conflicting_approval(
+                self.pnet,
+                corr,
+                {step.correspondence: step.index for step in self.trace.steps},
+            )
+            self.approvals_retracted += len(retracted)
         self._teardown()
         record = ReconciliationStep(
             index=len(self.trace.steps) + 1,

@@ -27,7 +27,7 @@ and candidate order are randomised with the same distribution as before
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -294,6 +294,148 @@ def greedy_maximalize_mask(
             continue
         cur |= bit
     return cur
+
+
+def wave_maximalize_batch(
+    engine: ConstraintEngine,
+    instances: Sequence[int],
+    allowed: int,
+    np_rng: Optional[np.random.Generator] = None,
+    priorities: Optional[np.ndarray] = None,
+) -> list[int]:
+    """Maximalise a whole batch of instances with priority waves.
+
+    The batched (Luby-style) counterpart of the scalar
+    :func:`greedy_maximalize_mask`: instead of scanning one emission's
+    conflicted availability sequentially, every emission draws a random
+    priority per conflicted candidate and candidates are admitted in numpy
+    *waves* — a candidate is decided as soon as every lower-priority
+    violation partner (the engine's :class:`~repro.core.constraints.WaveTables`
+    dependency arcs) has been decided, and admitted unless a violation would
+    complete against the already-admitted selection.  Violation-free
+    candidates are OR-ed in wholesale up front, exactly as the scalar kernel
+    does.
+
+    **Exactness.**  For a fixed priority assignment the wave schedule
+    computes precisely the sequential greedy scan in increasing-priority
+    order: when a candidate is decided, its selected violation partners are
+    exactly the admitted lower-priority ones (higher-priority partners are
+    still waiting on it), so every admission test sees the same selection
+    the sequential scan would.  Priority ties decide the lower index first
+    (``dep_tie``), mirroring an index-ordered scan.  With iid uniform
+    priorities per emission (``np_rng``) the induced scan order is a uniform
+    permutation of the conflicted availability — the same emission
+    distribution as the scalar kernel's ``np_rng.permutation`` path, with
+    the whole refill's emissions decided in a handful of array waves (the
+    dependency depth of random priorities is logarithmic).
+
+    ``instances`` are walk-state selection masks, all sampled under the same
+    ``allowed`` mask (candidates minus F⁻).  ``priorities`` overrides the
+    random draw with an explicit ``(len(instances), n)`` float array (only
+    the conflicted columns matter) — the hook the fixed-priority parity
+    tests use; with neither ``np_rng`` nor ``priorities`` the scan order is
+    the deterministic ascending index order, bit-for-bit
+    :func:`greedy_maximalize_mask`'s ``rng=None`` behaviour.  Returns the
+    maximal masks in input order.
+    """
+    count = len(instances)
+    if not count:
+        return []
+    free = allowed & engine.violation_free_mask
+    base = [instance | free for instance in instances]
+    if not allowed & engine.conflicted_mask:
+        return base
+    tables = engine.wave_tables()
+    conflicted = tables.conflicted
+    m = len(conflicted)
+    rows = engine.selection_matrix(base, sentinel=False)
+    # Everything below runs transposed — (candidates, emissions) — with the
+    # emission axis packed into uint8 bit-lanes: a wave's boolean algebra
+    # over the whole batch is then a few kilobytes of byte ops, and the
+    # per-candidate group-ORs reduce rows a few dozen bytes wide.  Padding
+    # bit-lanes stay zero throughout (packbits zero-pads, and `live` only
+    # ever shrinks), so they never leak into real emissions.
+    lanes = (count + 7) // 8
+    sel = np.empty((m + 1, lanes), dtype=np.uint8)
+    sel[:m] = np.packbits(rows[:, conflicted].T, axis=1, bitorder="little")
+    sel[m] = 0xFF
+    avail = engine.selection_array(allowed & engine.conflicted_mask)[:-1]
+    pad = np.packbits(np.ones(count, dtype=bool), bitorder="little")
+    live = np.where(avail[conflicted], 0xFF, 0).astype(np.uint8)[:, None]
+    live = (live & ~sel[:m]) & pad
+    if priorities is not None:
+        priorities = np.asarray(priorities, dtype=np.float64)
+        if priorities.shape != (count, engine.n):
+            raise ValueError(
+                f"priorities must have shape {(count, engine.n)}, "
+                f"got {priorities.shape}"
+            )
+        pri = np.ascontiguousarray(priorities[:, conflicted].T)
+        # NaN compares false both ways: nothing would wait on a NaN
+        # neighbour and mutually exclusive partners would co-admit —
+        # silently inconsistent output, so reject it here.
+        if np.isnan(pri).any():
+            raise ValueError("priorities must not contain NaN")
+    elif np_rng is not None:
+        pri = np_rng.random((m, count))
+    else:
+        pri = np.broadcast_to(
+            np.arange(m, dtype=np.float64)[:, None], (m, count)
+        )
+    dep_src, dep_dst, dep_tie = tables.dep_src, tables.dep_dst, tables.dep_tie
+    dep_starts, dep_group = tables.dep_starts, tables.dep_group
+    blk_others, blk_starts, blk_group = (
+        tables.blk_others,
+        tables.blk_starts,
+        tables.blk_group,
+    )
+    # The priority comparison per dependency arc is wave-invariant: hoist
+    # it out of the loop and pack it into the same bit-lane layout.
+    if len(dep_src):
+        pri_dst = pri[dep_dst]
+        pri_src = pri[dep_src]
+        arc_wins = np.packbits(
+            (pri_dst < pri_src) | ((pri_dst == pri_src) & dep_tie),
+            axis=1,
+            bitorder="little",
+        )
+    while live.any():
+        # Prune live candidates some violation already blocks: blocking is
+        # monotone in the selection, so their fate (rejected) is known now —
+        # deciding them early frees their partners from waiting on them
+        # without changing any admission test.
+        if len(blk_others):
+            hit = sel[blk_others[:, 0]]
+            for column in range(1, blk_others.shape[1]):
+                hit = hit & sel[blk_others[:, column]]
+            blocked = np.zeros((m, lanes), dtype=np.uint8)
+            blocked[blk_group] = np.bitwise_or.reduceat(hit, blk_starts, axis=0)
+            live &= ~blocked
+        # Ready: every live lower-priority partner has been decided.
+        if len(dep_src):
+            cond = live[dep_dst] & arc_wins
+            waiting = np.zeros((m, lanes), dtype=np.uint8)
+            waiting[dep_group] = np.bitwise_or.reduceat(cond, dep_starts, axis=0)
+            ready = live & ~waiting
+        else:
+            ready = live
+        # A live minimum-(priority, index) candidate is always ready (NaN,
+        # the one float that breaks the argument, is rejected on input), so
+        # the wave always makes progress; the guard is pure defence.
+        if not ready.any():
+            if not live.any():
+                break
+            raise ValueError("priority waves stalled")
+        # Ready candidates are mutually violation-free (two co-members of a
+        # violation gate each other), and the blocked ones were just pruned:
+        # admit them all.
+        sel[:m] |= ready
+        live &= ~ready
+    rows[:, conflicted] = (
+        np.unpackbits(sel[:m], axis=1, bitorder="little")[:, :count].T
+    )
+    packed = np.packbits(rows, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
 
 
 def repair(

@@ -11,12 +11,15 @@ of the heavily constrained instance space.
 Hot-path layout: the walk runs entirely in the constraint engine's bitmask
 index space — the current instance is one int, availability is
 ``allowed & ~current``, the walk step picks a uniform set bit, proposals go
-through :func:`~repro.core.repair.repair_mask`, Δ is a popcount of an XOR,
-and emissions are maximalised with
-:func:`~repro.core.repair.greedy_maximalize_mask`.  The store keeps Ω* as a
-list of masks (plus a cached numpy membership matrix for frequency /
-information-gain reductions) and converts to frozensets only at the public
-``samples`` boundary.
+through :func:`~repro.core.repair.repair_mask`, Δ is a popcount of an XOR.
+Emissions are *batched*: the walk collects its pre-emission states
+(:meth:`InstanceSampler.walk_states`) and a whole refill's worth is
+maximalised at once by the priority-wave kernel
+:func:`~repro.core.repair.wave_maximalize_batch` (per-emission random
+priorities, numpy admission waves) instead of one sequential scan per
+instance.  The store keeps Ω* as a list of masks (plus a cached numpy
+membership matrix for frequency / information-gain reductions) and converts
+to frozensets only at the public ``samples`` boundary.
 
 Two notes on fidelity to the paper:
 
@@ -42,7 +45,7 @@ from .constraints import kth_set_bit
 from .correspondence import Correspondence
 from .feedback import Feedback
 from .network import MatchingNetwork
-from .repair import greedy_maximalize_mask, repair_mask
+from .repair import repair_mask, wave_maximalize_batch
 
 
 def symmetric_difference_size(
@@ -87,13 +90,18 @@ class InstanceSampler:
         # deterministic while the two streams remain independent.
         self.np_rng = np.random.default_rng(self.rng.getrandbits(64))
 
-    def sample_masks(
+    def walk_states(
         self, n_samples: int, feedback: Optional[Feedback] = None
-    ) -> list[int]:
-        """The mask-space hot kernel behind :meth:`sample`.
+    ) -> tuple[list[int], int]:
+        """Run the walk and collect the pre-emission states.
 
-        Runs ``n_samples`` walk iterations and returns the *distinct*
-        matching instances discovered, as bitmasks in discovery order.
+        Returns one consistent (not yet maximalised) selection mask per walk
+        iteration plus the ``allowed`` mask they were sampled under.  The
+        emission itself — maximalising every state — is deliberately
+        deferred: the walk only ever continues from its *own* state, never
+        from an emitted instance, so a refill can collect the whole batch
+        here and maximalise it in one call to
+        :func:`~repro.core.repair.wave_maximalize_batch`.
         """
         feedback = feedback or Feedback()
         engine = self.network.engine
@@ -104,26 +112,11 @@ class InstanceSampler:
         allowed = engine.full_mask & ~engine.mask_of(feedback.disapproved)
 
         current = approved
-        discovered: dict[int, None] = {}
+        states: list[int] = []
         exp = math.exp
         random_float = rng.random
         n = engine.n
         bits = engine.bits
-        conflicted_mask = engine.conflicted_mask
-        # The conflicted availability (the only candidates the emission scan
-        # must order) is maintained as an index set across the walk — reset
-        # on restart, patched per accepted proposal — so each emission reads
-        # it directly instead of re-deriving it from the masks.
-        base_avail = allowed & ~approved & conflicted_mask
-        base_avail_set: set[int] = set(
-            np.flatnonzero(engine.selection_array(base_avail)[:-1]).tolist()
-        )
-        conflicted_avail = set(base_avail_set)
-        extra_conflicted = current & ~approved & conflicted_mask
-        while extra_conflicted:
-            bit = extra_conflicted & -extra_conflicted
-            conflicted_avail.discard(bit.bit_length() - 1)
-            extra_conflicted ^= bit
         for _ in range(n_samples):
             # Occasional restart from the feedback core: the constraint
             # structure splits the instance space into regions the local
@@ -132,7 +125,6 @@ class InstanceSampler:
             # reachable regardless of the walk's current position.
             if current != approved and random_float() < restart_probability:
                 current = approved
-                conflicted_avail = set(base_avail_set)
             for _ in range(walk_steps):
                 avail = allowed & ~current
                 if not avail:
@@ -150,22 +142,27 @@ class InstanceSampler:
                 distance = (current ^ proposal).bit_count()
                 acceptance = 1.0 - exp(-distance)
                 if random_float() < acceptance:
-                    changed = (current ^ proposal) & conflicted_mask
-                    while changed:
-                        bit = changed & -changed
-                        if proposal & bit:
-                            conflicted_avail.discard(bit.bit_length() - 1)
-                        else:
-                            conflicted_avail.add(bit.bit_length() - 1)
-                        changed ^= bit
                     current = proposal
-            maximal = greedy_maximalize_mask(
-                engine,
-                current,
-                allowed,
-                np_rng=self.np_rng,
-                conflicted_avail=conflicted_avail,
-            )
+            states.append(current)
+        return states, allowed
+
+    def sample_masks(
+        self, n_samples: int, feedback: Optional[Feedback] = None
+    ) -> list[int]:
+        """The mask-space hot kernel behind :meth:`sample`.
+
+        Runs ``n_samples`` walk iterations and returns the *distinct*
+        matching instances discovered, as bitmasks in discovery order.  The
+        whole batch of walk states is maximalised at once by the priority-
+        wave kernel (uniform per-emission priorities from ``np_rng`` — the
+        same emission distribution as the historical per-instance
+        permutation scan, decided in a few numpy waves).
+        """
+        states, allowed = self.walk_states(n_samples, feedback)
+        discovered: dict[int, None] = {}
+        for maximal in wave_maximalize_batch(
+            self.network.engine, states, allowed, np_rng=self.np_rng
+        ):
             discovered[maximal] = None
         return list(discovered)
 
@@ -222,6 +219,19 @@ class SampleStore:
     so ``record_assertion`` costs one boolean row-filter instead of a full
     rebuild; ``version`` increments on every mutation so downstream caches
     (e.g. the probabilistic network's folded vector) can validate cheaply.
+
+    **The wave/priority invariant.**  Every instance a refill adds to Ω* is
+    emitted by the batched priority-wave maximaliser
+    (:func:`~repro.core.repair.wave_maximalize_batch`): each walk state
+    draws iid uniform priorities over the conflicted availability and is
+    extended to the unique maximal instance the sequential greedy scan in
+    increasing-priority order would build.  Because that order is a uniform
+    permutation of the availability, the per-emission instance distribution
+    is exactly the historical per-instance permutation scan's, so Ω* stays
+    a valid Ω* sample per Section III-B — only the random stream (one
+    priority matrix per refill instead of one permutation per emission) and
+    the wall-clock change.  Every emission is maximal and violation-free by
+    construction; the property suite pins both.
     """
 
     def __init__(
@@ -306,18 +316,9 @@ class SampleStore:
         self._frequency_cache = None
 
     def _rows_for(self, masks: Sequence[int]) -> np.ndarray:
-        """Boolean membership rows for the given sample masks."""
-        n = self.network.engine.n
-        nbytes = max(1, (n + 7) // 8)
-        if not masks:
-            return np.zeros((0, n), dtype=bool)
-        buffer = b"".join(m.to_bytes(nbytes, "little") for m in masks)
-        bits = np.unpackbits(
-            np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes),
-            axis=1,
-            bitorder="little",
-        )
-        return bits[:, :n].astype(bool)
+        """Boolean membership rows for the given sample masks (the engine's
+        batched mask decode, shared with the wave maximaliser)."""
+        return self.network.engine.selection_matrix(masks)
 
     def _condition_caches(self, index: int, approved: bool) -> None:
         """Apply the Ω*-partition of one assertion to the cached matrices.
@@ -410,6 +411,39 @@ class SampleStore:
             # longer provably complete — resume sampling.
             self._exhausted = False
         if len(self._sample_masks) < self.min_samples:
+            self._top_up(goal=self.target_samples)
+
+    def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
+        """Re-condition Ω* when conflict repair moves ``corr`` to F⁻.
+
+        Approval-conditioning kept exactly the samples containing ``corr``;
+        once the constraints prove the approval wrong, those samples are the
+        invalid side of the partition — drop them (the same row filter as a
+        disapproval), clear any completeness claim (instances without
+        ``corr`` were systematically excluded, so Ω* is no longer provably
+        Ω) and top the store back up under the corrected feedback.
+
+        ``refill=False`` skips that top-up.  Conflict repair retracts and
+        then immediately records a further assertion, which conditions the
+        store again and refills it under the *final* feedback — refilling
+        per retraction would pay a full walk/emission pass only to discard
+        much of it one call later.  Callers that skip the refill must end
+        their feedback transaction with a mutation that restores it (every
+        ``record_assertion`` does).
+        """
+        self.feedback.retract_approval(corr)
+        engine = self.network.engine
+        index = engine.index_of.get(corr)
+        if index is not None:
+            bit = engine.bits[index]
+            survivors = [m for m in self._sample_masks if not (m & bit)]
+            if len(survivors) != len(self._sample_masks):
+                self._sample_masks = survivors
+                self._sample_set = set(survivors)
+            self._condition_caches(index, approved=False)
+        self._invalidate_derived()
+        self._exhausted = False
+        if refill and len(self._sample_masks) < self.min_samples:
             self._top_up(goal=self.target_samples)
 
     def _top_up(self, goal: int) -> None:

@@ -202,7 +202,9 @@ def conflicted_subnetwork(
         chosen.append(corr)
         chosen_set.add(corr)
         for violation in engine.violations_involving(corr):
-            for neighbour in violation:
+            # Sorted: iterating the violation's frozenset directly would
+            # make the drawn subnetwork depend on the process hash seed.
+            for neighbour in sorted(violation):
                 if neighbour not in chosen_set:
                     frontier.append(neighbour)
     remaining = [c for c in all_correspondences if c not in chosen_set]

@@ -25,6 +25,7 @@ from .ensemble import (
     harmonic_mean,
     match_pair,
     maximum,
+    register_aggregator,
     weighted_average,
 )
 from .name_matchers import (
@@ -81,6 +82,7 @@ __all__ = [
     "match_pair",
     "matrix_from_scores",
     "maximum",
+    "register_aggregator",
     "simple_threshold",
     "weighted_average",
 ]

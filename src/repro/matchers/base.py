@@ -146,7 +146,17 @@ class Matcher(abc.ABC):
     #: :meth:`MatcherPipeline.match_network` reuses one computed score block
     #: for every edge whose schemas project to the same field tuples —
     #: schemas repeat attribute vocabularies heavily in scaled corpora.
-    #: Third-party matchers default to ``None`` (no cross-edge reuse).
+    #:
+    #: **Every built-in matcher declares this** (name-based matchers via
+    #: :class:`CachedMatcher`, type matchers as ``("data_type",)``, and
+    #: ensembles derive the union of their members' fields), so the stock
+    #: pipelines always take the deduplicated network path; a regression
+    #: test pins that.  Third-party matchers default to ``None``, which is
+    #: the conservative contract: scores might depend on anything (even the
+    #: attribute's schema), so ``match_network`` falls back to one block per
+    #: edge with no cross-edge reuse.  Declare the fields your score really
+    #: reads to opt back into deduplication — an ensemble regains it only
+    #: when *all* of its members declare.
     depends_on: tuple[str, ...] | None = None
 
     @abc.abstractmethod

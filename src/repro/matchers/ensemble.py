@@ -9,16 +9,19 @@ max-delta, stable marriage).
 
 Both stages are batch-first.  :meth:`EnsembleMatcher.similarity_matrix`
 stacks the members' score blocks and aggregates them with numpy (the three
-built-in aggregations have closed-form array kernels; custom callables fall
-back to per-cell application), and every selector reduces the matrix's
-score array directly — ``argpartition``-style row sorts and row/column max
-reductions instead of per-pair Python dictionaries.  The scalar paths are
-kept as the reference semantics the array paths are pinned against.
+built-in aggregations ship closed-form array kernels; custom callables can
+supply one through :func:`register_aggregator`, and unregistered ones fall
+back to per-cell application with a one-time warning), and every selector
+reduces the matrix's score array directly — ``argpartition``-style row
+sorts and row/column max reductions instead of per-pair Python
+dictionaries.  The scalar paths are kept as the reference semantics the
+array paths are pinned against.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -70,14 +73,60 @@ def _harmonic_mean_blocks(blocks: np.ndarray, weights: np.ndarray) -> np.ndarray
     return np.where(any_zero, 0.0, combined)
 
 
-#: Array kernels for the built-in aggregations, keyed by the scalar
-#: function object; unknown (custom) aggregations fall back to per-cell
-#: application of the scalar callable.
-_BLOCK_AGGREGATIONS: dict[Aggregation, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+#: The array-kernel signature: (stacked member blocks of shape
+#: ``(members, rows, cols)``, weights of shape ``(members,)``) → combined
+#: ``(rows, cols)`` block.
+BlockAggregation = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Array kernels for the registered aggregations, keyed by the scalar
+#: function object; unregistered (custom) aggregations fall back to
+#: per-cell application of the scalar callable (and warn once).
+_BLOCK_AGGREGATIONS: dict[Aggregation, BlockAggregation] = {
     weighted_average: _weighted_average_blocks,
     maximum: _maximum_blocks,
     harmonic_mean: _harmonic_mean_blocks,
 }
+
+#: Custom aggregations already warned about, so the per-cell fallback nags
+#: exactly once per callable, not once per schema pair.
+_FALLBACK_WARNED: set[Aggregation] = set()
+
+
+def register_aggregator(
+    aggregation: Aggregation, block_kernel: BlockAggregation
+) -> BlockAggregation:
+    """Register an array kernel for a custom aggregation callable.
+
+    ``EnsembleMatcher.similarity_matrix`` aggregates the members' stacked
+    score blocks with the kernel registered for its ``aggregation``; a
+    callable without one falls back to applying the scalar aggregation per
+    cell — O(rows × cols) Python calls per schema pair, easily the slowest
+    part of a network match — and warns once.  ``block_kernel`` receives the
+    ``(members, rows, cols)`` score stack plus the weight vector and must
+    return the combined ``(rows, cols)`` block; results are clipped to
+    [0, 1] by the caller, mirroring the scalar path.  The registration is
+    process-wide and keyed on the callable object itself.  Returns
+    ``block_kernel`` so it can double as a decorator.
+    """
+    if not callable(aggregation) or not callable(block_kernel):
+        raise TypeError("register_aggregator takes two callables")
+    _BLOCK_AGGREGATIONS[aggregation] = block_kernel
+    _FALLBACK_WARNED.discard(aggregation)
+    return block_kernel
+
+
+def _warn_slow_aggregation(aggregation: Aggregation) -> None:
+    if aggregation in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(aggregation)
+    name = getattr(aggregation, "__name__", repr(aggregation))
+    warnings.warn(
+        f"ensemble aggregation {name!r} has no registered array kernel; "
+        "falling back to per-cell Python aggregation (register one with "
+        "repro.matchers.ensemble.register_aggregator)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class EnsembleMatcher(Matcher):
@@ -148,6 +197,7 @@ class EnsembleMatcher(Matcher):
         if kernel is not None:
             combined = kernel(blocks, weights)
         else:
+            _warn_slow_aggregation(self.aggregation)
             combined = np.empty(blocks.shape[1:], dtype=np.float64)
             for i in range(combined.shape[0]):
                 for j in range(combined.shape[1]):

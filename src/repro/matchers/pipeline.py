@@ -116,14 +116,18 @@ class MatcherPipeline:
         """Candidate correspondences for every edge of the interaction graph.
 
         Fits on the whole corpus unless already fitted.  When the matcher
-        declares :attr:`~repro.matchers.base.Matcher.depends_on`, the
-        matcher work is deduplicated across edges: one block is computed
-        over the *universe* of distinct attribute profiles and every edge
-        gathers its submatrix from it, so attribute profiles repeated
-        across the O(n²) schema pairs are scored exactly once.  (When the
-        universe square would dwarf the edges actually requested — sparse
-        graphs over near-disjoint schemas — it falls back to per-edge
-        blocks, still shared between profile-identical edges.)
+        declares :attr:`~repro.matchers.base.Matcher.depends_on` — every
+        built-in matcher and the stock pipelines do — the matcher work is
+        deduplicated across edges: one block is computed over the
+        *universe* of distinct attribute profiles and every edge gathers
+        its submatrix from it, so attribute profiles repeated across the
+        O(n²) schema pairs are scored exactly once.  (When the universe
+        square would dwarf the edges actually requested — sparse graphs
+        over near-disjoint schemas — it falls back to per-edge blocks,
+        still shared between profile-identical edges.)  Third-party
+        matchers that leave ``depends_on`` at its ``None`` default take the
+        plain per-edge path; declaring the attribute fields the score reads
+        is all it takes to opt in.
         """
         graph = graph or complete_graph([s.name for s in schemas])
         by_name = {schema.name: schema for schema in schemas}

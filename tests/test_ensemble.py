@@ -197,3 +197,105 @@ class TestMatchPair:
             s1, s2, EditDistanceMatcher(), ThresholdSelector(0.99)
         )
         assert chosen == {}
+
+
+class TestRegisterAggregator:
+    """Satellite coverage: custom aggregations can supply an array kernel
+    (``register_aggregator``), and the per-cell Python fallback warns once
+    instead of silently dominating the network match."""
+
+    @staticmethod
+    def _geometric_mean(scores, weights):
+        product = 1.0
+        for score in scores:
+            product *= score
+        return product ** (1.0 / len(scores)) if scores else 0.0
+
+    def _members(self):
+        return [EditDistanceMatcher(), TokenMatcher()]
+
+    def test_unregistered_custom_aggregation_warns_once(self, schemas):
+        import warnings
+
+        from repro.matchers import ensemble as ensemble_module
+
+        def nameless(scores, weights):
+            return self._geometric_mean(scores, weights)
+
+        matcher = EnsembleMatcher(self._members(), aggregation=nameless)
+        s1, s2 = schemas
+        with pytest.warns(RuntimeWarning, match="register_aggregator"):
+            first = matcher.similarity_matrix(s1.attributes, s2.attributes)
+        # Warned exactly once per callable, not once per schema pair.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = matcher.similarity_matrix(s1.attributes, s2.attributes)
+        assert first.tolist() == second.tolist()
+        ensemble_module._FALLBACK_WARNED.discard(nameless)
+
+    def test_fallback_matches_scalar_reference(self, schemas):
+        import warnings
+
+        def custom(scores, weights):
+            return self._geometric_mean(scores, weights)
+
+        matcher = EnsembleMatcher(self._members(), aggregation=custom)
+        s1, s2 = schemas
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            block = matcher.similarity_matrix(s1.attributes, s2.attributes)
+        for i, left in enumerate(s1.attributes):
+            for j, right in enumerate(s2.attributes):
+                assert block[i, j] == pytest.approx(
+                    matcher.similarity(left, right)
+                )
+
+    def test_registered_kernel_is_used_and_agrees(self, schemas):
+        import warnings
+
+        import numpy as np
+
+        from repro.matchers import register_aggregator
+
+        def custom(scores, weights):
+            return self._geometric_mean(scores, weights)
+
+        calls = []
+
+        def kernel(blocks, weights):
+            calls.append(blocks.shape)
+            return np.exp(np.log(np.maximum(blocks, 1e-300)).mean(axis=0))
+
+        try:
+            register_aggregator(custom, kernel)
+            matcher = EnsembleMatcher(self._members(), aggregation=custom)
+            s1, s2 = schemas
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # no fallback warning
+                block = matcher.similarity_matrix(s1.attributes, s2.attributes)
+            assert calls, "registered kernel was not invoked"
+            for i, left in enumerate(s1.attributes):
+                for j, right in enumerate(s2.attributes):
+                    assert block[i, j] == pytest.approx(
+                        matcher.similarity(left, right)
+                    )
+        finally:
+            from repro.matchers.ensemble import _BLOCK_AGGREGATIONS
+
+            _BLOCK_AGGREGATIONS.pop(custom, None)
+
+    def test_register_aggregator_rejects_non_callables(self):
+        from repro.matchers import register_aggregator
+
+        with pytest.raises(TypeError, match="callables"):
+            register_aggregator(weighted_average, "not-a-kernel")
+
+    def test_builtin_aggregations_never_warn(self, schemas):
+        import warnings
+
+        s1, s2 = schemas
+        for aggregation in (weighted_average, maximum, harmonic_mean):
+            matcher = EnsembleMatcher(self._members(), aggregation=aggregation)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                matcher.similarity_matrix(s1.attributes, s2.attributes)

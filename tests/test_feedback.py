@@ -86,6 +86,25 @@ class TestFeedback:
         feedback = Feedback(approved=[c["c1"]])
         assert "+1" in repr(feedback)
 
+    def test_retract_approval_moves_to_disapproved(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"], c["c2"]])
+        feedback.retract_approval(c["c1"])
+        assert c["c1"] in feedback.disapproved
+        assert c["c1"] not in feedback.approved
+        assert c["c2"] in feedback.approved
+        # Disjointness and total effort are preserved.
+        assert not feedback.approved & feedback.disapproved
+        assert len(feedback) == 2
+
+    def test_retract_approval_requires_approval(self, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(disapproved=[c["c1"]])
+        with pytest.raises(ValueError, match="not approved"):
+            feedback.retract_approval(c["c1"])
+        with pytest.raises(ValueError, match="not approved"):
+            feedback.retract_approval(c["c2"])
+
 
 class TestOracle:
     def test_answers_from_truth(self, movie_oracle, movie_correspondences):

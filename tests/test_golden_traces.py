@@ -40,15 +40,19 @@ def golden_fixture():
 
 
 #: (strategy, seed) → (uncertainties[0..5], first six selections, steps).
+#: Regenerated for the priority-wave emission kernel (PR 4): the sampler's
+#: per-emission distribution is unchanged, but the random stream is one
+#: priority matrix per refill instead of one permutation per emission, so
+#: the seeded Ω* — and hence these traces — shifted.
 SESSION_GOLDENS = {
     ("random", 7): (
         [
-            55.74164807630726,
-            53.34234304914004,
-            49.52913690862057,
-            49.52913690862057,
-            49.52913690862057,
-            49.52913690862057,
+            55.79821741811065,
+            53.74378680393065,
+            50.43285987298816,
+            50.43285987298816,
+            50.43285987298816,
+            50.43285987298816,
         ],
         [
             "S002.a005~S007.a021",
@@ -62,39 +66,39 @@ SESSION_GOLDENS = {
     ),
     ("information-gain", 7): (
         [
-            55.74164807630726,
-            51.626152666840376,
-            52.002722348310506,
-            49.339759924508684,
-            45.553207351862696,
-            43.904624731644645,
+            55.79821741811065,
+            52.33370154269438,
+            50.12553219911542,
+            47.37359966599234,
+            45.23579488425172,
+            42.506276909987406,
         ],
         [
-            "S004.a015~S006.a007",
-            "S002.a002~S006.a023",
-            "S002.a028~S003.a003",
-            "S002.a004~S006.a023",
             "S002.a024~S003.a027",
-            "S002.a026~S003.a020",
+            "S002.a028~S003.a003",
+            "S002.a009~S003.a016",
+            "S005.a015~S006.a008",
+            "S004.a015~S006.a007",
+            "S002.a002~S006.a024",
         ],
         110,
     ),
     ("likelihood", 7): (
         [
-            55.74164807630726,
-            54.016414161178055,
-            53.57834358253843,
-            50.5569264983471,
-            49.18194831673987,
-            48.2425652771942,
+            55.79821741811065,
+            54.29830032532223,
+            53.667260331491086,
+            51.06959285406024,
+            49.351970276518756,
+            47.86708228231613,
         ],
         [
             "S002.a008~S006.a008",
             "S003.a010~S007.a021",
-            "S002.a009~S003.a016",
+            "S005.a020~S006.a015",
+            "S003.a005~S004.a004",
             "S005.a010~S006.a024",
-            "S006.a016~S007.a018",
-            "S002.a026~S006.a024",
+            "S002.a026~S003.a020",
         ],
         110,
     ),
@@ -151,21 +155,22 @@ class TestSessionGoldens:
 
 
 #: Figure goldens: fast-profile runs on the BP corpus at scale 0.5.
+#: Regenerated alongside the session goldens for the wave emission kernel.
 FIG9_GOLDEN = [
     (0.0, 1.0, 1.0, 0.6962025316455697, 0.6962025316455697),
-    (25.0, 0.4724257029101496, 0.0, 0.7534246575342466, 0.7746478873239436),
-    (50.0, 0.20000281993423694, 0.0, 0.8208955223880597, 0.8333333333333334),
+    (25.0, 0.47046235837330314, 0.0, 0.7534246575342466, 0.7746478873239436),
+    (50.0, 0.19917163221211917, 0.0, 0.8208955223880597, 0.8333333333333334),
     (100.0, 0.0, 0.0, 1.0, 1.0),
 ]
 
 FIG10_GOLDEN = [
-    (0.0, 0.85, 0.8333333333333334, 0.7183098591549296, 0.704225352112676),
+    (0.0, 0.85, 0.8666666666666667, 0.7183098591549296, 0.7323943661971831),
     (
         10.0,
         0.8833333333333333,
-        0.8813559322033898,
+        0.8983050847457628,
         0.7464788732394366,
-        0.7323943661971831,
+        0.7464788732394366,
     ),
 ]
 
@@ -173,10 +178,10 @@ FIG11_GOLDEN = [
     (0.0, 0.85, 0.85, 0.7183098591549296, 0.7183098591549296),
     (
         10.0,
-        0.8833333333333333,
-        0.8833333333333333,
-        0.7464788732394366,
-        0.7464788732394366,
+        0.9152542372881356,
+        0.9322033898305084,
+        0.7605633802816901,
+        0.7746478873239436,
     ),
 ]
 

@@ -34,6 +34,59 @@ class TestRegistry:
             assert hasattr(pipeline, "match_network")
 
 
+class TestDependsOnDeclarations:
+    """Satellite regression: the cross-edge universe dedup in
+    ``match_network`` engages only for matchers declaring ``depends_on``,
+    so every built-in matcher (and hence every stock pipeline) must declare
+    it; third-party matchers default to ``None`` (per-edge path)."""
+
+    def test_every_builtin_matcher_declares_depends_on(self):
+        import inspect
+
+        import repro.matchers as matchers
+        from repro.matchers.base import CachedMatcher, Matcher
+
+        builtins = [
+            obj
+            for name in matchers.__all__
+            for obj in [getattr(matchers, name)]
+            if inspect.isclass(obj)
+            and issubclass(obj, Matcher)
+            and not inspect.isabstract(obj)
+            and obj is not matchers.EnsembleMatcher  # derives from members
+        ]
+        assert builtins, "no concrete matcher classes exported?"
+        for cls in builtins:
+            assert cls.depends_on is not None, f"{cls.__name__} lacks depends_on"
+            assert all(isinstance(field, str) for field in cls.depends_on)
+        # The abstract bases keep the documented third-party default.
+        assert Matcher.depends_on is None
+        assert CachedMatcher.depends_on == ("name",)
+
+    def test_stock_pipelines_take_the_dedup_path(self):
+        for builder in PIPELINES.values():
+            pipeline = builder()
+            fields = pipeline.matcher.depends_on
+            assert fields is not None, f"{pipeline.name} matcher lacks depends_on"
+            assert set(fields) <= {"name", "data_type"}
+
+    def test_ensemble_with_undeclared_member_degrades_to_none(self):
+        from repro.matchers import EnsembleMatcher
+        from repro.matchers.base import Matcher
+
+        class ThirdParty(Matcher):
+            name = "third-party"
+
+            def similarity(self, left, right):
+                return 1.0 if left.name == right.name else 0.0
+
+        assert ThirdParty().depends_on is None
+        from repro.matchers import EditDistanceMatcher
+
+        ensemble = EnsembleMatcher([EditDistanceMatcher(), ThirdParty()])
+        assert ensemble.depends_on is None
+
+
 class TestMatchPair:
     def test_finds_obvious_matches(self, tiny_schemas):
         s1, s2, _ = tiny_schemas

@@ -11,6 +11,21 @@ from repro.core import (
     RandomSelection,
     ReconciliationSession,
 )
+from repro.core.selection import SelectionStrategy
+
+
+class ScriptedSelection(SelectionStrategy):
+    """Selects a fixed sequence of correspondences — conflict-test harness."""
+
+    def __init__(self, order):
+        self.order = list(order)
+
+    def select(self, pnet):
+        while self.order:
+            corr = self.order.pop(0)
+            if not pnet.feedback.is_asserted(corr):
+                return corr
+        return None
 
 
 @pytest.fixture
@@ -172,3 +187,156 @@ class TestStrategies:
             p for p in probabilities.values() if 0.0 < p < 1.0
         )
         assert probabilities[chosen] == best
+
+
+class TestConflictPolicies:
+    """Satellite coverage: ``on_conflict`` — raise vs minority-side repair.
+
+    The disapprove policy retracts the *minority side* of each violated
+    constraint (fewest supporting approvals, newest assertion as the
+    tie-break), so a well-corroborated new approval can overturn a shaky
+    old one instead of being flipped unconditionally.  The fixtures build
+    the violation structure explicitly with ``MutualExclusionConstraint``
+    so the support counts are unambiguous.
+    """
+
+    @staticmethod
+    def _conflict_network():
+        """Candidates OLD/NEW/X/Y on disjoint schema pairs with explicit
+        violations: {OLD, NEW} (the conflict) and {OLD, X, Y} (latent —
+        only X is ever approved, so it never activates but it *contests*
+        OLD).  Support at the conflict: NEW is contested only by OLD (1),
+        OLD by NEW and X (2) → OLD is the minority side."""
+        from repro.core import MatchingNetwork, MutualExclusionConstraint, Schema, correspondence
+
+        s1 = Schema.from_names("S1", ["a1", "a2", "a3", "a4"])
+        s2 = Schema.from_names("S2", ["b1", "b2", "b3", "b4"])
+        old = correspondence(s1.attribute("a1"), s2.attribute("b1"))
+        new = correspondence(s1.attribute("a2"), s2.attribute("b2"))
+        x = correspondence(s1.attribute("a3"), s2.attribute("b3"))
+        y = correspondence(s1.attribute("a4"), s2.attribute("b4"))
+        network = MatchingNetwork(
+            [s1, s2],
+            [old, new, x, y],
+            constraints=[
+                MutualExclusionConstraint([[old, new], [old, x, y]])
+            ],
+        )
+        return network, old, new, x, y
+
+    def _session(self, network, truth, order, on_conflict, seed=5):
+        from repro.core import Oracle
+
+        pnet = ProbabilisticNetwork(
+            network, target_samples=40, rng=random.Random(seed)
+        )
+        return ReconciliationSession(
+            pnet,
+            Oracle(truth),
+            ScriptedSelection(order),
+            on_conflict=on_conflict,
+        )
+
+    def test_raise_policy_raises(self):
+        from repro.core import InconsistentFeedbackError
+
+        network, old, new, x, y = self._conflict_network()
+        session = self._session(
+            network, {old, new, x}, [x, old, new], on_conflict="raise"
+        )
+        session.step()
+        session.step()
+        with pytest.raises(InconsistentFeedbackError):
+            session.step()
+
+    def test_minority_old_approval_is_retracted(self):
+        network, old, new, x, y = self._conflict_network()
+        session = self._session(
+            network, {old, new, x}, [x, old, new], on_conflict="disapprove"
+        )
+        session.run()
+        feedback = session.pnet.feedback
+        # OLD sat on the minority side (contested by NEW and X): it moves
+        # to F⁻ and the better-supported NEW approval stands.
+        assert old in feedback.disapproved
+        assert new in feedback.approved
+        assert x in feedback.approved
+        assert session.conflicts_resolved == 1
+        assert session.approvals_retracted == 1
+        assert not feedback.approved & feedback.disapproved
+        assert network.engine.is_consistent(feedback.approved)
+        # The conflicted step records the verdict that actually stood.
+        step = next(s for s in session.trace.steps if s.correspondence == new)
+        assert step.approved
+
+    def test_pairwise_tie_flips_the_newest(self):
+        """Without extra contestation the pair is a 1-1 tie: the newest
+        assertion loses — the historical flip behaviour."""
+        network, old, new, x, y = self._conflict_network()
+        session = self._session(
+            network, {old, new}, [old, new], on_conflict="disapprove"
+        )
+        session.run()
+        feedback = session.pnet.feedback
+        assert old in feedback.approved
+        assert new in feedback.disapproved
+        assert session.conflicts_resolved == 1
+        assert session.approvals_retracted == 0
+        step = next(s for s in session.trace.steps if s.correspondence == new)
+        assert not step.approved
+
+    def test_store_reconditioned_after_retraction(self):
+        """The sample store's Ω* must reflect the corrected feedback: no
+        surviving sample contains the retracted approval, probabilities
+        collapse to 0/1 accordingly."""
+        network, old, new, x, y = self._conflict_network()
+        session = self._session(
+            network, {old, new, x}, [x, old, new], on_conflict="disapprove"
+        )
+        session.run()
+        pnet = session.pnet
+        assert pnet.probability(old) == 0.0
+        assert pnet.probability(new) == 1.0
+        for sample in pnet.samples():
+            assert old not in sample
+            assert new in sample
+
+    def test_exact_estimator_supports_retraction(self):
+        from repro.core import ExactEstimator, Oracle
+
+        network, old, new, x, y = self._conflict_network()
+        pnet = ProbabilisticNetwork(
+            network, estimator=ExactEstimator(network)
+        )
+        session = ReconciliationSession(
+            pnet,
+            Oracle({old, new, x}),
+            ScriptedSelection([x, old, new]),
+            on_conflict="disapprove",
+        )
+        session.run()
+        assert pnet.probability(old) == 0.0
+        assert pnet.probability(new) == 1.0
+        assert session.approvals_retracted == 1
+
+    def test_effort_and_indices_stay_monotone_across_retraction(self):
+        network, old, new, x, y = self._conflict_network()
+        session = self._session(
+            network, {old, new, x}, [x, old, new], on_conflict="disapprove"
+        )
+        session.run()
+        efforts = session.trace.efforts
+        assert all(a < b + 1e-12 for a, b in zip(efforts, efforts[1:]))
+        indices = [s.index for s in session.trace.steps]
+        assert indices == list(range(1, len(indices) + 1))
+        feedback = session.pnet.feedback
+        assert len(feedback.approved) + len(feedback.disapproved) == len(
+            session.trace.steps
+        )
+
+    def test_invalid_policy_rejected(self, movie_network, movie_oracle):
+        pnet = ProbabilisticNetwork(
+            movie_network, target_samples=40, rng=random.Random(1)
+        )
+        with pytest.raises(ValueError, match="on_conflict"):
+            ReconciliationSession(pnet, movie_oracle, on_conflict="shrug")

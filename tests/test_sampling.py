@@ -212,3 +212,56 @@ class TestSampleStore:
         assert [engine.corrs_of(m) for m in store.sample_masks] == list(
             store.samples
         )
+
+    def test_retract_approval_reconditions_store(
+        self, movie_network, movie_correspondences, rng
+    ):
+        """Conflict repair may re-file an approval as a disapproval; Ω*
+        must flip to the other side of the partition and refill."""
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        store.record_assertion(c["c2"], approved=True)
+        assert all(c["c2"] in s for s in store.samples)
+        version = store.version
+        store.retract_approval(c["c2"])
+        assert store.version > version
+        assert c["c2"] in store.feedback.disapproved
+        assert c["c2"] not in store.feedback.approved
+        assert len(store) > 0
+        assert all(c["c2"] not in s for s in store.samples)
+        expected = {
+            i
+            for i in enumerate_instances(
+                movie_network, store.feedback
+            )
+        }
+        assert set(store.samples) == expected
+
+    def test_retract_approval_requires_prior_approval(
+        self, movie_network, movie_correspondences, rng
+    ):
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        with pytest.raises(ValueError, match="not approved"):
+            store.retract_approval(movie_correspondences["c1"])
+
+    def test_retraction_resumes_sampling_after_exhaustion(
+        self, movie_network, movie_correspondences, rng
+    ):
+        """A complete store is only complete for its feedback state; a
+        retraction voids the proof and sampling must resume.  (On this tiny
+        network the refill immediately re-discovers the whole corrected
+        space — and may legitimately re-mark it exhausted.)"""
+        c = movie_correspondences
+        store = SampleStore(movie_network, target_samples=50, rng=rng)
+        assert store.exhausted
+        store.record_assertion(c["c1"], approved=True)
+        before = set(store.samples)
+        store.retract_approval(c["c1"])
+        # The c1-containing side was dropped and the c1-free side was
+        # freshly sampled — none of which an "exhausted" store frozen on
+        # the old view could have produced.
+        assert set(store.samples) == {
+            i
+            for i in enumerate_instances(movie_network, store.feedback)
+        }
+        assert not (before & set(store.samples))
