@@ -1,0 +1,75 @@
+"""Crowd-session benchmarks: full batched rounds on synthetic networks.
+
+The crowd loop's per-question overhead on top of the single-expert loop is
+vote collection, aggregation and ledger accounting — all Python-light —
+while question selection reuses the core's batched information-gain arrays
+once per *round* instead of once per question.  The benches track complete
+budget-capped sessions (the product surface of the crowd subsystem) on the
+small and reference synthetic networks; medians land in
+``BENCH_kernels.json`` via ``scripts/export_bench.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.crowd_budget import crowd_spec
+from repro.experiments.scenarios import build_crowd_session
+from test_bench_reconciliation import reference_fixture, small_fixture
+
+#: Spend caps sized so the sessions stay partial (the interesting regime).
+SMALL_BUDGET = 180.0
+REFERENCE_BUDGET = 450.0
+
+
+def _run_crowd(fixture, budget: float, target_samples: int):
+    session = build_crowd_session(
+        fixture, crowd_spec(budget, "mixed", 3, seed=3, target_samples=target_samples)
+    )
+    session.run()
+    return session
+
+
+def test_bench_crowd_session_small(benchmark):
+    """Fast-profile presence: a budget-capped crowd session, small network."""
+    fixture = small_fixture()
+    session = benchmark.pedantic(
+        _run_crowd,
+        args=(fixture, SMALL_BUDGET, 120),
+        iterations=1,
+        rounds=3,
+    )
+    assert session.ledger.spent == pytest.approx(SMALL_BUDGET)
+    assert session.trace.questions_asked == int(SMALL_BUDGET // 3)
+    assert 0.0 <= session.trace.final_uncertainty < session.trace.initial_uncertainty
+
+
+@pytest.mark.slow
+def test_bench_crowd_session_reference(benchmark):
+    """Median budget-capped crowd session on the reference network."""
+    fixture = reference_fixture()
+    session = benchmark.pedantic(
+        _run_crowd,
+        args=(fixture, REFERENCE_BUDGET, 250),
+        iterations=1,
+        rounds=2,
+    )
+    assert session.ledger.spent == pytest.approx(REFERENCE_BUDGET)
+    assert session.trace.final_uncertainty < session.trace.initial_uncertainty
+
+
+@pytest.mark.slow
+def test_bench_crowd_round_reference(benchmark):
+    """Median single round (k=4 × r=3) from a fresh reference-network state."""
+    fixture = reference_fixture()
+
+    def one_round():
+        session = build_crowd_session(
+            fixture, crowd_spec(1e9, "mixed", 3, seed=3, target_samples=250)
+        )
+        return session.round()
+
+    record = benchmark.pedantic(one_round, iterations=1, rounds=3)
+    assert record is not None
+    assert len(record.questions) == 4
+    assert record.answers == 12

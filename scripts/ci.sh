@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI entrypoint: byte-compile the package, the fast test profile, then
-# the src/repro/core line-coverage floor (stdlib settrace tracer over the
-# deterministic core test files — the container ships no coverage.py).
+# the src/repro/{core,crowd} line-coverage floors (stdlib settrace tracer over
+# the deterministic core/crowd test files — the container ships no
+# coverage.py).
 # (pytest.ini deselects the slow benchmark/experiment regenerations; run
 # `pytest -m ""` for the full matrix).
 set -euo pipefail

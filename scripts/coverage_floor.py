@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Line-coverage floor for ``src/repro/core`` — stdlib only.
+"""Line-coverage floor for ``src/repro/core`` and ``src/repro/crowd`` —
+stdlib only.
 
 The container ships no ``coverage``/``pytest-cov``, so this script measures
 line coverage with a ``sys.settrace`` tracer that activates only for frames
-whose code lives under ``src/repro/core`` (every other frame is skipped at
-the call event, keeping overhead tolerable).  Executable lines come from
+whose code lives under the measured packages (every other frame is skipped
+at the call event, keeping overhead tolerable).  Executable lines come from
 walking each module's compiled code objects (``co_lines``), so the
 percentage is comparable to what coverage.py reports.
 
@@ -12,8 +13,9 @@ Usage::
 
     python scripts/coverage_floor.py [--min PCT]
 
-Runs the deterministic core-focused test files under the tracer and exits
-non-zero when total core coverage falls below the floor (default 85%).
+Runs the deterministic core/crowd-focused test files under the tracer and
+exits non-zero when any measured package's total coverage falls below the
+floor (default 85%, enforced per package).
 """
 
 from __future__ import annotations
@@ -25,14 +27,20 @@ import sys
 import threading
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-CORE_DIR = str(ROOT / "src" / "repro" / "core") + os.sep
 
-#: Deterministic, core-heavy test files (the hypothesis-driven equivalence
-#: suites are excluded: under a Python tracer they blow past their budget
-#: without adding measured lines).
+#: Packages under the floor; each is enforced independently.
+PACKAGES = ("core", "crowd")
+PACKAGE_DIRS = {
+    name: str(ROOT / "src" / "repro" / name) + os.sep for name in PACKAGES
+}
+
+#: Deterministic, core/crowd-heavy test files (the hypothesis-driven
+#: equivalence suites are excluded: under a Python tracer they blow past
+#: their budget without adding measured lines).
 TEST_FILES = [
     "tests/test_constraints.py",
     "tests/test_correspondence.py",
+    "tests/test_crowd.py",
     "tests/test_feedback.py",
     "tests/test_graphs.py",
     "tests/test_instances.py",
@@ -56,7 +64,7 @@ def _tracer(frame, event, arg):
     if event != "call":
         return None
     filename = frame.f_code.co_filename
-    if not filename.startswith(CORE_DIR):
+    if not any(filename.startswith(d) for d in PACKAGE_DIRS.values()):
         return None
     lines = _executed.setdefault(filename, set())
     lines.add(frame.f_lineno)
@@ -107,29 +115,37 @@ def main(argv: list[str]) -> int:
         print("coverage_floor: test run failed, not reporting coverage")
         return int(exit_code)
 
-    total_executable = 0
-    total_executed = 0
-    print(f"\n{'module':<28} {'lines':>7} {'hit':>7} {'cover':>7}")
-    for path in sorted((ROOT / "src" / "repro" / "core").glob("*.py")):
-        executable = _executable_lines(path)
-        executed = _executed.get(str(path), set()) & executable
-        total_executable += len(executable)
-        total_executed += len(executed)
-        pct = 100.0 * len(executed) / len(executable) if executable else 100.0
-        print(
-            f"{path.name:<28} {len(executable):>7} {len(executed):>7} {pct:>6.1f}%"
+    failures = []
+    for package in PACKAGES:
+        total_executable = 0
+        total_executed = 0
+        print(f"\n{'module':<28} {'lines':>7} {'hit':>7} {'cover':>7}")
+        for path in sorted((ROOT / "src" / "repro" / package).glob("*.py")):
+            executable = _executable_lines(path)
+            executed = _executed.get(str(path), set()) & executable
+            total_executable += len(executable)
+            total_executed += len(executed)
+            pct = 100.0 * len(executed) / len(executable) if executable else 100.0
+            print(
+                f"{path.name:<28} {len(executable):>7} {len(executed):>7} {pct:>6.1f}%"
+            )
+        total_pct = (
+            100.0 * total_executed / total_executable if total_executable else 100.0
         )
-    total_pct = (
-        100.0 * total_executed / total_executable if total_executable else 100.0
-    )
-    print(
-        f"{'TOTAL src/repro/core':<28} {total_executable:>7} "
-        f"{total_executed:>7} {total_pct:>6.1f}%"
-    )
-    if total_pct < args.floor:
-        print(f"coverage_floor: {total_pct:.1f}% is below the {args.floor:.1f}% floor")
+        label = f"TOTAL src/repro/{package}"
+        print(
+            f"{label:<28} {total_executable:>7} {total_executed:>7} {total_pct:>6.1f}%"
+        )
+        if total_pct < args.floor:
+            failures.append((package, total_pct))
+    for package, pct in failures:
+        print(
+            f"coverage_floor: src/repro/{package} at {pct:.1f}% is below "
+            f"the {args.floor:.1f}% floor"
+        )
+    if failures:
         return 1
-    print(f"coverage_floor: {total_pct:.1f}% >= {args.floor:.1f}% floor")
+    print(f"coverage_floor: all packages >= {args.floor:.1f}% floor")
     return 0
 
 

@@ -23,6 +23,7 @@ BENCH_FILES = (
     "benchmarks/test_bench_emission.py",
     "benchmarks/test_bench_match_network.py",
     "benchmarks/test_bench_reconciliation.py",
+    "benchmarks/test_bench_crowd.py",
 )
 
 

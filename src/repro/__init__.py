@@ -66,16 +66,30 @@ from .core import (
     repair_distance,
 )
 from . import metrics
+from .crowd import (
+    BudgetLedger,
+    CrowdSession,
+    CrowdTrace,
+    MajorityVote,
+    ReliabilityAwareAssignment,
+    RoundRobinAssignment,
+    WeightedVote,
+    Worker,
+    WorkerPool,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
+    "BudgetLedger",
     "CandidateSet",
     "ConfidenceSelection",
     "Constraint",
     "ConstraintEngine",
     "Correspondence",
+    "CrowdSession",
+    "CrowdTrace",
     "CycleConstraint",
     "EntropySelection",
     "ExactEstimator",
@@ -84,17 +98,23 @@ __all__ = [
     "InformationGainSelection",
     "InstanceSampler",
     "InteractionGraph",
+    "MajorityVote",
     "MatchingNetwork",
     "OneToOneConstraint",
     "Oracle",
     "ProbabilisticNetwork",
     "RandomSelection",
     "ReconciliationSession",
+    "ReliabilityAwareAssignment",
+    "RoundRobinAssignment",
     "SampleStore",
     "SampledEstimator",
     "Schema",
     "SelectionStrategy",
     "Violation",
+    "WeightedVote",
+    "Worker",
+    "WorkerPool",
     "binary_entropy",
     "complete_graph",
     "correspondence",

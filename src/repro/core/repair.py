@@ -389,6 +389,9 @@ def wave_maximalize_batch(
         tables.blk_starts,
         tables.blk_group,
     )
+    # Per-group row counts, for restricting the blocking scan to the rows
+    # of still-live candidates as the waves drain the batch.
+    blk_sizes = np.diff(np.append(blk_starts, len(blk_others)))
     # The priority comparison per dependency arc is wave-invariant: hoist
     # it out of the loop and pack it into the same bit-lane layout.
     if len(dep_src):
@@ -403,14 +406,31 @@ def wave_maximalize_batch(
         # Prune live candidates some violation already blocks: blocking is
         # monotone in the selection, so their fate (rejected) is known now —
         # deciding them early frees their partners from waiting on them
-        # without changing any admission test.
+        # without changing any admission test.  Only rows of *still-live*
+        # candidates are recomputed: a dead candidate's blocked bit can
+        # never strip anything from ``live`` again, so its rows drop out of
+        # the scan as the waves drain the batch (the tail waves touch a
+        # small fraction of the hypergraph).
         if len(blk_others):
-            hit = sel[blk_others[:, 0]]
-            for column in range(1, blk_others.shape[1]):
-                hit = hit & sel[blk_others[:, column]]
-            blocked = np.zeros((m, lanes), dtype=np.uint8)
-            blocked[blk_group] = np.bitwise_or.reduceat(hit, blk_starts, axis=0)
-            live &= ~blocked
+            keep = (live.any(axis=1))[blk_group]
+            if keep.any():
+                if keep.all():
+                    row_idx: object = slice(None)
+                    starts, groups = blk_starts, blk_group
+                else:
+                    sizes = blk_sizes[keep]
+                    starts = np.zeros(len(sizes), dtype=np.intp)
+                    np.cumsum(sizes[:-1], out=starts[1:])
+                    row_idx = np.repeat(blk_starts[keep] - starts, sizes)
+                    row_idx += np.arange(len(row_idx), dtype=np.intp)
+                    groups = blk_group[keep]
+                live_others = blk_others[row_idx]
+                hit = sel[live_others[:, 0]]
+                for column in range(1, live_others.shape[1]):
+                    hit = hit & sel[live_others[:, column]]
+                blocked = np.zeros((m, lanes), dtype=np.uint8)
+                blocked[groups] = np.bitwise_or.reduceat(hit, starts, axis=0)
+                live &= ~blocked
         # Ready: every live lower-priority partner has been decided.
         if len(dep_src):
             cond = live[dep_dst] & arc_wins

@@ -1,0 +1,73 @@
+"""Crowdsourced reconciliation: worker pools, batched questioning, votes.
+
+The paper models the human in the loop as a single infallible expert; its
+premise — *pay-as-you-go* reconciliation — really targets crowdsourcing
+marketplaces, where answers come from many workers of varying reliability,
+each answer costs money, and questions are dispatched in batches rather
+than one at a time.  This package supplies that layer on top of the core
+reconciliation loop:
+
+* :mod:`~repro.crowd.workers` — :class:`Worker` / :class:`WorkerPool`:
+  simulated annotators with per-worker error rates drawn from named
+  reliability distributions, deterministic per seed;
+* :mod:`~repro.crowd.assignment` — :class:`AssignmentPolicy`: who answers
+  which question, with redundancy ``r`` per question (round-robin or
+  reliability-aware routing);
+* :mod:`~repro.crowd.aggregation` — :class:`Aggregator`: majority and
+  reliability-weighted (Bayesian log-odds) vote aggregation over
+  :class:`WorkerStats` accuracy estimates maintained from agreement
+  statistics;
+* :mod:`~repro.crowd.budget` — :class:`BudgetLedger`: per-answer cost and
+  budget-capped runs;
+* :mod:`~repro.crowd.session` — :class:`CrowdSession`: the batched
+  reconciliation loop itself — top-k question selection per round from the
+  core's batched information-gain/likelihood arrays, dispatch, vote
+  aggregation into a single verdict fed through the existing feedback and
+  conflict-repair plumbing, and a per-round trace of spend and votes.
+"""
+
+from .aggregation import (
+    AGGREGATORS,
+    Aggregator,
+    MajorityVote,
+    WeightedVote,
+    WorkerStats,
+    make_aggregator,
+)
+from .assignment import (
+    ASSIGNMENTS,
+    AssignmentPolicy,
+    ReliabilityAwareAssignment,
+    RoundRobinAssignment,
+    make_assignment,
+)
+from .budget import BudgetLedger
+from .session import CrowdRound, CrowdSession, CrowdTrace
+from .workers import (
+    RELIABILITY_DISTRIBUTIONS,
+    Worker,
+    WorkerPool,
+    reliability_error_rates,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "ASSIGNMENTS",
+    "Aggregator",
+    "AssignmentPolicy",
+    "BudgetLedger",
+    "CrowdRound",
+    "CrowdSession",
+    "CrowdTrace",
+    "MajorityVote",
+    "RELIABILITY_DISTRIBUTIONS",
+    "ReliabilityAwareAssignment",
+    "RoundRobinAssignment",
+    "WeightedVote",
+    "Worker",
+    "WorkerPool",
+    "WorkerStats",
+    "make_aggregator",
+    "make_assignment",
+    "reliability_error_rates",
+]

@@ -1,0 +1,136 @@
+"""Vote aggregation and maintained worker-accuracy estimates.
+
+The session never sees the simulation-side error rates — a real platform
+does not either.  What it can observe is *agreement*: once a question's
+votes are aggregated, each voter either agreed with the final verdict or
+did not.  :class:`WorkerStats` accumulates those agreement counts and serves
+Laplace-smoothed accuracy estimates; the reliability-weighted aggregator and
+the reliability-aware assignment policy both consume them, so the crowd
+layer bootstraps its own worker model from nothing.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Mapping, Sequence
+
+#: One vote: ``(worker_id, verdict)``.
+Vote = tuple[str, bool]
+
+#: Estimated accuracies are clipped into this interval before the log-odds
+#: transform so a unanimous history cannot produce infinite weights.
+_ACCURACY_CLIP = (0.01, 0.99)
+
+
+class WorkerStats:
+    """Per-worker agreement statistics → accuracy estimates.
+
+    ``record_agreement`` is fed after every aggregated question; accuracy is
+    the Laplace-smoothed agreement rate ``(agreed + 1) / (votes + 2)``, which
+    starts every worker at the uninformative 0.5 and converges to the true
+    accuracy as long as the aggregate verdict is usually right.
+    """
+
+    def __init__(self) -> None:
+        self._votes: dict[str, int] = {}
+        self._agreed: dict[str, int] = {}
+
+    def record_agreement(self, worker_id: str, agreed: bool) -> None:
+        self._votes[worker_id] = self._votes.get(worker_id, 0) + 1
+        if agreed:
+            self._agreed[worker_id] = self._agreed.get(worker_id, 0) + 1
+
+    def votes(self, worker_id: str) -> int:
+        return self._votes.get(worker_id, 0)
+
+    def accuracy(self, worker_id: str) -> float:
+        """Laplace-smoothed estimated accuracy (0.5 with no history)."""
+        votes = self._votes.get(worker_id, 0)
+        return (self._agreed.get(worker_id, 0) + 1) / (votes + 2)
+
+    def weight(self, worker_id: str) -> float:
+        """Bayesian log-odds weight, ``log(a / (1 - a))``, clipped."""
+        low, high = _ACCURACY_CLIP
+        accuracy = min(max(self.accuracy(worker_id), low), high)
+        return math.log(accuracy / (1.0 - accuracy))
+
+    def snapshot(self) -> Mapping[str, tuple[int, float]]:
+        """``worker_id → (votes, estimated accuracy)`` for reporting."""
+        return {
+            worker_id: (votes, self.accuracy(worker_id))
+            for worker_id, votes in sorted(self._votes.items())
+        }
+
+
+class Aggregator(abc.ABC):
+    """Reduces one question's votes to a single approve/disapprove."""
+
+    name: str = "aggregator"
+
+    @abc.abstractmethod
+    def aggregate(self, votes: Sequence[Vote], stats: WorkerStats) -> bool:
+        """The aggregated verdict; ``votes`` is non-empty."""
+
+
+class MajorityVote(Aggregator):
+    """Plain majority; ties break to *disapproval*.
+
+    Disapproval is the conservative verdict for constraint satisfaction —
+    an unwarranted approval can contradict Γ and trigger repair, an
+    unwarranted disapproval merely forgoes one correspondence — matching
+    the tie rule of :class:`~repro.core.feedback.MajorityOracle`.
+    """
+
+    name = "majority"
+
+    def aggregate(self, votes: Sequence[Vote], stats: WorkerStats) -> bool:
+        if not votes:
+            raise ValueError("cannot aggregate zero votes")
+        approvals = sum(1 for _, verdict in votes if verdict)
+        return approvals * 2 > len(votes)
+
+
+class WeightedVote(Aggregator):
+    """Reliability-weighted (naive-Bayes) vote over estimated accuracies.
+
+    Each vote contributes its worker's log-odds weight, positive for
+    approval and negative for disapproval; the verdict is the sign of the
+    sum.  With independent workers this is the MAP verdict under a uniform
+    prior.  A (near-)zero sum carries no evidence either way — fresh
+    workers all weigh 0, and learned weights can balance exactly — so it
+    falls back to the unweighted majority count, which in turn breaks its
+    own ties to disapproval: with no history the rule therefore reduces
+    exactly to :class:`MajorityVote`.
+    """
+
+    name = "weighted"
+
+    def aggregate(self, votes: Sequence[Vote], stats: WorkerStats) -> bool:
+        if not votes:
+            raise ValueError("cannot aggregate zero votes")
+        score = sum(
+            stats.weight(worker_id) if verdict else -stats.weight(worker_id)
+            for worker_id, verdict in votes
+        )
+        if abs(score) > 1e-12:
+            return score > 0.0
+        return MajorityVote().aggregate(votes, stats)
+
+
+#: Registered aggregators, keyed by the names scenarios use.
+AGGREGATORS: dict[str, type[Aggregator]] = {
+    MajorityVote.name: MajorityVote,
+    WeightedVote.name: WeightedVote,
+}
+
+
+def make_aggregator(name: str) -> Aggregator:
+    """Instantiate a registered aggregator by name."""
+    try:
+        factory = AGGREGATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregator {name!r}; available: {sorted(AGGREGATORS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,177 @@
+"""Question → worker routing with redundancy.
+
+An :class:`AssignmentPolicy` maps a round's question batch onto the pool:
+every question is answered by ``redundancy`` *distinct* workers (clamped to
+the pool size).  Two policies ship:
+
+* :class:`RoundRobinAssignment` — cycle the roster, spreading load evenly;
+  the baseline any marketplace can implement.
+* :class:`ReliabilityAwareAssignment` — greedily route each question to the
+  workers with the best *estimated* accuracy (from
+  :class:`~repro.crowd.aggregation.WorkerStats` agreement statistics),
+  load-balanced within the round and with an ε-greedy exploration slot so
+  fresh workers keep acquiring history instead of starving.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+import random
+from typing import Optional, Sequence
+
+from ..core.correspondence import Correspondence
+from .aggregation import WorkerStats
+from .workers import Worker, WorkerPool
+
+
+class AssignmentPolicy(abc.ABC):
+    """Chooses, per question, which workers answer it."""
+
+    name: str = "assignment"
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        questions: Sequence[Correspondence],
+        pool: WorkerPool,
+        redundancy: int,
+        stats: WorkerStats,
+    ) -> list[list[Worker]]:
+        """One worker list per question, each of ``min(redundancy, |pool|)``
+        distinct workers."""
+
+
+def _clamp_redundancy(pool: WorkerPool, redundancy: int) -> int:
+    if redundancy < 1:
+        raise ValueError("redundancy must be at least 1")
+    return min(redundancy, len(pool))
+
+
+class RoundRobinAssignment(AssignmentPolicy):
+    """Cycle the roster: question ``i`` gets the next ``r`` workers.
+
+    The cursor persists across rounds, so load stays even over a whole
+    session no matter how ragged the final (budget-truncated) round is.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def assign(
+        self,
+        questions: Sequence[Correspondence],
+        pool: WorkerPool,
+        redundancy: int,
+        stats: WorkerStats,
+    ) -> list[list[Worker]]:
+        redundancy = _clamp_redundancy(pool, redundancy)
+        workers = pool.workers
+        assignments: list[list[Worker]] = []
+        for _ in questions:
+            chosen = [
+                workers[(self._cursor + offset) % len(workers)]
+                for offset in range(redundancy)
+            ]
+            self._cursor = (self._cursor + redundancy) % len(workers)
+            assignments.append(chosen)
+        return assignments
+
+
+class ReliabilityAwareAssignment(AssignmentPolicy):
+    """Route questions to the best-estimated workers, with exploration.
+
+    Workers are ranked by estimated accuracy (ties: fewer answered votes
+    first — gather evidence — then roster order).  Each question greedily
+    takes the ``r`` best workers after a per-round load penalty, so a small
+    reliable core shares a large round instead of one worker answering
+    everything.  With probability ``exploration`` each slot is replaced by a
+    uniformly drawn worker not already on the question, keeping accuracy
+    estimates alive for the whole roster.
+    """
+
+    name = "reliability"
+
+    def __init__(
+        self,
+        exploration: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= exploration <= 1.0:
+            raise ValueError("exploration must lie in [0, 1]")
+        self.exploration = exploration
+        self.rng = rng or random.Random()
+
+    def assign(
+        self,
+        questions: Sequence[Correspondence],
+        pool: WorkerPool,
+        redundancy: int,
+        stats: WorkerStats,
+    ) -> list[list[Worker]]:
+        redundancy = _clamp_redundancy(pool, redundancy)
+        workers = pool.workers
+        load = {worker.worker_id: 0 for worker in workers}
+        assignments: list[list[Worker]] = []
+        for _ in questions:
+            # Load-balanced greedy: the per-round load share a worker has
+            # already taken discounts its accuracy edge, spreading a round
+            # over the reliable core rather than saturating one worker.
+            ranked = sorted(
+                workers,
+                key=lambda worker: (
+                    -(
+                        stats.accuracy(worker.worker_id)
+                        - 0.05 * load[worker.worker_id]
+                    ),
+                    stats.votes(worker.worker_id),
+                    worker.worker_id,
+                ),
+            )
+            chosen = list(ranked[:redundancy])
+            if self.exploration:
+                for slot in range(len(chosen)):
+                    if self.rng.random() < self.exploration:
+                        taken = {worker.worker_id for worker in chosen}
+                        candidates = [
+                            worker
+                            for worker in workers
+                            if worker.worker_id not in taken
+                        ]
+                        if candidates:
+                            chosen[slot] = candidates[
+                                self.rng.randrange(len(candidates))
+                            ]
+            for worker in chosen:
+                load[worker.worker_id] += 1
+            assignments.append(chosen)
+        return assignments
+
+
+#: Registered assignment policies, keyed by the names scenarios use.
+ASSIGNMENTS: dict[str, type[AssignmentPolicy]] = {
+    RoundRobinAssignment.name: RoundRobinAssignment,
+    ReliabilityAwareAssignment.name: ReliabilityAwareAssignment,
+}
+
+
+def make_assignment(
+    name: str, rng: Optional[random.Random] = None
+) -> AssignmentPolicy:
+    """Instantiate a registered assignment policy by name.
+
+    ``rng`` is forwarded to policies whose constructor accepts one (the
+    stochastic ones), so third-party registrations work either way.
+    """
+    try:
+        factory = ASSIGNMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown assignment policy {name!r}; "
+            f"available: {sorted(ASSIGNMENTS)}"
+        ) from None
+    if "rng" in inspect.signature(factory).parameters:
+        return factory(rng=rng)
+    return factory()

@@ -1,0 +1,87 @@
+"""The money side of pay-as-you-go: per-answer cost and budget caps.
+
+Every worker answer costs ``cost_per_answer``; a :class:`BudgetLedger`
+charges as answers are collected and tells the session how many more it can
+afford.  The ledger is deliberately dumb — no refunds, no per-worker rates —
+because the interesting policy questions (partial redundancy near the cap,
+stopping mid-round) belong to the session, which asks ``affordable_answers``
+before dispatching each question.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+
+class BudgetLedger:
+    """Tracks spend against an optional budget cap.
+
+    ``budget=None`` means uncapped; ``affordable_answers()`` is then
+    unbounded (``math.inf``).  Spend per worker is kept so traces can report
+    where the money went.
+    """
+
+    def __init__(
+        self,
+        cost_per_answer: float = 1.0,
+        budget: Optional[float] = None,
+    ):
+        if cost_per_answer <= 0.0:
+            raise ValueError("cost_per_answer must be positive")
+        if budget is not None and budget < 0.0:
+            raise ValueError("budget must be non-negative")
+        self.cost_per_answer = cost_per_answer
+        self.budget = budget
+        self.spent = 0.0
+        self.answers_charged = 0
+        self._per_worker: dict[str, int] = {}
+
+    @property
+    def remaining(self) -> float:
+        """Budget left (``math.inf`` when uncapped)."""
+        if self.budget is None:
+            return math.inf
+        return max(0.0, self.budget - self.spent)
+
+    def affordable_answers(self) -> float:
+        """How many more answers fit in the budget (``math.inf`` uncapped).
+
+        The float-division floor is nudged by a half-cost epsilon so that a
+        budget that is an exact multiple of the answer cost affords exactly
+        that many answers despite float representation error.
+        """
+        if self.budget is None:
+            return math.inf
+        return math.floor(
+            (self.remaining + 0.5 * self.cost_per_answer * 1e-9)
+            / self.cost_per_answer
+        )
+
+    def can_afford(self, n_answers: int) -> bool:
+        return self.affordable_answers() >= n_answers
+
+    def charge(self, worker_id: str) -> None:
+        """Charge one answer by ``worker_id``; overdrafts raise."""
+        if not self.can_afford(1):
+            raise ValueError("budget exhausted")
+        self.spent += self.cost_per_answer
+        self.answers_charged += 1
+        self._per_worker[worker_id] = self._per_worker.get(worker_id, 0) + 1
+
+    @property
+    def per_worker_answers(self) -> Mapping[str, int]:
+        """``worker_id → answers charged``, for trace reporting."""
+        return dict(self._per_worker)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when not even one more answer fits."""
+        return not self.can_afford(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "∞" if self.budget is None else f"{self.budget:g}"
+        return (
+            f"BudgetLedger(spent={self.spent:g}/{cap}, "
+            f"answers={self.answers_charged})"
+        )

@@ -1,0 +1,417 @@
+"""The crowd reconciliation loop: batched top-k rounds over a worker pool.
+
+:class:`CrowdSession` is the crowd-scale counterpart of
+:class:`~repro.core.reconciliation.ReconciliationSession`.  Instead of one
+expert answering one question per step, each :meth:`round`:
+
+1. **selects** the top-``k`` questions from the core's batched arrays — the
+   information-gain vector over the sample-membership matrix, the folded
+   probability vector, or marginal entropies (``criterion``);
+2. **dispatches** every question to ``redundancy`` distinct workers via the
+   assignment policy, charging the budget ledger per answer (questions are
+   truncated or skipped when the cap cannot fund them — budget exhaustion
+   mid-round is a first-class outcome, not an error);
+3. **aggregates** each question's votes into one approve/disapprove verdict
+   and feeds it through the existing feedback plumbing —
+   ``record_assertion`` plus, for approvals that contradict Γ, the same
+   minority-side conflict repair
+   (:func:`~repro.core.reconciliation.resolve_conflicting_approval`) the
+   single-expert loop uses;
+4. **records** the round — questions, votes, verdicts, conflicts, spend and
+   the resulting uncertainty/effort — in a :class:`CrowdTrace`, and updates
+   the per-worker agreement statistics that the reliability-weighted
+   aggregator and reliability-aware routing learn from.
+
+Within a round the batch is committed as selected: answering question 1 may
+shift the gains of questions 2..k (gains are estimated against the state at
+selection time), which is the throughput-for-freshness trade every batched
+crowd platform makes.  The paper's sequential loop is the ``k=1`` special
+case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..core.correspondence import Correspondence
+from ..core.probability import ProbabilisticNetwork, SampledEstimator
+from ..core.reconciliation import resolve_conflicting_approval
+from ..core.uncertainty import binary_entropy_cached, information_gain_array
+from .aggregation import Aggregator, MajorityVote, Vote, WorkerStats
+from .assignment import AssignmentPolicy, RoundRobinAssignment
+from .budget import BudgetLedger
+from .workers import WorkerPool
+
+#: Question-selection criteria a session supports.
+CRITERIA = ("information-gain", "likelihood", "entropy")
+
+
+@dataclass(frozen=True)
+class CrowdRound:
+    """One dispatched round: questions, votes, verdicts, money, state."""
+
+    index: int
+    questions: tuple[Correspondence, ...]
+    verdicts: tuple[bool, ...]
+    #: Per question, the ``(worker_id, vote)`` pairs that were collected.
+    votes: tuple[tuple[Vote, ...], ...]
+    conflicts_resolved: int
+    approvals_retracted: int
+    #: True when the budget cap cut redundancy or dropped questions.
+    truncated: bool
+    spent: float
+    answers: int
+    uncertainty: float
+    effort: float
+
+
+@dataclass
+class CrowdTrace:
+    """The full history of a crowd session, ready for plotting/reporting."""
+
+    initial_uncertainty: float
+    rounds: list[CrowdRound] = field(default_factory=list)
+
+    @property
+    def uncertainties(self) -> list[float]:
+        """Uncertainty after 0, 1, 2, … rounds."""
+        return [self.initial_uncertainty] + [r.uncertainty for r in self.rounds]
+
+    @property
+    def spends(self) -> list[float]:
+        """Cumulative spend after 0, 1, 2, … rounds."""
+        return [0.0] + [r.spent for r in self.rounds]
+
+    @property
+    def questions_asked(self) -> int:
+        return sum(len(r.questions) for r in self.rounds)
+
+    @property
+    def answers_collected(self) -> int:
+        return self.rounds[-1].answers if self.rounds else 0
+
+    @property
+    def final_uncertainty(self) -> float:
+        return (
+            self.rounds[-1].uncertainty
+            if self.rounds
+            else self.initial_uncertainty
+        )
+
+    def uncertainty_at_spend(self, spend: float) -> float:
+        """Uncertainty after the last round whose cumulative spend ≤ spend."""
+        uncertainty = self.initial_uncertainty
+        for round_record in self.rounds:
+            if round_record.spent > spend + 1e-12:
+                break
+            uncertainty = round_record.uncertainty
+        return uncertainty
+
+
+class CrowdSession:
+    """Drives crowd reconciliation of one probabilistic network.
+
+    Parameters
+    ----------
+    pnet:
+        The probabilistic matching network ⟨N, P⟩ being reconciled.
+    pool:
+        The simulated worker pool answering questions.
+    k:
+        Questions dispatched per round (the batching lever).
+    redundancy:
+        Distinct workers per question (clamped to the pool size).
+    criterion:
+        Question ranking: ``information-gain`` (needs a sampled estimator),
+        ``likelihood`` or ``entropy``.  Ranking ties break to the lower
+        candidate index — batch selection is deterministic by design, so
+        crowd traces are reproducible given the pool seed.
+    assignment / aggregator / ledger:
+        Routing policy, vote-aggregation rule and budget; default
+        round-robin, majority vote, uncapped unit-cost ledger.
+    on_conflict:
+        ``"disapprove"`` (default — crowds *will* err) repairs approvals
+        that contradict Γ by minority-side retraction; ``"raise"``
+        propagates :class:`~repro.core.instances.InconsistentFeedbackError`.
+    diversify:
+        Skip conflict partners of already-picked questions when filling a
+        round (backfilling if fewer than ``k`` diverse candidates exist).
+        Same-violation candidates carry heavily overlapping information, so
+        a diversified batch loses far less to within-round staleness.
+    """
+
+    def __init__(
+        self,
+        pnet: ProbabilisticNetwork,
+        pool: WorkerPool,
+        k: int = 4,
+        redundancy: int = 3,
+        criterion: str = "information-gain",
+        assignment: Optional[AssignmentPolicy] = None,
+        aggregator: Optional[Aggregator] = None,
+        ledger: Optional[BudgetLedger] = None,
+        on_conflict: str = "disapprove",
+        diversify: bool = True,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
+        if criterion not in CRITERIA:
+            raise ValueError(f"criterion must be one of {CRITERIA}")
+        if on_conflict not in ("raise", "disapprove"):
+            raise ValueError("on_conflict must be 'raise' or 'disapprove'")
+        self.pnet = pnet
+        self.pool = pool
+        self.k = k
+        self.redundancy = min(redundancy, len(pool))
+        self.criterion = criterion
+        self.assignment = assignment or RoundRobinAssignment()
+        self.aggregator = aggregator or MajorityVote()
+        self.ledger = ledger or BudgetLedger()
+        self.on_conflict = on_conflict
+        self.diversify = diversify
+        self.stats = WorkerStats()
+        self.conflicts_resolved = 0
+        self.approvals_retracted = 0
+        self._assertion_order: dict[Correspondence, int] = {}
+        self.trace = CrowdTrace(initial_uncertainty=self.uncertainty())
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    def uncertainty(self) -> float:
+        """Current network uncertainty H(C, P) (cached vector reduction)."""
+        return self.pnet.uncertainty()
+
+    def effort(self) -> float:
+        """Crowd effort so far, |F⁺ ∪ F⁻| / |C| (questions, not answers)."""
+        return self.pnet.feedback.effort(len(self.pnet.correspondences))
+
+    def is_done(self) -> bool:
+        """True when no uncertain correspondence remains."""
+        return len(self.pnet.uncertain_indices()) == 0
+
+    def per_worker_report(self) -> Mapping[str, dict]:
+        """Per-worker trace summary: answers, spend share, estimated and
+        true accuracy — the marketplace-operator view."""
+        answers = self.ledger.per_worker_answers
+        report: dict[str, dict] = {}
+        for worker in self.pool:
+            worker_id = worker.worker_id
+            report[worker_id] = {
+                "answers": answers.get(worker_id, 0),
+                "estimated_accuracy": self.stats.accuracy(worker_id),
+                "true_accuracy": 1.0 - worker.error_rate,
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    # Top-k question selection (batched arrays)
+    # ------------------------------------------------------------------
+    def select_questions(self) -> list[Correspondence]:
+        """The round's top-``k`` questions under the session criterion.
+
+        Scores come straight from the core's batched representations — the
+        information-gain vector over the store's membership matrix, the
+        folded probability vector, or per-candidate entropies.  When no
+        uncertain candidate remains but unasserted ones do, those are
+        served in index order (zero gain — the same fallback the
+        single-expert strategies use, so budget sweeps keep moving).
+        """
+        pnet = self.pnet
+        columns = pnet.uncertain_indices()
+        if len(columns) == 0:
+            remaining = pnet.unasserted_indices()[: self.k]
+            return [pnet.correspondences[int(i)] for i in remaining]
+        if self.criterion == "information-gain":
+            if not isinstance(pnet.estimator, SampledEstimator):
+                raise TypeError(
+                    "information-gain question selection needs a "
+                    "SampledEstimator; use criterion='entropy' with exact "
+                    "estimators instead"
+                )
+            scores = information_gain_array(
+                pnet.estimator.membership_matrix(), columns
+            )
+        elif self.criterion == "likelihood":
+            scores = pnet.probability_vector()[columns]
+        else:  # entropy
+            vector = pnet.probability_vector()
+            scores = np.asarray(
+                [binary_entropy_cached(p) for p in vector[columns].tolist()]
+            )
+        # Stable descending sort: equal scores keep ascending candidate
+        # index, making batch selection deterministic.
+        order = np.argsort(-scores, kind="stable")
+        if not self.diversify:
+            return [pnet.correspondences[int(columns[i])] for i in order[: self.k]]
+        # Diversified top-k: two candidates joined by a compiled violation
+        # carry heavily overlapping information (answering one collapses the
+        # other), so a batch that takes both wastes a slot — gains are
+        # estimated against the state at selection time, not after the
+        # batch-mates' answers.  Greedily skip conflict partners of already
+        # picked questions; if fewer than k diverse candidates exist, fill
+        # the remaining slots with the skipped ones in score order.
+        engine = pnet.network.engine
+        picked: list[int] = []
+        picked_mask = 0
+        skipped: list[int] = []
+        for position in order.tolist():
+            index = int(columns[position])
+            union = engine.conflict_partner_union(index)
+            if union is not None and (union & picked_mask):
+                skipped.append(index)
+                continue
+            picked.append(index)
+            picked_mask |= engine.bits[index]
+            if len(picked) >= self.k:
+                break
+        for index in skipped:
+            if len(picked) >= self.k:
+                break
+            picked.append(index)
+        return [pnet.correspondences[i] for i in picked]
+
+    # ------------------------------------------------------------------
+    # The crowd loop
+    # ------------------------------------------------------------------
+    def _integrate(self, corr: Correspondence, approved: bool) -> bool:
+        """Feed one aggregated verdict through the feedback plumbing."""
+        from ..core.instances import InconsistentFeedbackError
+
+        try:
+            self.pnet.record_assertion(corr, approved)
+        except InconsistentFeedbackError:
+            if self.on_conflict == "raise":
+                raise
+            self.conflicts_resolved += 1
+            approved, retracted = resolve_conflicting_approval(
+                self.pnet, corr, self._assertion_order
+            )
+            self.approvals_retracted += len(retracted)
+        self._assertion_order[corr] = len(self._assertion_order) + 1
+        return approved
+
+    def round(self, max_questions: Optional[int] = None) -> Optional[CrowdRound]:
+        """Dispatch one batched round; ``None`` when nothing can be asked.
+
+        ``max_questions`` trims the batch below ``k`` (the final round of a
+        question-capped run).  Ends the session's work gracefully at the
+        budget cap: the last question that cannot be funded at full
+        redundancy is asked with whatever answers remain (partial
+        redundancy still beats a wasted residue), and a question that
+        cannot fund even one answer stops the round — the trace marks it
+        ``truncated``.
+        """
+        if self.ledger.exhausted:
+            return None
+        if max_questions is not None and max_questions < 1:
+            return None
+        questions = self.select_questions()
+        if max_questions is not None:
+            questions = questions[:max_questions]
+        if not questions:
+            return None
+        assignments = self.assignment.assign(
+            questions, self.pool, self.redundancy, self.stats
+        )
+        asked: list[Correspondence] = []
+        verdicts: list[bool] = []
+        votes_record: list[tuple[Vote, ...]] = []
+        conflicts_before = self.conflicts_resolved
+        retracted_before = self.approvals_retracted
+        truncated = False
+        for corr, workers in zip(questions, assignments):
+            affordable = self.ledger.affordable_answers()
+            if affordable < 1:
+                truncated = True
+                break
+            if affordable < len(workers):
+                workers = workers[: int(affordable)]
+                truncated = True
+            votes: list[Vote] = []
+            for worker in workers:
+                self.ledger.charge(worker.worker_id)
+                votes.append((worker.worker_id, worker.answer(corr)))
+            verdict = self.aggregator.aggregate(votes, self.stats)
+            for worker_id, vote in votes:
+                self.stats.record_agreement(worker_id, vote == verdict)
+            verdict = self._integrate(corr, verdict)
+            asked.append(corr)
+            verdicts.append(verdict)
+            votes_record.append(tuple(votes))
+        if not asked:
+            return None
+        record = CrowdRound(
+            index=len(self.trace.rounds) + 1,
+            questions=tuple(asked),
+            verdicts=tuple(verdicts),
+            votes=tuple(votes_record),
+            conflicts_resolved=self.conflicts_resolved - conflicts_before,
+            approvals_retracted=self.approvals_retracted - retracted_before,
+            truncated=truncated,
+            spent=self.ledger.spent,
+            answers=self.ledger.answers_charged,
+            uncertainty=self.uncertainty(),
+            effort=self.effort(),
+        )
+        self.trace.rounds.append(record)
+        return record
+
+    def run(
+        self,
+        rounds: Optional[int] = None,
+        questions: Optional[int] = None,
+        uncertainty_goal: Optional[float] = None,
+    ) -> CrowdTrace:
+        """Run rounds until a goal is met.
+
+        Stops at the first of: the ``rounds`` cap, the ``questions`` cap
+        (the final round is trimmed so the cap is never overshot — the
+        crowd analogue of the single-expert effort budget), an
+        ``uncertainty_goal`` reached, the budget cap (the ledger refuses
+        further answers), or nothing left to ask.  The uncertainty check
+        reuses each round's recorded value, mirroring
+        :meth:`~repro.core.reconciliation.ReconciliationSession.run`.
+        """
+        current = self.trace.final_uncertainty
+        while True:
+            if rounds is not None and len(self.trace.rounds) >= rounds:
+                break
+            if uncertainty_goal is not None and current <= uncertainty_goal:
+                break
+            remaining = (
+                questions - self.trace.questions_asked
+                if questions is not None
+                else None
+            )
+            record = self.round(max_questions=remaining)
+            if record is None:
+                break
+            current = record.uncertainty
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Pay-as-you-go output
+    # ------------------------------------------------------------------
+    def current_matching(
+        self,
+        iterations: int = 100,
+        use_likelihood: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> frozenset[Correspondence]:
+        """Instantiate a trusted matching from the *current* crowd state —
+        callable at any budget point, like the single-expert session's."""
+        from ..core.instantiation import instantiate
+
+        return instantiate(
+            self.pnet,
+            iterations=iterations,
+            use_likelihood=use_likelihood,
+            rng=rng,
+        )

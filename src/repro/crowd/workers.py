@@ -1,0 +1,189 @@
+"""Simulated crowd workers with per-worker reliability.
+
+A :class:`Worker` is the crowd-scale analogue of
+:class:`~repro.core.feedback.NoisyOracle`: it answers membership questions
+about the ground-truth selective matching and is wrong with its own
+``error_rate``.  Verdicts are memoised per correspondence — a worker asked
+twice holds the same (possibly wrong) belief, which is what redundancy-aware
+platforms assume when they avoid re-routing a question to the same worker.
+
+A :class:`WorkerPool` bundles workers built from a named *reliability
+distribution*.  Distributions are deterministic per ``(n_workers, seed)``:
+the error-rate ladder is laid out first and any jitter comes from a seeded
+``random.Random``, so experiments and golden traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.correspondence import Correspondence
+from ..core.feedback import NoisyOracle
+
+
+class Worker(NoisyOracle):
+    """One simulated annotator: a :class:`NoisyOracle` with a marketplace
+    identity.
+
+    ``worker_id`` names the worker in assignments, votes, stats and ledger
+    entries; the answer-noise semantics — wrong with ``error_rate``,
+    verdicts memoised per correspondence like a real annotator's fixed
+    belief — are the oracle's, inherited rather than re-implemented.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        selective_matching: Iterable[Correspondence],
+        error_rate: float,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(selective_matching, error_rate, rng=rng)
+        self.worker_id = worker_id
+
+    def answer(self, corr: Correspondence) -> bool:
+        """The worker's verdict on ``corr`` (memoised fixed belief)."""
+        return self.assert_correspondence(corr)
+
+    @property
+    def answers_given(self) -> int:
+        return self.assertions_made
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Worker({self.worker_id!r}, err={self.error_rate:g})"
+
+
+def _ladder(
+    rates: Sequence[float],
+) -> Callable[[int, random.Random], list[float]]:
+    """A distribution that cycles a fixed error-rate ladder (no jitter)."""
+
+    def build(n_workers: int, rng: random.Random) -> list[float]:
+        return [rates[i % len(rates)] for i in range(n_workers)]
+
+    return build
+
+
+def _uniform(low: float, high: float) -> Callable[[int, random.Random], list[float]]:
+    """Error rates drawn iid uniform from ``[low, high]``."""
+
+    def build(n_workers: int, rng: random.Random) -> list[float]:
+        return [rng.uniform(low, high) for _ in range(n_workers)]
+
+    return build
+
+
+def _spammy(n_workers: int, rng: random.Random) -> list[float]:
+    """Mostly reliable workers plus one coin-flip spammer per five."""
+    rates = []
+    for i in range(n_workers):
+        if i % 5 == 4:
+            rates.append(0.5)
+        else:
+            rates.append(rng.uniform(0.05, 0.15))
+    return rates
+
+
+#: Named reliability distributions: ``name → build(n_workers, rng)``.
+#: ``mixed`` is the reference pool of the crowd experiment — a fixed ladder
+#: from near-expert to near-spammer, so every pool size mixes both.
+RELIABILITY_DISTRIBUTIONS: dict[str, Callable[[int, random.Random], list[float]]] = {
+    "expert": _ladder([0.02]),
+    "good": _ladder([0.05, 0.10]),
+    "mixed": _ladder([0.05, 0.15, 0.25, 0.35, 0.45]),
+    "uniform": _uniform(0.05, 0.45),
+    "spammy": _spammy,
+}
+
+
+def reliability_error_rates(
+    distribution: str, n_workers: int, seed: int = 0
+) -> list[float]:
+    """The per-worker error rates a named distribution assigns.
+
+    Deterministic per ``(distribution, n_workers, seed)``; raises
+    ``KeyError`` for unknown names.
+    """
+    try:
+        build = RELIABILITY_DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise KeyError(
+            f"unknown reliability distribution {distribution!r}; "
+            f"available: {sorted(RELIABILITY_DISTRIBUTIONS)}"
+        ) from None
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    return build(n_workers, random.Random(seed))
+
+
+class WorkerPool:
+    """A fixed roster of workers answering one network's questions."""
+
+    def __init__(self, workers: Sequence[Worker]):
+        if not workers:
+            raise ValueError("a pool needs at least one worker")
+        ids = [worker.worker_id for worker in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("worker ids must be unique")
+        self.workers: tuple[Worker, ...] = tuple(workers)
+        self._by_id = {worker.worker_id: worker for worker in self.workers}
+
+    @classmethod
+    def from_distribution(
+        cls,
+        selective_matching: Iterable[Correspondence],
+        n_workers: int,
+        distribution: str = "mixed",
+        seed: int = 0,
+    ) -> "WorkerPool":
+        """Build a pool from a named reliability distribution.
+
+        Worker ``i`` gets its own ``random.Random(seed * 1009 + i)`` answer
+        stream, so pools are reproducible per seed and workers' noise stays
+        independent of each other and of the distribution's jitter stream.
+        """
+        truth = frozenset(selective_matching)
+        rates = reliability_error_rates(distribution, n_workers, seed=seed)
+        return cls(
+            [
+                Worker(
+                    f"w{i:02d}",
+                    truth,
+                    rate,
+                    rng=random.Random(seed * 1009 + i),
+                )
+                for i, rate in enumerate(rates)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def __getitem__(self, worker_id: str) -> Worker:
+        return self._by_id[worker_id]
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(worker.worker_id for worker in self.workers)
+
+    @property
+    def error_rates(self) -> tuple[float, ...]:
+        """The true (simulation-side) error rates, for reporting."""
+        return tuple(worker.error_rate for worker in self.workers)
+
+    @property
+    def mean_error_rate(self) -> float:
+        """The pool's mean true error rate — the fair single-worker
+        baseline for equal-budget comparisons."""
+        return sum(self.error_rates) / len(self.workers)
+
+    @property
+    def answers_total(self) -> int:
+        return sum(worker.answers_given for worker in self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool({len(self.workers)} workers)"

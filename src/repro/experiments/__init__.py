@@ -6,6 +6,7 @@ and the ``benchmarks/`` suite are thin wrappers over these runners.
 """
 
 from . import (
+    crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
     fig8_probability_correctness,
@@ -27,9 +28,11 @@ from .reporting import ExperimentResult, render_markdown, render_table
 from .scenarios import (
     ScenarioOutcome,
     ScenarioSpec,
+    build_crowd_session,
     build_session,
     make_oracle,
     make_strategy,
+    run_crowd_scenario,
     run_effort_grid,
     run_matrix,
     run_scenario,
@@ -41,11 +44,14 @@ __all__ = [
     "NetworkFixture",
     "ScenarioOutcome",
     "ScenarioSpec",
+    "build_crowd_session",
     "build_fixture",
     "build_session",
     "conflicted_subnetwork",
+    "crowd_budget",
     "make_oracle",
     "make_strategy",
+    "run_crowd_scenario",
     "run_effort_grid",
     "run_matrix",
     "run_scenario",

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from . import (
+    crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
     fig8_probability_correctness,
@@ -46,6 +47,20 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
     ),
     "fig10": (fig10_ordering_instantiation.run, {"runs": 1, "target_samples": 150}),
     "fig11": (fig11_likelihood.run, {"runs": 1, "target_samples": 150}),
+    "crowd": (
+        crowd_budget.run,
+        {
+            "budgets": (90.0, 180.0, 270.0),
+            "redundancies": (3,),
+            "target_samples": 150,
+            "network_overrides": {
+                "n_correspondences": 260,
+                "n_schemas": 12,
+                "attributes_per_schema": 40,
+                "conflict_bias": 0.5,
+            },
+        },
+    ),
 }
 
 

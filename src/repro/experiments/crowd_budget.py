@@ -1,0 +1,189 @@
+"""Crowd experiment — uncertainty reduction vs. answer budget.
+
+The paper's successor setting: reconciliation answers come from a paid
+crowd, not one in-house expert.  This experiment compares, at **equal total
+answer budget** (money spent on answers), two ways of buying assertions on
+the reference synthetic network:
+
+* the **expert channel** — one trusted professional
+  (:class:`~repro.core.feedback.NoisyOracle`,
+  ``error_rate=EXPERT_ERROR_RATE``) charging
+  ``EXPERT_COST_PER_ANSWER`` per answer, driving the sequential
+  information-gain loop;
+* the **crowd channel** — a pool of marketplace workers at unit cost whose
+  per-worker reliability follows a named distribution, asked ``k``
+  questions per round with ``redundancy`` answers each
+  (:class:`~repro.crowd.session.CrowdSession`; reliability-aware routing,
+  reliability-weighted vote).
+
+Redundancy prices accuracy: the crowd pays ``redundancy`` answers per
+question but a question still costs less than one expert answer whenever
+``redundancy < EXPERT_COST_PER_ANSWER``, so the crowd asks more questions
+per unit of budget and the vote keeps its effective error low.  The H/H₀
+columns track how far each channel drives network uncertainty at the same
+spend, across reliability distributions and redundancy levels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .harness import NetworkFixture, synthetic_fixture
+from .reporting import ExperimentResult
+from .scenarios import ScenarioSpec, run_scenario
+
+#: The reference synthetic network of the acceptance criterion — the same
+#: 24-schema / 1500-candidate network the reconciliation benchmarks drive
+#: (`benchmarks/test_bench_reconciliation.py`).
+REFERENCE_NETWORK_KWARGS = dict(
+    n_correspondences=1500,
+    n_schemas=24,
+    attributes_per_schema=150,
+    conflict_bias=0.35,
+    seed=7,
+)
+
+#: What one answer from the trusted professional costs, in units of one
+#: marketplace answer.  Four is conservative for expert-vs-microtask rates.
+EXPERT_COST_PER_ANSWER = 4.0
+
+#: Even trusted professionals err (the premise the successor work drops).
+EXPERT_ERROR_RATE = 0.1
+
+_FIXTURE_CACHE: dict[tuple, NetworkFixture] = {}
+
+
+def reference_fixture(**overrides) -> NetworkFixture:
+    """The experiment's network fixture (cached per parameter set)."""
+    kwargs = {**REFERENCE_NETWORK_KWARGS, **overrides}
+    key = tuple(sorted(kwargs.items()))
+    if key not in _FIXTURE_CACHE:
+        _FIXTURE_CACHE[key] = synthetic_fixture(**kwargs)
+    return _FIXTURE_CACHE[key]
+
+
+def expert_spec(
+    budget: float, seed: int, target_samples: int
+) -> ScenarioSpec:
+    """The expert-channel scenario a given budget affords."""
+    return ScenarioSpec(
+        strategy="information-gain",
+        oracle="noisy",
+        error_rate=EXPERT_ERROR_RATE,
+        on_conflict="disapprove",
+        target_samples=target_samples,
+        budget=int(budget // EXPERT_COST_PER_ANSWER),
+        seed=seed,
+        name=f"expert@{budget:g}",
+    )
+
+
+def crowd_spec(
+    budget: float,
+    reliability: str,
+    redundancy: int,
+    seed: int,
+    target_samples: int,
+    workers: int = 12,
+    k: int = 4,
+) -> ScenarioSpec:
+    """The crowd-channel scenario a given budget affords."""
+    return ScenarioSpec(
+        strategy="information-gain",
+        oracle="crowd",
+        on_conflict="disapprove",
+        target_samples=target_samples,
+        seed=seed,
+        crowd_workers=workers,
+        crowd_reliability=reliability,
+        crowd_redundancy=redundancy,
+        crowd_k=k,
+        crowd_cost=1.0,
+        crowd_budget=budget,
+        name=f"crowd-{reliability}-r{redundancy}@{budget:g}",
+    )
+
+
+def run(
+    budgets: Sequence[float] = (150.0, 300.0, 450.0, 600.0, 750.0),
+    reliabilities: Sequence[str] = ("good", "mixed", "spammy"),
+    redundancies: Sequence[int] = (3, 5),
+    workers: int = 12,
+    k: int = 4,
+    seed: int = 3,
+    target_samples: int = 250,
+    network_overrides: Optional[dict] = None,
+) -> ExperimentResult:
+    """Uncertainty vs. budget: expert channel against crowd channels.
+
+    One row per budget; the expert column and one crowd column per
+    (reliability, redundancy) pair, all reporting H/H₀ at that spend.
+    ``network_overrides`` shrinks the reference network for quick runs.
+    """
+    fixture = reference_fixture(**(network_overrides or {}))
+    columns = ["budget", "questions expert", f"H/H0 expert(err={EXPERT_ERROR_RATE:g})"]
+    crowd_variants = [
+        (reliability, redundancy)
+        for reliability in reliabilities
+        for redundancy in redundancies
+    ]
+    columns += [
+        f"H/H0 {reliability} r{redundancy}"
+        for reliability, redundancy in crowd_variants
+    ]
+    result = ExperimentResult(
+        experiment="crowd-budget",
+        title="Crowd vs. expert uncertainty reduction at equal answer budget",
+        columns=tuple(columns),
+        notes=(
+            f"reference synthetic network, {workers} workers, k={k}, "
+            f"unit worker cost vs {EXPERT_COST_PER_ANSWER:g}/answer expert "
+            f"(err={EXPERT_ERROR_RATE:g}); H/H0 is final/initial network "
+            "uncertainty at the given total spend"
+        ),
+    )
+    for budget in budgets:
+        expert = run_scenario(
+            fixture, expert_spec(budget, seed, target_samples)
+        )
+        row: list[object] = [
+            budget,
+            expert.steps,
+            expert.uncertainty_ratio,
+        ]
+        for reliability, redundancy in crowd_variants:
+            outcome = run_scenario(
+                fixture,
+                crowd_spec(
+                    budget,
+                    reliability,
+                    redundancy,
+                    seed,
+                    target_samples,
+                    workers=workers,
+                    k=k,
+                ),
+            )
+            row.append(outcome.uncertainty_ratio)
+        result.add_row(*row)
+    return result
+
+
+def crowd_advantage(
+    result: ExperimentResult,
+    reliability: str = "mixed",
+    redundancy: int = 3,
+) -> float:
+    """Mean (expert − crowd) H/H₀ margin over the budget grid.
+
+    Positive means the crowd channel ends each budget row with less
+    remaining uncertainty than the equally-funded expert channel — the
+    acceptance headline of the crowd subsystem.
+    """
+    expert_column = next(
+        name for name in result.columns if name.startswith("H/H0 expert")
+    )
+    expert = result.column(expert_column)
+    crowd = result.column(f"H/H0 {reliability} r{redundancy}")
+    margins = [e - c for e, c in zip(expert, crowd)]
+    return sum(margins) / len(margins)

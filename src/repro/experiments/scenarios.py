@@ -25,6 +25,14 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 from ..core.feedback import NoisyOracle, Oracle
 from ..core.probability import ProbabilisticNetwork
 from ..core.reconciliation import ReconciliationSession, ReconciliationTrace
+from ..crowd import (
+    BudgetLedger,
+    CrowdSession,
+    CrowdTrace,
+    WorkerPool,
+    make_aggregator,
+    make_assignment,
+)
 from ..core.selection import (
     ConfidenceSelection,
     EntropySelection,
@@ -63,10 +71,19 @@ def make_strategy(
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One full-session scenario: strategy × oracle × goal × seed."""
+    """One full-session scenario: strategy × oracle × goal × seed.
+
+    With ``oracle="crowd"`` the scenario runs a
+    :class:`~repro.crowd.session.CrowdSession` instead of the single-expert
+    loop: ``strategy`` becomes the question-selection criterion, the
+    ``crowd_*`` fields configure the pool (size and named reliability
+    distribution), the round shape (``k`` questions × ``redundancy``
+    answers), the routing/aggregation policies and the money
+    (``crowd_cost`` per answer against the optional ``crowd_budget`` cap).
+    """
 
     strategy: str = "information-gain"
-    oracle: str = "perfect"  # "perfect" | "noisy"
+    oracle: str = "perfect"  # "perfect" | "noisy" | "crowd"
     error_rate: float = 0.0
     on_conflict: str = "raise"  # "raise" | "disapprove"
     target_samples: int = 300
@@ -75,16 +92,30 @@ class ScenarioSpec:
     uncertainty_goal: Optional[float] = None
     seed: int = 0
     name: str = ""
+    # Crowd fields (used only with oracle="crowd").
+    crowd_workers: int = 12
+    crowd_reliability: str = "mixed"
+    crowd_redundancy: int = 3
+    crowd_k: int = 4
+    crowd_cost: float = 1.0
+    crowd_budget: Optional[float] = None
+    crowd_rounds: Optional[int] = None
+    crowd_aggregator: str = "weighted"
+    crowd_assignment: str = "reliability"
 
     @property
     def label(self) -> str:
         if self.name:
             return self.name
-        oracle = (
-            "perfect"
-            if self.oracle == "perfect"
-            else f"noisy({self.error_rate:g})"
-        )
+        if self.oracle == "crowd":
+            oracle = (
+                f"crowd({self.crowd_reliability}×{self.crowd_workers},"
+                f"r{self.crowd_redundancy},k{self.crowd_k})"
+            )
+        elif self.oracle == "perfect":
+            oracle = "perfect"
+        else:
+            oracle = f"noisy({self.error_rate:g})"
         return f"{self.strategy}×{oracle}@{self.seed}"
 
 
@@ -93,7 +124,7 @@ class ScenarioOutcome:
     """What a finished scenario produced, ready for tables and assertions."""
 
     spec: ScenarioSpec
-    trace: ReconciliationTrace
+    trace: "ReconciliationTrace | CrowdTrace"
     steps: int
     conflicts_resolved: int
     final_uncertainty: float
@@ -103,6 +134,11 @@ class ScenarioOutcome:
     precision_remaining: float
     #: Recall of F⁺ against the ground truth.
     recall_approved: float
+    #: Crowd accounting (zero for single-expert scenarios): dispatched
+    #: rounds, answers collected and money spent.
+    rounds: int = 0
+    answers: int = 0
+    spend: float = 0.0
 
     @property
     def uncertainty_ratio(self) -> float:
@@ -120,7 +156,53 @@ def make_oracle(fixture: NetworkFixture, spec: ScenarioSpec) -> Oracle:
             error_rate=spec.error_rate,
             rng=random.Random(spec.seed + 2),
         )
+    if spec.oracle == "crowd":
+        raise ValueError(
+            "crowd scenarios build a worker pool, not a single oracle; use "
+            "build_crowd_session / run_scenario"
+        )
     raise ValueError(f"unknown oracle kind {spec.oracle!r}")
+
+
+def build_crowd_session(
+    fixture: NetworkFixture,
+    spec: ScenarioSpec,
+    pool: Optional[WorkerPool] = None,
+) -> CrowdSession:
+    """Assemble the crowd session of an ``oracle="crowd"`` spec.
+
+    Seed conventions extend the single-expert ones: the network samples
+    with ``Random(seed)``, the assignment policy explores with
+    ``Random(seed + 1)``, and the pool's per-worker answer streams derive
+    from ``seed + 2`` (see :meth:`WorkerPool.from_distribution`).
+    """
+    pnet = ProbabilisticNetwork(
+        fixture.network,
+        target_samples=spec.target_samples,
+        rng=random.Random(spec.seed),
+    )
+    if pool is None:
+        pool = WorkerPool.from_distribution(
+            fixture.ground_truth,
+            spec.crowd_workers,
+            distribution=spec.crowd_reliability,
+            seed=spec.seed + 2,
+        )
+    return CrowdSession(
+        pnet,
+        pool,
+        k=spec.crowd_k,
+        redundancy=spec.crowd_redundancy,
+        criterion=spec.strategy,
+        assignment=make_assignment(
+            spec.crowd_assignment, rng=random.Random(spec.seed + 1)
+        ),
+        aggregator=make_aggregator(spec.crowd_aggregator),
+        ledger=BudgetLedger(
+            cost_per_answer=spec.crowd_cost, budget=spec.crowd_budget
+        ),
+        on_conflict=spec.on_conflict,
+    )
 
 
 def build_session(
@@ -143,14 +225,14 @@ def build_session(
     )
 
 
-def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome:
-    """Execute one scenario end to end and summarise it."""
-    session = build_session(fixture, spec)
-    session.run(
-        budget=spec.budget,
-        effort_budget=spec.effort_budget,
-        uncertainty_goal=spec.uncertainty_goal,
-    )
+def _summarise(
+    fixture: NetworkFixture,
+    spec: ScenarioSpec,
+    session: "ReconciliationSession | CrowdSession",
+    steps: int,
+    **crowd_fields,
+) -> ScenarioOutcome:
+    """The shared outcome summary both oracle paths assemble."""
     pnet = session.pnet
     truth = fixture.ground_truth
     remaining = [
@@ -161,12 +243,62 @@ def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome
     return ScenarioOutcome(
         spec=spec,
         trace=session.trace,
-        steps=len(session.trace.steps),
+        steps=steps,
         conflicts_resolved=session.conflicts_resolved,
         final_uncertainty=session.uncertainty(),
         final_effort=session.effort(),
         precision_remaining=precision(remaining, truth),
         recall_approved=recall(pnet.feedback.approved, truth),
+        **crowd_fields,
+    )
+
+
+def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome:
+    """Execute one scenario end to end and summarise it."""
+    if spec.oracle == "crowd":
+        return run_crowd_scenario(fixture, spec)
+    session = build_session(fixture, spec)
+    session.run(
+        budget=spec.budget,
+        effort_budget=spec.effort_budget,
+        uncertainty_goal=spec.uncertainty_goal,
+    )
+    return _summarise(fixture, spec, session, steps=len(session.trace.steps))
+
+
+def run_crowd_scenario(
+    fixture: NetworkFixture, spec: ScenarioSpec
+) -> ScenarioOutcome:
+    """Execute one ``oracle="crowd"`` scenario end to end and summarise it.
+
+    The goal fields map onto the crowd loop exactly as on the single-expert
+    one: ``budget`` caps *questions* (assertions), ``effort_budget`` caps
+    the asserted fraction of |C| (the final round is trimmed so neither is
+    overshot), ``uncertainty_goal`` stops between rounds, and the monetary
+    cap lives in ``crowd_budget``.  ``crowd_rounds`` additionally caps
+    dispatched rounds.
+    """
+    session = build_crowd_session(fixture, spec)
+    questions: Optional[int] = spec.budget
+    if spec.effort_budget is not None:
+        total = len(fixture.network.correspondences)
+        effort_cap = int(spec.effort_budget * total + 1e-12)
+        questions = (
+            effort_cap if questions is None else min(questions, effort_cap)
+        )
+    session.run(
+        rounds=spec.crowd_rounds,
+        questions=questions,
+        uncertainty_goal=spec.uncertainty_goal,
+    )
+    return _summarise(
+        fixture,
+        spec,
+        session,
+        steps=session.trace.questions_asked,
+        rounds=len(session.trace.rounds),
+        answers=session.ledger.answers_charged,
+        spend=session.ledger.spent,
     )
 
 

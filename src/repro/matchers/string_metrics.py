@@ -707,6 +707,69 @@ def prefix_similarity_matrix(
     )
 
 
+def _lcs_pairs(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+) -> np.ndarray:
+    """LCS-substring similarity for index-aligned pairs of pooled strings.
+
+    The classic quadratic DP — ``cur[j] = prev[j-1] + 1`` where characters
+    match, else 0 — carries no dependency along the inner dimension, so each
+    row is one whole-batch vectorised sweep: equality matrix, shifted
+    previous row, running best.  Pad positions are masked explicitly (the
+    pool pads both sides with the same sentinel, so pad-equals-pad would
+    otherwise count as a common substring).
+    """
+    count = len(first)
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    len_a, len_b = lengths[first], lengths[second]
+    shortest = np.minimum(len_a, len_b).astype(np.float64)
+    both_empty = (len_a == 0) & (len_b == 0)
+    width_a = int(len_a.max())
+    width_b = int(len_b.max())
+    if width_a == 0 or width_b == 0:
+        return np.where(both_empty, 1.0, 0.0)
+    codes_a = codes[first, :width_a]
+    codes_b = codes[second, :width_b]
+    valid_b = np.arange(width_b)[None, :] < len_b[:, None]
+    best = np.zeros(count, dtype=np.int64)
+    previous = np.zeros((count, width_b), dtype=np.int64)
+    current = np.empty_like(previous)
+    for i in range(width_a):
+        active = len_a > i
+        if not active.any():
+            break
+        match = (codes_b == codes_a[:, i][:, None]) & valid_b & active[:, None]
+        current[:, 0] = match[:, 0]
+        np.multiply(previous[:, :-1] + 1, match[:, 1:], out=current[:, 1:])
+        np.maximum(best, current.max(axis=1), out=best)
+        previous, current = current, previous
+    similarity = np.zeros(count, dtype=np.float64)
+    nonempty = shortest > 0
+    similarity[nonempty] = best[nonempty] / shortest[nonempty]
+    similarity[both_empty] = 1.0
+    return similarity
+
+
+def lcs_similarity_matrix(
+    left: Sequence[str],
+    right: Sequence[str],
+    cache: PairCache | None = None,
+) -> np.ndarray:
+    """Batch :func:`lcs_similarity` over all left × right pairs."""
+    return _unique_pair_matrix(
+        left,
+        right,
+        lambda codes, lengths, first, second: _chunked_pairs(
+            _lcs_pairs, codes, lengths, first, second
+        ),
+        cache,
+    )
+
+
 def monge_elkan_matrix(
     left_tokens: Sequence[Sequence[str]],
     right_tokens: Sequence[Sequence[str]],

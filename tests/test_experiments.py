@@ -249,6 +249,7 @@ class TestCli:
             "fig9",
             "fig10",
             "fig11",
+            "crowd",
         }
 
     def test_run_experiment_unknown(self):

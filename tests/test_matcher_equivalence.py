@@ -116,7 +116,7 @@ def _first_line_matchers():
         MongeElkanMatcher(),
         NGramMatcher(),
         NGramMatcher(q=2),
-        SubstringMatcher(),  # scalar-only: rides the cached fallback
+        SubstringMatcher(),
         PrefixSuffixMatcher(),
         SynonymMatcher(),
         DataTypeMatcher(),

@@ -1,5 +1,8 @@
 """Unit tests for the from-scratch string similarity metrics."""
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.matchers.string_metrics import (
@@ -8,6 +11,7 @@ from repro.matchers.string_metrics import (
     jaro_similarity,
     jaro_winkler_similarity,
     lcs_similarity,
+    lcs_similarity_matrix,
     levenshtein_distance,
     levenshtein_similarity,
     longest_common_substring,
@@ -135,6 +139,39 @@ class TestSubstring:
         assert lcs_similarity("lease", "release") == 1.0
         assert lcs_similarity("", "") == 1.0
         assert lcs_similarity("", "a") == 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matrix_matches_scalar(self, seed):
+        """The batched LCS DP reproduces the scalar kernel at 1e-9 on
+        random word material including empty/degenerate/pad-shaped names
+        (a shared pad sentinel must never count as common substring)."""
+        rng = random.Random(seed)
+        alphabet = "abcxyz_"
+        pool = [""] + [
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 12)))
+            for _ in range(24)
+        ]
+        left = [rng.choice(pool) for _ in range(rng.randint(1, 15))]
+        right = [rng.choice(pool) for _ in range(rng.randint(1, 15))]
+        batch = lcs_similarity_matrix(left, right)
+        reference = np.asarray(
+            [[lcs_similarity(a, b) for b in right] for a in left]
+        )
+        np.testing.assert_allclose(batch, reference, rtol=0.0, atol=1e-9)
+
+    def test_matrix_pair_cache_reused_across_calls(self):
+        cache = {}
+        first = lcs_similarity_matrix(["alpha", "beta"], ["beta", "gamma"], cache)
+        assert set(cache) == {
+            ("alpha", "beta"),
+            ("alpha", "gamma"),
+            ("beta", "beta"),
+            ("beta", "gamma"),
+        }
+        cache[("alpha", "beta")] = 0.123  # poison: cached values must win
+        again = lcs_similarity_matrix(["alpha"], ["beta"], cache)
+        assert again[0, 0] == pytest.approx(0.123)
+        assert first.shape == (2, 2)
 
 
 class TestMongeElkan:
