@@ -1,0 +1,75 @@
+"""Linter benchmark: end-to-end ``lint()`` on the reference network.
+
+Static analysis runs at declaration time — before every validated
+experiment session — so it has to be far cheaper than the sampling work
+it guards.  The acceptance bar is a 250ms median for linting the
+conflict-dense reference network (24 schemas / 1500 candidates / 186
+violations); the medians land in BENCH_kernels.json next to the kernel
+benches.  Engine compilation is excluded from the timed region: the
+fixture caches the built network, matching how sessions lint an
+already-compiled network.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.analysis import lint
+from repro.experiments.lint_network import _constrained_variant
+from test_bench_reconciliation import reference_fixture, small_fixture
+
+#: The ISSUE-6 acceptance bar for the end-to-end reference lint.
+LINT_BUDGET_SECONDS = 0.25
+
+_CACHE: dict[str, object] = {}
+
+
+def _constrained_reference():
+    """The reference network re-declared with 48 conflicting dependencies."""
+    if "constrained" not in _CACHE:
+        _CACHE["constrained"] = _constrained_variant(
+            reference_fixture().network, seed=7, dependencies=48
+        )
+    return _CACHE["constrained"]
+
+
+def test_bench_lint_small(benchmark):
+    """Fast-profile presence: lint the small conflict-dense network."""
+    network = small_fixture().network
+    report = benchmark(lint, network)
+    assert report.satisfiable
+    assert not report.errors()
+
+
+@pytest.mark.slow
+def test_bench_lint_reference(benchmark):
+    """The clean reference network, tracked in BENCH_kernels.json."""
+    network = reference_fixture().network
+    report = benchmark(lint, network)
+    assert report.satisfiable
+    assert not report.errors()
+
+
+@pytest.mark.slow
+def test_bench_lint_reference_constrained(benchmark):
+    """The conflict-seeded variant: full diagnostic surface exercised."""
+    network = _constrained_reference()
+    report = benchmark(lint, network)
+    assert report.satisfiable
+    assert report.errors()
+    assert report.dead
+
+
+@pytest.mark.slow
+def test_lint_budget_gate():
+    """The acceptance bar: reference lint median under 250ms."""
+    for network in (reference_fixture().network, _constrained_reference()):
+        timings = []
+        for _ in range(9):
+            started = time.perf_counter()
+            lint(network)
+            timings.append(time.perf_counter() - started)
+        assert statistics.median(timings) < LINT_BUDGET_SECONDS

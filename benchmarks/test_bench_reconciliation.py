@@ -12,7 +12,6 @@ shared-kernel reference loop is enforced separately in
 
 from __future__ import annotations
 
-import random
 import time
 
 import pytest

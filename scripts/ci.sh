@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 CI entrypoint: byte-compile the package, the fast test profile, then
-# the src/repro/{core,crowd} line-coverage floors (stdlib settrace tracer over
-# the deterministic core/crowd test files — the container ships no
-# coverage.py).
+# Tier-1 CI entrypoint: byte-compile the package, import/dead-store lint,
+# the fast test profile, then the src/repro/{core,crowd,analysis}
+# line-coverage floors (stdlib settrace tracer over the deterministic test
+# files — the container ships no coverage.py).
 # (pytest.ini deselects the slow benchmark/experiment regenerations; run
 # `pytest -m ""` for the full matrix).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 python -m compileall -q src
+# ruff.toml selects F401/F811/F841; the stdlib fallback enforces the same
+# rules when no ruff binary is installed.
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    python scripts/import_hygiene.py
+fi
 python -m pytest -q
 # The traced floor re-runs the deterministic core test files; the overlap
 # with the plain pass above is deliberate — the plain pass is the exact

@@ -7,10 +7,15 @@ pytest-benchmark and trims the raw report down to ``name → median seconds``
 anywhere::
 
     python scripts/export_bench.py [output.json]
+
+``--only FILE [FILE ...]`` restricts the run to the given bench files and
+merges their medians into the existing report instead of rewriting it —
+the cheap way to refresh one suite's numbers.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import subprocess
@@ -24,18 +29,29 @@ BENCH_FILES = (
     "benchmarks/test_bench_match_network.py",
     "benchmarks/test_bench_reconciliation.py",
     "benchmarks/test_bench_crowd.py",
+    "benchmarks/test_bench_lint.py",
 )
 
 
 def main(argv: list[str]) -> int:
-    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else ROOT / "BENCH_kernels.json"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default=str(ROOT / "BENCH_kernels.json"))
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="FILE",
+        help="bench files to (re)run; medians merge into the existing report",
+    )
+    args = parser.parse_args(argv[1:])
+    out_path = pathlib.Path(args.output)
+    bench_files = tuple(args.only) if args.only else BENCH_FILES
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "bench.json"
         command = [
             sys.executable,
             "-m",
             "pytest",
-            *BENCH_FILES,
+            *bench_files,
             "--benchmark-only",
             f"--benchmark-json={raw_path}",
             "-m",
@@ -50,6 +66,10 @@ def main(argv: list[str]) -> int:
         bench["name"]: bench["stats"]["median"]
         for bench in report["benchmarks"]
     }
+    if args.only and out_path.exists():
+        merged = json.loads(out_path.read_text())
+        merged.update(medians)
+        medians = merged
     out_path.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(medians)} benchmark medians to {out_path}")
     return 0

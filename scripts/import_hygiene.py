@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Stdlib fallback for the ruff rules in ruff.toml (F401/F811/F841).
+
+The container may not ship a ruff binary; this AST-based checker enforces
+the same three pyflakes rules so scripts/ci.sh can gate import hygiene
+either way:
+
+* **F401** — a module-level import whose bound name is never used (any
+  ``ast.Name`` load, including names that only appear in annotations —
+  the repo uses ``from __future__ import annotations`` so annotation
+  expressions stay in the tree — or as a string in ``__all__``).
+  ``__init__.py`` files are exempt, matching ruff.toml's per-file-ignores:
+  package façades re-export on purpose.
+* **F811** — a module-level import rebinding a name another module-level
+  import already bound.
+* **F841** — a local variable assigned exactly once via a simple
+  ``name = ...`` statement and never read anywhere in the function.
+  Names starting with ``_`` are exempt (the conventional discard), as are
+  functions calling ``locals``/``eval``/``exec``.
+
+A ``# noqa`` comment on the offending line suppresses any finding, same
+as ruff.  Exit status is the number of findings (capped at 99).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src", "scripts", "tests", "benchmarks", "examples")
+
+
+def iter_source_files():
+    for directory in CHECKED_DIRS:
+        base = ROOT / directory
+        if base.is_dir():
+            yield from sorted(base.rglob("*.py"))
+
+
+def noqa_lines(source: str) -> set[int]:
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if "# noqa" in line
+    }
+
+
+def import_bindings(node: ast.stmt):
+    """(bound name, reported name) pairs for one import statement."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            yield bound, alias.name
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            yield alias.asname or alias.name, alias.name
+
+
+def _annotation_nodes(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and node.annotation is not None:
+            yield node.annotation
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            yield node.annotation
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.returns is not None
+        ):
+            yield node.returns
+
+
+def used_names(tree: ast.AST) -> set[str]:
+    """Every identifier read anywhere, plus the strings of ``__all__``."""
+    used: set[str] = set()
+    # quoted annotations ("ReconciliationTrace | CrowdTrace") hide reads
+    # inside string constants; parse them like pyflakes does
+    for annotation in _annotation_nodes(tree):
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for name in ast.walk(parsed):
+                    if isinstance(name, ast.Name):
+                        used.add(name.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+        elif isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets:
+                for element in ast.walk(node.value):
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        used.add(element.value)
+    return used
+
+
+def check_imports(path: pathlib.Path, tree: ast.Module, skip: set[int]):
+    """F401 (unused module-level import) and F811 (re-import)."""
+    findings = []
+    used = used_names(tree)
+    bound_at: dict[str, int] = {}
+    is_facade = path.name == "__init__.py"
+    for node in tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for bound, reported in import_bindings(node):
+            if node.lineno in skip:
+                continue
+            if bound in bound_at:
+                findings.append(
+                    (
+                        node.lineno,
+                        "F811",
+                        f"redefinition of unused {bound!r} from line "
+                        f"{bound_at[bound]}",
+                    )
+                )
+            bound_at[bound] = node.lineno
+            if not is_facade and bound not in used:
+                findings.append(
+                    (node.lineno, "F401", f"{reported!r} imported but unused")
+                )
+    return findings
+
+
+def _is_opaque(function: ast.AST) -> bool:
+    """Whether dataflow is invisible to us (locals()/eval/exec)."""
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("locals", "eval", "exec", "vars")
+        ):
+            return True
+    return False
+
+
+def _own_scope(function: ast.AST):
+    """Nodes of a function body, not descending into nested scopes."""
+    pending = list(ast.iter_child_nodes(function))
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def check_dead_locals(tree: ast.Module, skip: set[int]):
+    """F841: simple locals assigned once and never read."""
+    findings = []
+    for function in ast.walk(tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _is_opaque(function):
+            continue
+        loads: set[str] = set()
+        stores: dict[str, list[int]] = {}
+        # loads anywhere (closures read outer locals); stores only from the
+        # function's own scope — an assignment in a nested class body is a
+        # class attribute, not a dead local
+        for node in ast.walk(function):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Load):
+                    loads.add(node.id)
+                elif isinstance(node.ctx, ast.Del):
+                    loads.add(node.id)
+        for node in _own_scope(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        stores.setdefault(target.id, []).append(node.lineno)
+        for name, lines in stores.items():
+            if name.startswith("_") or name in loads or len(lines) != 1:
+                continue
+            if lines[0] in skip:
+                continue
+            findings.append(
+                (
+                    lines[0],
+                    "F841",
+                    f"local variable {name!r} is assigned to but never used",
+                )
+            )
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for path in iter_source_files():
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            findings.append((path, error.lineno or 0, "E999", str(error)))
+            continue
+        skip = noqa_lines(source)
+        for lineno, code, message in sorted(
+            check_imports(path, tree, skip) + check_dead_locals(tree, skip)
+        ):
+            findings.append((path, lineno, code, message))
+    for path, lineno, code, message in findings:
+        print(f"{path.relative_to(ROOT)}:{lineno}: {code} {message}")
+    if not findings:
+        print(f"import_hygiene: clean ({len(list(iter_source_files()))} files)")
+    return min(len(findings), 99)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

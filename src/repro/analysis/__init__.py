@@ -1,0 +1,79 @@
+"""Static analysis over constraint networks.
+
+A declarative, typed constraint schema (scoped one-to-one/cycle rules,
+named mutual exclusions, dependencies) that compiles down to the existing
+:class:`~repro.core.constraints.ConstraintEngine` masks, plus a
+:class:`NetworkLinter` that proves — before any sampling — which
+candidates are statically dead or forced, whether the network is
+satisfiable at all, and which declarations conflict, duplicate or subsume
+each other.  Findings carry stable ``RCxxx`` codes (see
+:mod:`repro.analysis.diagnostics`).
+
+Quick tour::
+
+    from repro.analysis import (
+        ConstraintSet, DependencyDeclaration, OneToOneDeclaration,
+        declare_network, lint,
+    )
+
+    rules = ConstraintSet([
+        OneToOneDeclaration(),
+        DependencyDeclaration(("SA.price", "SB.amount"),
+                              ("SA.currency", "SB.unit")),
+    ])
+    network = declare_network(schemas, candidates, rules)  # lints, fail-fast
+    report = lint(network, feedback)                       # re-check later
+"""
+
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+)
+from .implication import ImplicationGraph
+from .linter import NetworkLinter, declare_network, lint, prune_dead_candidates
+from .schema import (
+    CompiledConstraints,
+    ConstraintSet,
+    CorrespondenceRef,
+    CycleDeclaration,
+    Declaration,
+    DependencyConstraint,
+    DependencyDeclaration,
+    MutexDeclaration,
+    OneToOneDeclaration,
+    as_ref,
+    compile_dependencies,
+    ref_index,
+)
+from .scopes import SCOPE_KINDS, ConstraintScope, ScopedConstraint
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "SCOPE_KINDS",
+    "CompiledConstraints",
+    "ConstraintScope",
+    "ConstraintSet",
+    "CorrespondenceRef",
+    "CycleDeclaration",
+    "Declaration",
+    "DependencyConstraint",
+    "DependencyDeclaration",
+    "Diagnostic",
+    "ImplicationGraph",
+    "LintError",
+    "LintReport",
+    "MutexDeclaration",
+    "NetworkLinter",
+    "OneToOneDeclaration",
+    "ScopedConstraint",
+    "Severity",
+    "as_ref",
+    "compile_dependencies",
+    "declare_network",
+    "lint",
+    "prune_dead_candidates",
+    "ref_index",
+]

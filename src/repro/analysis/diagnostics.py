@@ -1,0 +1,191 @@
+"""Structured lint diagnostics with stable codes.
+
+Every finding of the static analyser is a :class:`Diagnostic` carrying a
+stable ``RCxxx`` code (so tooling can filter and suppress by code across
+releases), a severity, the offending constraints/correspondences, and a
+human-readable explanation.  A lint run returns a :class:`LintReport`
+bundling the diagnostics with the network-level verdicts (dead / forced
+candidates, satisfiability).
+
+Code registry
+-------------
+======  ========  =====================================================
+code    severity  meaning
+======  ========  =====================================================
+RC001   error     network unsatisfiable (no violation-free instance)
+RC002   warning   dead candidate (in no violation-free instance)
+RC003   info      forced candidate (in every violation-free instance)
+RC004   error     conflicting constraints (dependency consequent
+                  excluded whenever its antecedent is accepted)
+RC005   warning   duplicate constraint registration
+RC006   warning   subsumed constraint (every violation contains a
+                  strictly smaller violation of another constraint)
+RC007   error     feedback contradicts the compiled constraints
+RC008   error     declaration references an unknown correspondence
+RC009   warning   degenerate declaration (self-dependency, collapsed
+                  exclusion group)
+RC010   info      scoped declaration covers no candidate
+======  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..core.constraints import Constraint
+from ..core.correspondence import Correspondence
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+#: stable code → (severity, short slug); the single source of truth that
+#: keeps severities consistent across the linter's emission sites.
+DIAGNOSTIC_CODES: Mapping[str, tuple[Severity, str]] = {
+    "RC001": (Severity.ERROR, "unsatisfiable-network"),
+    "RC002": (Severity.WARNING, "dead-candidate"),
+    "RC003": (Severity.INFO, "forced-candidate"),
+    "RC004": (Severity.ERROR, "conflicting-constraints"),
+    "RC005": (Severity.WARNING, "duplicate-constraint"),
+    "RC006": (Severity.WARNING, "subsumed-constraint"),
+    "RC007": (Severity.ERROR, "feedback-contradiction"),
+    "RC008": (Severity.ERROR, "unknown-reference"),
+    "RC009": (Severity.WARNING, "degenerate-declaration"),
+    "RC010": (Severity.INFO, "empty-scope"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured lint finding."""
+
+    code: str
+    severity: Severity
+    slug: str
+    message: str
+    #: the constraints (or declarations' compiled forms) at fault, if any
+    constraints: tuple[Constraint, ...] = ()
+    #: the candidate correspondences concerned, if any
+    correspondences: tuple[Correspondence, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        code: str,
+        message: str,
+        constraints: Sequence[Constraint] = (),
+        correspondences: Sequence[Correspondence] = (),
+    ) -> "Diagnostic":
+        """Build a diagnostic, deriving severity and slug from the code."""
+        try:
+            severity, slug = DIAGNOSTIC_CODES[code]
+        except KeyError:
+            raise ValueError(f"unknown diagnostic code {code!r}") from None
+        return cls(
+            code=code,
+            severity=severity,
+            slug=slug,
+            message=message,
+            constraints=tuple(constraints),
+            correspondences=tuple(correspondences),
+        )
+
+    def render(self) -> str:
+        """``RC002 warning dead-candidate: …`` one-liner."""
+        return f"{self.code} {self.severity} {self.slug}: {self.message}"
+
+
+class LintError(ValueError):
+    """Raised by fail-fast callers when a lint run produced errors."""
+
+    def __init__(self, report: "LintReport"):
+        self.report = report
+        lines = [diag.render() for diag in report.errors()]
+        super().__init__(
+            "constraint network failed static analysis:\n"
+            + "\n".join(f"  {line}" for line in lines)
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run over a network (+ optional feedback).
+
+    ``dead``/``forced`` are exact: a candidate is dead iff it appears in
+    *no* matching instance of the network under the given feedback, forced
+    iff it appears in *every* one.  ``satisfiable`` is False iff the
+    network admits no matching instance at all (only possible when
+    approved feedback is itself inconsistent), in which case ``dead`` and
+    ``forced`` are empty by convention.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    dead: frozenset[Correspondence]
+    forced: frozenset[Correspondence]
+    satisfiable: bool
+    candidates: int
+    violations: int
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity >= severity)
+
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_least(Severity.ERROR)
+
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        )
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/infos allowed)."""
+        return not self.errors()
+
+    def counts(self) -> dict[str, int]:
+        """Finding counts per code, in code order."""
+        out: dict[str, int] = {}
+        for diag in self.diagnostics:
+            out[diag.code] = out.get(diag.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def raise_on_error(self) -> "LintReport":
+        """Fail-fast: raise :class:`LintError` if any error was found."""
+        if not self.ok:
+            raise LintError(self)
+        return self
+
+    def to_text(self) -> str:
+        """Human-readable multi-line summary."""
+        header = (
+            f"lint: {self.candidates} candidates, {self.violations} compiled "
+            f"violations, satisfiable={self.satisfiable}, "
+            f"{len(self.dead)} dead, {len(self.forced)} forced"
+        )
+        if not self.diagnostics:
+            return header + "\nno findings"
+        lines = [header]
+        for diag in sorted(
+            self.diagnostics, key=lambda d: (-d.severity, d.code)
+        ):
+            lines.append(diag.render())
+        return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""A 2-SAT-style implication graph over candidate literals.
+
+Every candidate *i* yields two literals — "i accepted" and "i rejected" —
+and the pairwise structure of a constraint network translates into
+implications between them:
+
+* a pairwise exclusion {x, y} gives  x → ¬y  and  y → ¬x;
+* a dependency a → b gives  a → b  and its contrapositive  ¬b → ¬a;
+* an approved/disapproved fact pins a literal:  ¬x → x  (resp.  x → ¬x).
+
+Strongly connected components then expose global structure: a candidate
+whose two literals share an SCC makes the network unsatisfiable (a ∧ ¬a),
+and "accepting a forces rejecting a" reachability proves a candidate dead
+with an explanation *chain* — the paths the linter renders in its
+diagnostics.  Violations of size ≥ 3 are not pairwise and are handled by
+the linter's exact set-based rules instead; the graph is the explanation
+and conflict-structure side of the analysis, not its only oracle.
+
+Tarjan's algorithm is implemented iteratively — declaration-time linting
+must not hit the recursion limit on thousand-candidate networks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.constraints import ConstraintEngine, mask_indices
+
+
+def true_literal(index: int) -> int:
+    """The literal "candidate ``index`` is accepted"."""
+    return 2 * index
+
+
+def false_literal(index: int) -> int:
+    """The literal "candidate ``index`` is rejected"."""
+    return 2 * index + 1
+
+
+def negate(literal: int) -> int:
+    return literal ^ 1
+
+
+def literal_index(literal: int) -> int:
+    """The candidate a literal speaks about."""
+    return literal >> 1
+
+
+def literal_is_true(literal: int) -> bool:
+    """Whether the literal asserts acceptance."""
+    return literal % 2 == 0
+
+
+class ImplicationGraph:
+    """Directed graph over the 2·n candidate literals."""
+
+    def __init__(self, n_candidates: int):
+        self.n = n_candidates
+        self._succ: list[list[int]] = [[] for _ in range(2 * n_candidates)]
+
+    # -- construction ------------------------------------------------------
+    def add_edge(self, source: int, target: int) -> None:
+        """One directed implication between literals (no contrapositive)."""
+        self._succ[source].append(target)
+
+    def add_exclusion(self, x: int, y: int) -> None:
+        """Pairwise exclusion {x, y}: accepting either rejects the other."""
+        self.add_edge(true_literal(x), false_literal(y))
+        self.add_edge(true_literal(y), false_literal(x))
+
+    def add_dependency(self, antecedent: int, consequent: int) -> None:
+        """a → b with its contrapositive ¬b → ¬a."""
+        self.add_edge(true_literal(antecedent), true_literal(consequent))
+        self.add_edge(false_literal(consequent), false_literal(antecedent))
+
+    def add_fact(self, index: int, value: bool) -> None:
+        """Pin a candidate: the opposing literal implies the asserted one."""
+        if value:
+            self.add_edge(false_literal(index), true_literal(index))
+        else:
+            self.add_edge(true_literal(index), false_literal(index))
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: ConstraintEngine,
+        dependencies: Iterable[tuple[int, int]] = (),
+        approved_mask: int = 0,
+        disapproved_mask: int = 0,
+    ) -> "ImplicationGraph":
+        """Build the graph from an engine's *pairwise* violations.
+
+        Size-≥3 violations have no pairwise encoding and are skipped; the
+        linter covers them with its exact set rules.  ``dependencies`` are
+        (antecedent, consequent) index pairs; the feedback masks pin
+        literals as facts.
+        """
+        graph = cls(engine.n)
+        for vmask in engine.violation_masks:
+            if vmask.bit_count() == 2:
+                x, y = mask_indices(vmask)
+                graph.add_exclusion(x, y)
+        for antecedent, consequent in dependencies:
+            graph.add_dependency(antecedent, consequent)
+        for index in mask_indices(approved_mask):
+            graph.add_fact(index, True)
+        for index in mask_indices(disapproved_mask):
+            graph.add_fact(index, False)
+        return graph
+
+    # -- strongly connected components --------------------------------------
+    def sccs(self) -> list[list[int]]:
+        """Tarjan SCCs (iterative), in reverse topological order."""
+        n_literals = 2 * self.n
+        index = [0] * n_literals
+        low = [0] * n_literals
+        on_stack = [False] * n_literals
+        visited = [False] * n_literals
+        stack: list[int] = []
+        components: list[list[int]] = []
+        counter = 1
+        for root in range(n_literals):
+            if visited[root]:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child_slot = work[-1]
+                if child_slot == 0:
+                    visited[node] = True
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                successors = self._succ[node]
+                while child_slot < len(successors):
+                    successor = successors[child_slot]
+                    child_slot += 1
+                    if not visited[successor]:
+                        work[-1] = (node, child_slot)
+                        work.append((successor, 0))
+                        advanced = True
+                        break
+                    if on_stack[successor]:
+                        low[node] = min(low[node], index[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def condensation(self) -> tuple[list[int], list[set[int]]]:
+        """Component id per literal plus the condensed DAG's edge sets.
+
+        Component ids follow the reverse-topological SCC order (an edge
+        always points from a higher id to a lower one).
+        """
+        components = self.sccs()
+        component_of = [0] * (2 * self.n)
+        for component_id, members in enumerate(components):
+            for literal in members:
+                component_of[literal] = component_id
+        edges: list[set[int]] = [set() for _ in components]
+        for source in range(2 * self.n):
+            source_component = component_of[source]
+            for target in self._succ[source]:
+                target_component = component_of[target]
+                if target_component != source_component:
+                    edges[source_component].add(target_component)
+        return component_of, edges
+
+    def contradictions(self) -> list[int]:
+        """Candidates whose two literals share an SCC (a ∧ ¬a)."""
+        component_of, _ = self.condensation()
+        return [
+            index
+            for index in range(self.n)
+            if component_of[true_literal(index)]
+            == component_of[false_literal(index)]
+        ]
+
+    # -- reachability & propagation ------------------------------------------
+    def implies(self, source: int, target: int) -> bool:
+        """Whether asserting ``source`` transitively forces ``target``."""
+        return self.implication_chain(source, target) is not None
+
+    def implication_chain(
+        self, source: int, target: int
+    ) -> Optional[list[int]]:
+        """A literal path ``source → … → target``, or None (BFS, shortest)."""
+        if source == target:
+            return [source]
+        parent: dict[int, int] = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for successor in self._succ[node]:
+                    if successor in parent:
+                        continue
+                    parent[successor] = node
+                    if successor == target:
+                        chain = [target]
+                        while chain[-1] != source:
+                            chain.append(parent[chain[-1]])
+                        chain.reverse()
+                        return chain
+                    next_frontier.append(successor)
+            frontier = next_frontier
+        return None
+
+    def propagate(
+        self, facts: Sequence[tuple[int, bool]]
+    ) -> tuple[Optional[dict[int, bool]], list[int]]:
+        """Unit propagation from pinned candidates.
+
+        Asserts each fact's literal and closes under the implication
+        edges.  Returns the forced partial assignment (candidate → value)
+        or ``None`` on contradiction, along with the candidates at which
+        contradictions surfaced.
+        """
+        assignment: dict[int, bool] = {}
+        conflicts: list[int] = []
+        queue: list[int] = []
+        for index, value in facts:
+            queue.append(true_literal(index) if value else false_literal(index))
+        seen: set[int] = set()
+        while queue:
+            literal = queue.pop()
+            if literal in seen:
+                continue
+            seen.add(literal)
+            index, value = literal_index(literal), literal_is_true(literal)
+            known = assignment.get(index)
+            if known is not None and known != value:
+                conflicts.append(index)
+                continue
+            assignment[index] = value
+            queue.extend(self._succ[literal])
+        if conflicts:
+            return None, sorted(set(conflicts))
+        return assignment, []
+
+    def describe_chain(
+        self, chain: Sequence[int], names: Sequence[str]
+    ) -> str:
+        """Render a literal path with candidate names: ``+a ⇒ -b ⇒ …``."""
+        rendered = []
+        for literal in chain:
+            sign = "+" if literal_is_true(literal) else "-"
+            rendered.append(f"{sign}{names[literal_index(literal)]}")
+        return " => ".join(rendered)

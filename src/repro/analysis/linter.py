@@ -1,0 +1,501 @@
+"""The network linter: declaration-time static analysis.
+
+Runs before any sampling and answers, exactly, three questions about a
+compiled constraint network under (optional) feedback ⟨F⁺, F⁻⟩:
+
+* **satisfiable** — does any matching instance exist?  With the engine's
+  anti-monotone semantics any consistent F⁺-respecting selection extends
+  greedily to a maximal instance, so the network is unsatisfiable iff F⁺
+  itself contains a compiled violation.
+* **dead** — candidates contained in *no* instance: members of F⁻, plus
+  any c with a violation v ∋ c whose remainder v∖{c} is fully approved
+  (with empty feedback: exactly the singleton violations).
+* **forced** — candidates contained in *every* instance: members of F⁺,
+  plus any live c all of whose violations are unrealisable — each one
+  either touches F⁻ or has a remainder inconsistent with F⁺ (maximality
+  then forces c in).
+
+These local rules are sound *and complete* (the extension lemma above),
+which is what the property tests pin against brute-force
+:func:`~repro.core.instances.enumerate_instances`.  On top of the exact
+verdicts, the linter reports structural hygiene — duplicate and subsumed
+constraints straight from the engine's compile records, conflicting
+dependencies via derived singletons and implication-graph reachability,
+and feedback that contradicts declared dependencies — as stable-coded
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.constraints import mask_indices
+from ..core.correspondence import CandidateSet, Correspondence
+from ..core.feedback import Feedback
+from ..core.graphs import InteractionGraph, complete_graph
+from ..core.network import MatchingNetwork
+from ..core.schema import Schema
+from .diagnostics import Diagnostic, LintReport
+from .implication import ImplicationGraph, false_literal, true_literal
+from .schema import ConstraintSet, DependencyConstraint
+
+
+class NetworkLinter:
+    """One lint run over a network (plus optional feedback/declarations).
+
+    ``constraint_set`` adds declaration-level findings (unknown
+    references, degenerate declarations, empty scopes) by re-running the
+    declaration compile against the network's candidate universe; the
+    verdicts themselves always come from the network's *compiled*
+    constraints.
+    """
+
+    def __init__(
+        self,
+        network: MatchingNetwork,
+        feedback: Optional[Feedback] = None,
+        constraint_set: Optional[ConstraintSet] = None,
+    ):
+        self.network = network
+        self.feedback = feedback
+        self.constraint_set = constraint_set
+
+    def run(self) -> LintReport:
+        engine = self.network.engine
+        diagnostics: list[Diagnostic] = []
+        approved_mask = disapproved_mask = 0
+        if self.feedback is not None:
+            approved_mask = engine.mask_of(self.feedback.approved)
+            disapproved_mask = engine.mask_of(self.feedback.disapproved)
+
+        if self.constraint_set is not None:
+            compiled = self.constraint_set.compile(
+                self.network.correspondences, self.network.graph
+            )
+            # RC004 re-surfaces below from the compiled dependency
+            # constraints themselves; merging it here would double-report.
+            diagnostics.extend(
+                d for d in compiled.diagnostics if d.code != "RC004"
+            )
+
+        diagnostics.extend(self._duplicate_and_subsumed(engine))
+
+        dependencies = [
+            constraint
+            for constraint in self.network.constraints
+            if isinstance(constraint, DependencyConstraint)
+        ]
+        dependency_pairs = [
+            (engine.index_of[d.antecedent], engine.index_of[d.consequent])
+            for d in dependencies
+            if d.antecedent in engine.index_of
+            and d.consequent in engine.index_of
+        ]
+        graph = ImplicationGraph.from_engine(engine, dependency_pairs)
+        names = [str(corr) for corr in engine.correspondences]
+        diagnostics.extend(
+            self._conflicting_dependencies(engine, dependencies, graph, names)
+        )
+
+        if not engine.mask_is_consistent(approved_mask):
+            diagnostics.extend(
+                self._unsatisfiable(engine, approved_mask)
+            )
+            return LintReport(
+                diagnostics=tuple(diagnostics),
+                dead=frozenset(),
+                forced=frozenset(),
+                satisfiable=False,
+                candidates=engine.n,
+                violations=len(engine.violations),
+            )
+
+        dead_mask = self._dead_mask(engine, approved_mask, disapproved_mask)
+        forced_mask = self._forced_mask(
+            engine, approved_mask, disapproved_mask, dead_mask
+        )
+        diagnostics.extend(
+            self._dead_diagnostics(
+                engine, dead_mask, approved_mask, disapproved_mask, graph, names
+            )
+        )
+        diagnostics.extend(
+            self._forced_diagnostics(engine, forced_mask, approved_mask)
+        )
+        diagnostics.extend(
+            self._dependency_feedback_contradictions(
+                engine, dependencies, forced_mask, dead_mask
+            )
+        )
+        return LintReport(
+            diagnostics=tuple(diagnostics),
+            dead=engine.corrs_of(dead_mask),
+            forced=engine.corrs_of(forced_mask),
+            satisfiable=True,
+            candidates=engine.n,
+            violations=len(engine.violations),
+        )
+
+    # ------------------------------------------------------------------
+    # Exact verdicts
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dead_mask(engine, approved_mask: int, disapproved_mask: int) -> int:
+        """F⁻ plus every candidate whose addition to F⁺ trips a violation."""
+        dead = disapproved_mask
+        blocked = engine.blocked_candidates(approved_mask)
+        for index in blocked.nonzero()[0]:
+            dead |= engine.bits[index]
+        return dead
+
+    @staticmethod
+    def _forced_mask(
+        engine, approved_mask: int, disapproved_mask: int, dead_mask: int
+    ) -> int:
+        """F⁺ plus every live candidate none of whose violations can fire.
+
+        A violation v ∋ c is *realisable* when its remainder v∖{c} avoids
+        F⁻ and is jointly consistent with F⁺ — some instance then contains
+        the remainder and must exclude c.  If no violation is realisable,
+        maximality pulls c into every instance.
+        """
+        forced = approved_mask
+        for index in range(engine.n):
+            bit = engine.bits[index]
+            if bit & (approved_mask | dead_mask):
+                continue
+            realisable = False
+            for vmask in engine.violation_masks_involving(index):
+                others = vmask & ~bit
+                if others & disapproved_mask:
+                    continue
+                grown = approved_mask
+                feasible = True
+                remaining = others & ~grown
+                while remaining:
+                    member = remaining & -remaining
+                    remaining ^= member
+                    if not engine.mask_can_add(grown, member.bit_length() - 1):
+                        feasible = False
+                        break
+                    grown |= member
+                if feasible:
+                    realisable = True
+                    break
+            if not realisable:
+                forced |= bit
+        return forced
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def _duplicate_and_subsumed(self, engine) -> list[Diagnostic]:
+        """RC005 (duplicate registrations) and RC006 (subsumed constraints)."""
+        out: list[Diagnostic] = []
+        overlap: dict[tuple[int, ...], int] = {}
+        for sources in engine.violation_sources:
+            if len(sources) > 1:
+                key = tuple(sorted(set(sources)))
+                overlap[key] = overlap.get(key, 0) + 1
+        for contributors, count in sorted(overlap.items()):
+            involved = tuple(engine.constraints[i] for i in contributors)
+            names = ", ".join(dict.fromkeys(c.name for c in involved))
+            out.append(
+                Diagnostic.of(
+                    "RC005",
+                    f"{count} identical violation(s) registered more than "
+                    f"once by: {names}; the duplicates add nothing",
+                    constraints=involved,
+                )
+            )
+
+        vmasks = engine.violation_masks
+        by_candidate: list[list[int]] = [[] for _ in range(engine.n)]
+        for position, vmask in enumerate(vmasks):
+            for index in mask_indices(vmask):
+                by_candidate[index].append(position)
+        subsumed: set[int] = set()
+        for position, vmask in enumerate(vmasks):
+            for index in mask_indices(vmask):
+                done = False
+                for other in by_candidate[index]:
+                    other_mask = vmasks[other]
+                    if other_mask != vmask and other_mask & vmask == other_mask:
+                        subsumed.add(position)
+                        done = True
+                        break
+                if done:
+                    break
+        if subsumed:
+            fully_subsumed: dict[int, int] = {}
+            for constraint_index in range(len(engine.constraints)):
+                owned = [
+                    position
+                    for position, sources in enumerate(engine.violation_sources)
+                    if constraint_index in sources
+                ]
+                if owned and all(position in subsumed for position in owned):
+                    fully_subsumed[constraint_index] = len(owned)
+            for constraint_index, count in fully_subsumed.items():
+                constraint = engine.constraints[constraint_index]
+                out.append(
+                    Diagnostic.of(
+                        "RC006",
+                        f"constraint {constraint.name!r} is subsumed: each of "
+                        f"its {count} violation(s) contains a strictly "
+                        "smaller violation of another constraint, so it "
+                        "never changes a verdict",
+                        constraints=(constraint,),
+                    )
+                )
+        return out
+
+    def _conflicting_dependencies(
+        self,
+        engine,
+        dependencies: Sequence[DependencyConstraint],
+        graph: ImplicationGraph,
+        names: Sequence[str],
+    ) -> list[Diagnostic]:
+        """RC004: accepting the antecedent transitively forbids it."""
+        out: list[Diagnostic] = []
+        for dependency in dependencies:
+            antecedent_index = engine.index_of.get(dependency.antecedent)
+            if antecedent_index is None:
+                continue
+            singleton = frozenset((dependency.antecedent,))
+            explanation = None
+            if singleton in dependency.derived:
+                explanation = (
+                    "its derived violations forbid the antecedent outright"
+                )
+            else:
+                chain = graph.implication_chain(
+                    true_literal(antecedent_index),
+                    false_literal(antecedent_index),
+                )
+                if chain is not None:
+                    explanation = (
+                        "implication chain "
+                        + graph.describe_chain(chain, names)
+                    )
+            if explanation is not None:
+                out.append(
+                    Diagnostic.of(
+                        "RC004",
+                        f"dependency {dependency.name!r} conflicts with the "
+                        "network's other constraints: accepting "
+                        f"{names[antecedent_index]} both requires and "
+                        f"forbids its consequent ({explanation}); the "
+                        "antecedent is statically dead",
+                        constraints=(dependency,),
+                        correspondences=(dependency.antecedent,),
+                    )
+                )
+        return out
+
+    def _unsatisfiable(self, engine, approved_mask: int) -> list[Diagnostic]:
+        """RC001 (+RC007 per approved culprit): F⁺ violates the network."""
+        out: list[Diagnostic] = []
+        violating = engine.mask_violations_within(approved_mask)
+        witnesses = [engine.violations[i] for i in violating[:3]]
+        rendered = "; ".join(
+            "{" + ", ".join(sorted(str(c) for c in v.correspondences)) + "}"
+            + f" ({v.constraint})"
+            for v in witnesses
+        )
+        out.append(
+            Diagnostic.of(
+                "RC001",
+                "the network is unsatisfiable: the approved feedback "
+                f"contains {len(violating)} compiled violation(s), e.g. "
+                f"{rendered}",
+                correspondences=tuple(
+                    corr for v in witnesses for corr in sorted(
+                        v.correspondences, key=str
+                    )
+                ),
+            )
+        )
+        for violation_index in violating:
+            violation = engine.violations[violation_index]
+            for corr in sorted(violation.correspondences, key=str):
+                out.append(
+                    Diagnostic.of(
+                        "RC007",
+                        f"approved correspondence {corr} participates in the "
+                        f"fully-approved violation of {violation.constraint!r}",
+                        correspondences=(corr,),
+                    )
+                )
+        return out
+
+    def _dead_diagnostics(
+        self,
+        engine,
+        dead_mask: int,
+        approved_mask: int,
+        disapproved_mask: int,
+        graph: ImplicationGraph,
+        names: Sequence[str],
+    ) -> list[Diagnostic]:
+        """RC002 for candidates dead *beyond* the explicit F⁻ members."""
+        out: list[Diagnostic] = []
+        undeclared = dead_mask & ~disapproved_mask
+        for index in mask_indices(undeclared):
+            bit = engine.bits[index]
+            witness = None
+            for vmask in engine.violation_masks_involving(index):
+                if not (vmask & ~bit & ~approved_mask):
+                    witness = vmask
+                    break
+            detail = ""
+            if witness is not None:
+                members = ", ".join(
+                    sorted(names[i] for i in mask_indices(witness))
+                )
+                if witness == bit:
+                    detail = f" (it alone forms the violation {{{members}}})"
+                else:
+                    detail = (
+                        f" (the rest of the violation {{{members}}} is "
+                        "already approved)"
+                    )
+            out.append(
+                Diagnostic.of(
+                    "RC002",
+                    f"candidate {names[index]} is dead: no violation-free "
+                    f"instance can contain it{detail}",
+                    correspondences=(engine.correspondences[index],),
+                )
+            )
+        return out
+
+    def _forced_diagnostics(
+        self, engine, forced_mask: int, approved_mask: int
+    ) -> list[Diagnostic]:
+        """RC003 for candidates forced *beyond* the explicit F⁺ members."""
+        out: list[Diagnostic] = []
+        undeclared = forced_mask & ~approved_mask
+        for index in mask_indices(undeclared):
+            out.append(
+                Diagnostic.of(
+                    "RC003",
+                    f"candidate {engine.correspondences[index]} is forced: "
+                    "every violation it participates in is unrealisable, so "
+                    "maximality includes it in every instance",
+                    correspondences=(engine.correspondences[index],),
+                )
+            )
+        return out
+
+    def _dependency_feedback_contradictions(
+        self,
+        engine,
+        dependencies: Sequence[DependencyConstraint],
+        forced_mask: int,
+        dead_mask: int,
+    ) -> list[Diagnostic]:
+        """RC007: a dependency whose antecedent is certain but whose
+        consequent can never appear.
+
+        The compiled (anti-monotone) form cannot express "F⁻ ∋ b forbids
+        a", so this semantic contradiction surfaces as a diagnostic rather
+        than a violation.
+        """
+        out: list[Diagnostic] = []
+        for dependency in dependencies:
+            antecedent = engine.index_of.get(dependency.antecedent)
+            consequent = engine.index_of.get(dependency.consequent)
+            if antecedent is None or consequent is None:
+                continue
+            if (forced_mask >> antecedent) & 1 and (dead_mask >> consequent) & 1:
+                out.append(
+                    Diagnostic.of(
+                        "RC007",
+                        f"dependency {dependency.name!r} is contradicted: "
+                        f"its antecedent {dependency.antecedent} appears in "
+                        "every instance while its consequent "
+                        f"{dependency.consequent} appears in none",
+                        constraints=(dependency,),
+                        correspondences=(
+                            dependency.antecedent,
+                            dependency.consequent,
+                        ),
+                    )
+                )
+        return out
+
+
+def lint(
+    network: MatchingNetwork,
+    feedback: Optional[Feedback] = None,
+    constraint_set: Optional[ConstraintSet] = None,
+) -> LintReport:
+    """Statically analyse a constraint network (see :class:`NetworkLinter`)."""
+    return NetworkLinter(network, feedback, constraint_set).run()
+
+
+def prune_dead_candidates(
+    network: MatchingNetwork,
+    feedback: Optional[Feedback] = None,
+) -> tuple[MatchingNetwork, LintReport]:
+    """Drop statically-dead candidates before sampling.
+
+    Dead candidates appear in no matching instance, so removing them
+    preserves the instance space Ω exactly — sampled frequencies and
+    uncertainty are untouched while every kernel iterates a smaller index
+    space.  Explicit F⁻ members are kept (feedback keeps referring to
+    them); only constraint-dead candidates are dropped.  When nothing is
+    dead the original network object is returned unchanged, so downstream
+    traces are bit-identical.  An unsatisfiable network raises
+    :class:`~repro.analysis.diagnostics.LintError`.
+    """
+    report = lint(network, feedback)
+    if not report.satisfiable:
+        report.raise_on_error()
+    disapproved = (
+        feedback.disapproved if feedback is not None else frozenset()
+    )
+    droppable = report.dead - disapproved
+    if not droppable:
+        return network, report
+    keep = [
+        corr for corr in network.correspondences if corr not in droppable
+    ]
+    return network.restricted_to(keep), report
+
+
+def declare_network(
+    schemas: Sequence[Schema],
+    candidates: CandidateSet | Iterable[Correspondence],
+    constraint_set: ConstraintSet,
+    graph: Optional[InteractionGraph] = None,
+    validate: bool = True,
+    strict: bool = True,
+) -> MatchingNetwork:
+    """Build a :class:`MatchingNetwork` from declared constraints.
+
+    Declarations are compiled against the candidate universe (``strict``
+    raises on declaration errors such as unknown references); with
+    ``validate`` the finished network is linted and error findings raise
+    :class:`~repro.analysis.diagnostics.LintError` before any sampling
+    can run against a broken network.
+    """
+    if not isinstance(candidates, CandidateSet):
+        candidates = CandidateSet(candidates)
+    graph = graph or complete_graph([schema.name for schema in schemas])
+    compiled = constraint_set.compile(
+        candidates.correspondences, graph, strict=strict
+    )
+    network = MatchingNetwork(
+        schemas,
+        candidates,
+        graph=graph,
+        constraints=compiled.constraints,
+        validate=False,  # compile already vetted the references
+    )
+    if validate:
+        report = lint(network, constraint_set=constraint_set)
+        report.raise_on_error()
+    return network

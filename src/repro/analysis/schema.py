@@ -1,0 +1,579 @@
+"""The declarative, typed constraint schema.
+
+Integrity rules arrive as *data* (external corpora, tenant configuration),
+not as Python subclasses.  This module gives them a typed surface:
+
+* :class:`CorrespondenceRef` — a correspondence named by its qualified
+  endpoint attributes (``"SA.productionDate" ~ "SB.date"``), resolvable
+  against any candidate universe;
+* declarations — :class:`OneToOneDeclaration` / :class:`CycleDeclaration`
+  (structural, optionally scoped), :class:`MutexDeclaration` (named
+  exclusion groups) and :class:`DependencyDeclaration` ("if candidate *a*
+  is accepted then *b* must be");
+* :class:`ConstraintSet` — an ordered collection with per-schema-pair /
+  per-attribute / network-wide lookup, whose :meth:`ConstraintSet.compile`
+  lowers every declaration to ordinary :class:`~repro.core.constraints.
+  Constraint` objects.  The existing :class:`ConstraintEngine` masks and
+  CSR wave tables consume those unchanged — the kernels never learn that
+  the constraints were declared rather than hard-coded.
+
+Dependency lowering
+-------------------
+The engine's compiled semantics is anti-monotone: a selection is
+consistent iff it contains no minimal violating subset.  A dependency
+a→b is *not* anti-monotone, but over **maximal** instances it reduces to
+one: if a is accepted and b is absent, maximality means some violation
+v ∋ b has v∖{b} selected — so a co-occurring with v∖{b} is itself a
+forbidden set.  :func:`compile_dependencies` therefore rewrites every
+violation through every dependency's consequent, iterating to a fixpoint
+(derived sets can feed other dependencies), skipping any derived set that
+a smaller known violation subsumes.  A derived *singleton* {a} proves the
+antecedent statically dead — the declaration conflicts with the rest of
+the network (diagnostic RC004).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..core.constraints import (
+    Constraint,
+    CycleConstraint,
+    MutualExclusionConstraint,
+    OneToOneConstraint,
+    Violation,
+)
+from ..core.correspondence import Correspondence
+from ..core.graphs import InteractionGraph
+from .diagnostics import Diagnostic, LintError, LintReport, Severity
+from .scopes import ConstraintScope, ScopedConstraint
+
+
+class CorrespondenceRef:
+    """A candidate correspondence named by qualified attribute names.
+
+    Order-insensitive, like :class:`Correspondence` itself: the two
+    endpoint names are stored sorted.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: str, right: str):
+        for name in (left, right):
+            if "." not in name:
+                raise ValueError(
+                    f"endpoint {name!r} is not qualified ('Schema.attribute')"
+                )
+        if left == right:
+            raise ValueError("a correspondence connects two distinct attributes")
+        self.left, self.right = sorted((left, right))
+
+    @classmethod
+    def of(cls, corr: Correspondence) -> "CorrespondenceRef":
+        left, right = (a.qualified_name for a in corr.attributes)
+        return cls(left, right)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.left, self.right)
+
+    def resolve(
+        self, index: Mapping[tuple[str, str], Correspondence]
+    ) -> Optional[Correspondence]:
+        return index.get(self.key)
+
+    def describe(self) -> str:
+        return f"{self.left}~{self.right}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CorrespondenceRef) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorrespondenceRef({self.left!r}, {self.right!r})"
+
+
+RefLike = Union[CorrespondenceRef, Correspondence, tuple]
+
+
+def as_ref(value: RefLike) -> CorrespondenceRef:
+    """Coerce a correspondence / name pair / ref into a ref."""
+    if isinstance(value, CorrespondenceRef):
+        return value
+    if isinstance(value, Correspondence):
+        return CorrespondenceRef.of(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        return CorrespondenceRef(*value)
+    raise TypeError(f"cannot interpret {value!r} as a correspondence reference")
+
+
+def ref_index(
+    correspondences: Iterable[Correspondence],
+) -> dict[tuple[str, str], Correspondence]:
+    """Lookup table from qualified-name pairs to candidates."""
+    return {CorrespondenceRef.of(corr).key: corr for corr in correspondences}
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+class Declaration(abc.ABC):
+    """One typed, declarative integrity rule."""
+
+    kind: ClassVar[str] = "declaration"
+    label: str
+    scope: ConstraintScope
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable one-liner for diagnostics."""
+
+    def references(self) -> tuple[CorrespondenceRef, ...]:
+        """The correspondences the declaration names explicitly."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class OneToOneDeclaration(Declaration):
+    """Every attribute matches at most once, within the scope."""
+
+    kind = "one-to-one"
+
+    def __init__(
+        self, scope: Optional[ConstraintScope] = None, label: str = ""
+    ):
+        self.scope = scope or ConstraintScope.network()
+        self.label = label or f"one-to-one[{self.scope.describe()}]"
+
+    def describe(self) -> str:
+        return self.label
+
+
+class CycleDeclaration(Declaration):
+    """Correspondences along schema cycles must compose, within the scope."""
+
+    kind = "cycle"
+
+    def __init__(
+        self,
+        max_cycle_length: int = 3,
+        scope: Optional[ConstraintScope] = None,
+        label: str = "",
+    ):
+        self.max_cycle_length = max_cycle_length
+        self.scope = scope or ConstraintScope.network()
+        self.label = label or f"cycle[{self.scope.describe()}]"
+
+    def describe(self) -> str:
+        return self.label
+
+
+class MutexDeclaration(Declaration):
+    """Named groups of mutually exclusive correspondences."""
+
+    kind = "mutual-exclusion"
+
+    def __init__(self, groups: Sequence[Iterable[RefLike]], label: str = ""):
+        compiled: list[tuple[CorrespondenceRef, ...]] = []
+        for group in groups:
+            members = tuple(as_ref(member) for member in group)
+            if not members:
+                raise ValueError("an exclusion group cannot be empty")
+            compiled.append(members)
+        if not compiled:
+            raise ValueError("a mutex declaration needs at least one group")
+        self.groups: tuple[tuple[CorrespondenceRef, ...], ...] = tuple(compiled)
+        self.label = label or f"mutex[{len(self.groups)} group(s)]"
+
+    @property
+    def scope(self) -> ConstraintScope:  # type: ignore[override]
+        names = {
+            endpoint
+            for group in self.groups
+            for ref in group
+            for endpoint in ref.key
+        }
+        return ConstraintScope.attributes(*names)
+
+    def references(self) -> tuple[CorrespondenceRef, ...]:
+        seen: dict[CorrespondenceRef, None] = {}
+        for group in self.groups:
+            for ref in group:
+                seen.setdefault(ref)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        return self.label
+
+
+class DependencyDeclaration(Declaration):
+    """"If *antecedent* is accepted then *consequent* must be" (a → b)."""
+
+    kind = "dependency"
+
+    def __init__(
+        self, antecedent: RefLike, consequent: RefLike, label: str = ""
+    ):
+        self.antecedent = as_ref(antecedent)
+        self.consequent = as_ref(consequent)
+        self.label = label or (
+            f"{self.antecedent.describe()} => {self.consequent.describe()}"
+        )
+
+    @property
+    def scope(self) -> ConstraintScope:  # type: ignore[override]
+        names = set(self.antecedent.key) | set(self.consequent.key)
+        return ConstraintScope.attributes(*names)
+
+    def references(self) -> tuple[CorrespondenceRef, ...]:
+        if self.antecedent == self.consequent:
+            return (self.antecedent,)
+        return (self.antecedent, self.consequent)
+
+    def describe(self) -> str:
+        return self.label
+
+
+# ---------------------------------------------------------------------------
+# The engine-level dependency constraint
+# ---------------------------------------------------------------------------
+class DependencyConstraint(Constraint):
+    """Compiled form of a dependency a → b: the derived forbidden sets.
+
+    Each stored set is {a} ∪ (v∖{b}) for some (possibly itself derived)
+    violation v ∋ b — exactly the selections in which a is accepted while
+    b is permanently blocked.  Replayed like a mutual exclusion, so the
+    engine's mask compilation is oblivious to the dependency semantics.
+    """
+
+    name = "dependency"
+
+    def __init__(
+        self,
+        antecedent: Correspondence,
+        consequent: Correspondence,
+        violations: Iterable[frozenset[Correspondence]] = (),
+        label: str = "",
+    ):
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self.derived: tuple[frozenset[Correspondence], ...] = tuple(violations)
+        if label:
+            self.name = label
+
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        available = set(correspondences)
+        for members in self.derived:
+            if members <= available:
+                yield Violation(self.name, members)
+
+    def referenced_correspondences(self) -> frozenset[Correspondence]:
+        referenced = {self.antecedent, self.consequent}
+        for members in self.derived:
+            referenced |= members
+        return frozenset(referenced)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DependencyConstraint({self.antecedent!r} => {self.consequent!r}, "
+            f"{len(self.derived)} derived violations)"
+        )
+
+
+def compile_dependencies(
+    dependencies: Sequence[tuple[Correspondence, Correspondence]],
+    base_violations: Iterable[frozenset[Correspondence]],
+    max_derived: int = 100_000,
+) -> tuple[list[set[frozenset[Correspondence]]], set[int]]:
+    """Derive every dependency's forbidden sets against the base violations.
+
+    Returns one derived-set family per dependency (aligned with the input)
+    plus the indices of dependencies proven *conflicting*: their antecedent
+    alone is a forbidden set, i.e. accepting it simultaneously requires and
+    forbids the consequent (diagnostic RC004).
+
+    The rewrite iterates to a fixpoint because a derived set can contain
+    another dependency's consequent.  Derived sets subsumed by a smaller
+    known violation are skipped — any selection containing the superset
+    already contains the subset, so dropping it changes no verdict — which
+    also bounds the closure; ``max_derived`` is a safety valve against
+    pathological declaration families.
+    """
+    all_violations: set[frozenset[Correspondence]] = set(base_violations)
+    budget = len(all_violations) + max_derived
+    derived: list[set[frozenset[Correspondence]]] = [set() for _ in dependencies]
+    conflicting: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for position, (antecedent, consequent) in enumerate(dependencies):
+            for violation in list(all_violations):
+                if consequent not in violation:
+                    continue
+                rewritten = (violation - {consequent}) | {antecedent}
+                if len(rewritten) == 1:
+                    # {antecedent} forbidden outright — even when an equal
+                    # or smaller set is already known, the *dependency* is
+                    # what proves this antecedent dead.
+                    conflicting.add(position)
+                if any(known <= rewritten for known in all_violations):
+                    continue
+                all_violations.add(rewritten)
+                derived[position].add(rewritten)
+                changed = True
+                if len(all_violations) > budget:
+                    raise RuntimeError(
+                        "dependency compilation exceeded the derived-"
+                        f"violation budget ({max_derived}); the declaration "
+                        "family is pathologically entangled"
+                    )
+    return derived, conflicting
+
+
+# ---------------------------------------------------------------------------
+# The declaration collection
+# ---------------------------------------------------------------------------
+class CompiledConstraints:
+    """Result of :meth:`ConstraintSet.compile`: engine-ready constraints
+    plus the declaration-time diagnostics."""
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        diagnostics: Sequence[Diagnostic],
+        candidates: int,
+    ):
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+        self._candidates = candidates
+
+    @property
+    def dependencies(self) -> tuple[DependencyConstraint, ...]:
+        return tuple(
+            c for c in self.constraints if isinstance(c, DependencyConstraint)
+        )
+
+    def report(self) -> LintReport:
+        """The declaration diagnostics as a (verdict-less) lint report."""
+        return LintReport(
+            diagnostics=self.diagnostics,
+            dead=frozenset(),
+            forced=frozenset(),
+            satisfiable=True,
+            candidates=self._candidates,
+            violations=0,
+        )
+
+    def raise_on_error(self) -> "CompiledConstraints":
+        if any(d.severity >= Severity.ERROR for d in self.diagnostics):
+            raise LintError(self.report())
+        return self
+
+
+class ConstraintSet:
+    """An ordered, queryable collection of constraint declarations.
+
+    The lookup methods answer "which rules govern this schema pair /
+    attribute?" — network-wide declarations are included in every answer,
+    mirroring how economy-wide rules participate in sector lookups.
+    """
+
+    def __init__(self, declarations: Iterable[Declaration] = (), name: str = ""):
+        self._declarations: list[Declaration] = []
+        self.name = name or "constraint-set"
+        for declaration in declarations:
+            self.add(declaration)
+
+    def add(self, declaration: Declaration) -> "ConstraintSet":
+        if not isinstance(declaration, Declaration):
+            raise TypeError(f"not a declaration: {declaration!r}")
+        self._declarations.append(declaration)
+        return self
+
+    @property
+    def declarations(self) -> tuple[Declaration, ...]:
+        return tuple(self._declarations)
+
+    def __len__(self) -> int:
+        return len(self._declarations)
+
+    def __iter__(self) -> Iterator[Declaration]:
+        return iter(self._declarations)
+
+    # -- lookups ---------------------------------------------------------
+    def by_kind(self, kind: str) -> tuple[Declaration, ...]:
+        return tuple(d for d in self._declarations if d.kind == kind)
+
+    def network_wide(self) -> tuple[Declaration, ...]:
+        return tuple(
+            d for d in self._declarations if d.scope.kind == "network"
+        )
+
+    def for_schema_pair(self, left: str, right: str) -> tuple[Declaration, ...]:
+        """Declarations governing candidates between two schemas."""
+        return tuple(
+            d for d in self._declarations if d.scope.covers_pair(left, right)
+        )
+
+    def for_attribute(self, qualified_name: str) -> tuple[Declaration, ...]:
+        """Declarations governing candidates touching an attribute."""
+        return tuple(
+            d
+            for d in self._declarations
+            if d.scope.covers_attribute(qualified_name)
+        )
+
+    # -- compilation -----------------------------------------------------
+    def compile(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+        strict: bool = False,
+    ) -> CompiledConstraints:
+        """Lower every declaration to engine-ready constraints.
+
+        Emits declaration-time diagnostics (RC004 conflicting dependency,
+        RC008 unknown reference, RC009 degenerate declaration, RC010 empty
+        scope); with ``strict`` any error-severity finding raises
+        :class:`LintError` immediately.
+        """
+        index = ref_index(correspondences)
+        diagnostics: list[Diagnostic] = []
+        structural: list[Constraint] = []
+        dependency_requests: list[
+            tuple[DependencyDeclaration, Correspondence, Correspondence]
+        ] = []
+
+        for declaration in self._declarations:
+            missing = [
+                ref
+                for ref in declaration.references()
+                if ref.resolve(index) is None
+            ]
+            if missing:
+                names = ", ".join(ref.describe() for ref in missing)
+                diagnostics.append(
+                    Diagnostic.of(
+                        "RC008",
+                        f"declaration {declaration.describe()!r} references "
+                        f"unknown correspondence(s): {names}",
+                    )
+                )
+            if isinstance(declaration, (OneToOneDeclaration, CycleDeclaration)):
+                base: Constraint = (
+                    OneToOneConstraint()
+                    if isinstance(declaration, OneToOneDeclaration)
+                    else CycleConstraint(declaration.max_cycle_length)
+                )
+                scope = declaration.scope
+                if scope.kind == "network":
+                    structural.append(base)
+                    continue
+                if not scope.select(correspondences):
+                    diagnostics.append(
+                        Diagnostic.of(
+                            "RC010",
+                            f"declaration {declaration.describe()!r} covers "
+                            "no candidate correspondence",
+                        )
+                    )
+                structural.append(ScopedConstraint(base, scope))
+            elif isinstance(declaration, MutexDeclaration):
+                groups: list[frozenset[Correspondence]] = []
+                for group in declaration.groups:
+                    resolved = [ref.resolve(index) for ref in group]
+                    if any(corr is None for corr in resolved):
+                        # An unenforceable group is dropped wholesale (the
+                        # RC008 above covers it); compiling the resolvable
+                        # remainder would enforce a *stronger* exclusion
+                        # than declared.
+                        continue
+                    members = frozenset(resolved)
+                    if len(members) < 2:
+                        diagnostics.append(
+                            Diagnostic.of(
+                                "RC009",
+                                f"exclusion group of {declaration.describe()!r} "
+                                "collapses to fewer than two distinct "
+                                "candidates and is dropped",
+                                correspondences=tuple(members),
+                            )
+                        )
+                        continue
+                    groups.append(members)
+                if groups:
+                    constraint = MutualExclusionConstraint(
+                        sorted(groups, key=sorted)
+                    )
+                    constraint.name = declaration.label
+                    structural.append(constraint)
+            elif isinstance(declaration, DependencyDeclaration):
+                if declaration.antecedent == declaration.consequent:
+                    diagnostics.append(
+                        Diagnostic.of(
+                            "RC009",
+                            f"dependency {declaration.describe()!r} depends "
+                            "on itself and is vacuous",
+                        )
+                    )
+                    continue
+                antecedent = declaration.antecedent.resolve(index)
+                consequent = declaration.consequent.resolve(index)
+                if antecedent is None or consequent is None:
+                    continue  # RC008 already reported above
+                dependency_requests.append(
+                    (declaration, antecedent, consequent)
+                )
+            else:  # pragma: no cover - future declaration kinds
+                raise TypeError(f"cannot compile declaration {declaration!r}")
+
+        base_violations: set[frozenset[Correspondence]] = set()
+        for constraint in structural:
+            for violation in constraint.minimal_violations(
+                tuple(correspondences), graph
+            ):
+                base_violations.add(violation.correspondences)
+
+        derived, conflicting = compile_dependencies(
+            [(a, b) for _, a, b in dependency_requests], base_violations
+        )
+        compiled: list[Constraint] = list(structural)
+        for position, (declaration, antecedent, consequent) in enumerate(
+            dependency_requests
+        ):
+            constraint = DependencyConstraint(
+                antecedent,
+                consequent,
+                sorted(derived[position], key=sorted),
+                label=declaration.label,
+            )
+            compiled.append(constraint)
+            if position in conflicting:
+                diagnostics.append(
+                    Diagnostic.of(
+                        "RC004",
+                        f"dependency {declaration.describe()!r} conflicts "
+                        "with the network's other constraints: accepting "
+                        f"{declaration.antecedent.describe()} both requires "
+                        f"and forbids {declaration.consequent.describe()}, "
+                        "so the antecedent is statically dead",
+                        constraints=(constraint,),
+                        correspondences=(antecedent,),
+                    )
+                )
+
+        result = CompiledConstraints(
+            compiled, diagnostics, candidates=len(correspondences)
+        )
+        if strict:
+            result.raise_on_error()
+        return result

@@ -1,0 +1,148 @@
+"""Constraint scopes: where in the network a declaration applies.
+
+Integrity rules rarely hold network-wide — a one-to-one discipline may be
+sacred between two curated schemas yet meaningless against a scraped one.
+A :class:`ConstraintScope` names the region a declaration governs
+(network-wide, a set of schema pairs, or a set of attributes), and
+:class:`ScopedConstraint` adapts any structural :class:`Constraint` to
+enumerate violations only among the candidates its scope covers.
+
+Scoping composes with the compiled engine for free: the wrapped constraint
+still emits ordinary minimal violations, so the bitmask index space and the
+CSR wave tables are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.constraints import Constraint, Violation
+from ..core.correspondence import Correspondence
+from ..core.graphs import InteractionGraph
+
+#: the recognised scope kinds
+SCOPE_KINDS = ("network", "schema-pair", "attribute-set")
+
+
+@dataclass(frozen=True)
+class ConstraintScope:
+    """The region of a network one declaration governs.
+
+    ``kind`` is one of :data:`SCOPE_KINDS`; ``values`` holds the scope's
+    identity — sorted schema-name pairs for ``schema-pair``, qualified
+    attribute names (``"Schema.attribute"``) for ``attribute-set``, empty
+    for ``network``.
+    """
+
+    kind: str = "network"
+    values: frozenset = frozenset()
+
+    def __post_init__(self):
+        if self.kind not in SCOPE_KINDS:
+            raise ValueError(
+                f"unknown scope kind {self.kind!r}; expected one of {SCOPE_KINDS}"
+            )
+        if self.kind == "network" and self.values:
+            raise ValueError("a network-wide scope carries no values")
+        if self.kind != "network" and not self.values:
+            raise ValueError(f"a {self.kind} scope needs at least one value")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def network(cls) -> "ConstraintScope":
+        """The whole network (the default scope)."""
+        return cls()
+
+    @classmethod
+    def schema_pairs(cls, *pairs: tuple[str, str]) -> "ConstraintScope":
+        """Only candidates between the given schema pairs (unordered)."""
+        return cls(
+            kind="schema-pair",
+            values=frozenset(tuple(sorted(pair)) for pair in pairs),
+        )
+
+    @classmethod
+    def attributes(cls, *qualified_names: str) -> "ConstraintScope":
+        """Only candidates touching one of the given qualified attributes."""
+        return cls(kind="attribute-set", values=frozenset(qualified_names))
+
+    # -- predicates ------------------------------------------------------
+    def covers(self, corr: Correspondence) -> bool:
+        """Whether a candidate correspondence falls inside this scope."""
+        if self.kind == "network":
+            return True
+        if self.kind == "schema-pair":
+            return corr.schema_pair in self.values
+        return any(
+            attribute.qualified_name in self.values
+            for attribute in corr.attributes
+        )
+
+    def covers_pair(self, left: str, right: str) -> bool:
+        """Whether the scope concerns the (unordered) schema pair."""
+        if self.kind == "network":
+            return True
+        if self.kind == "schema-pair":
+            return tuple(sorted((left, right))) in self.values
+        return any(
+            name.split(".", 1)[0] in (left, right) for name in self.values
+        )
+
+    def covers_attribute(self, qualified_name: str) -> bool:
+        """Whether the scope concerns the qualified attribute."""
+        if self.kind == "network":
+            return True
+        if self.kind == "attribute-set":
+            return qualified_name in self.values
+        schema = qualified_name.split(".", 1)[0]
+        return any(schema in pair for pair in self.values)
+
+    def select(
+        self, correspondences: Iterable[Correspondence]
+    ) -> tuple[Correspondence, ...]:
+        """The covered subset of ``correspondences`` (order preserved)."""
+        if self.kind == "network":
+            return tuple(correspondences)
+        return tuple(corr for corr in correspondences if self.covers(corr))
+
+    def describe(self) -> str:
+        if self.kind == "network":
+            return "network-wide"
+        if self.kind == "schema-pair":
+            pairs = ", ".join("~".join(pair) for pair in sorted(self.values))
+            return f"schema pairs {{{pairs}}}"
+        return f"attributes {{{', '.join(sorted(self.values))}}}"
+
+
+class ScopedConstraint(Constraint):
+    """A structural constraint restricted to the candidates of a scope.
+
+    Violations are enumerated over the covered subset only, so a scoped
+    one-to-one behaves exactly like :class:`OneToOneConstraint` compiled
+    against the covered candidates — the parity the analysis tests pin.
+    """
+
+    def __init__(self, base: Constraint, scope: ConstraintScope):
+        if isinstance(base, ScopedConstraint):
+            raise TypeError("scopes do not nest; scope the base constraint")
+        self.base = base
+        self.scope = scope
+        self.name = f"{base.name}[{scope.describe()}]"
+
+    def minimal_violations(
+        self,
+        correspondences: Sequence[Correspondence],
+        graph: InteractionGraph,
+    ) -> Iterator[Violation]:
+        covered = self.scope.select(correspondences)
+        if not covered:
+            return
+        for violation in self.base.minimal_violations(covered, graph):
+            yield Violation(self.name, violation.correspondences)
+
+    def referenced_correspondences(self) -> Optional[frozenset[Correspondence]]:
+        return self.base.referenced_correspondences()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScopedConstraint({self.base!r}, {self.scope.describe()})"

@@ -7,6 +7,7 @@ uncertainty reduction, and instantiation.
 
 from .constraints import (
     Constraint,
+    ConstraintCompilationWarning,
     MutualExclusionConstraint,
     ConstraintEngine,
     CycleConstraint,
@@ -87,6 +88,7 @@ __all__ = [
     "CandidateSet",
     "ConfidenceSelection",
     "Constraint",
+    "ConstraintCompilationWarning",
     "ConstraintEngine",
     "Correspondence",
     "CycleConstraint",

@@ -43,6 +43,7 @@ and delegates to the mask primitives internally.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
@@ -54,6 +55,15 @@ from .graphs import InteractionGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import MatchingNetwork
+
+
+class ConstraintCompilationWarning(UserWarning):
+    """A compile-time validation finding of :class:`ConstraintEngine`.
+
+    Raised as a warning (never an exception) so legacy call sites keep
+    working; the static analyser (:mod:`repro.analysis`) surfaces the same
+    conditions as structured diagnostics for callers that want to fail fast.
+    """
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,19 @@ class Constraint(abc.ABC):
             if violation.is_within(selected):
                 return False
         return True
+
+    def referenced_correspondences(self) -> Optional[frozenset[Correspondence]]:
+        """Candidates this constraint names explicitly, or ``None``.
+
+        Structural constraints (one-to-one, cycle) derive their violations
+        from whatever universe they are compiled against and return ``None``
+        — there is nothing to cross-check.  Declaration-style constraints
+        (mutual exclusion, dependencies) name concrete correspondences;
+        returning them lets the engine warn when a declaration references a
+        candidate outside the compiled universe, which previously made the
+        affected exclusions silently unenforceable.
+        """
+        return None
 
 
 class OneToOneConstraint(Constraint):
@@ -251,6 +274,9 @@ class MutualExclusionConstraint(Constraint):
             if members <= available:
                 yield Violation(self.name, members)
 
+    def referenced_correspondences(self) -> frozenset[Correspondence]:
+        return frozenset().union(*self.exclusions)
+
 
 #: Below this many size-≥3 violations per index, a plain loop over the
 #: violation masks beats the SWAR block-scan's fixed big-int overhead.
@@ -363,24 +389,87 @@ class ConstraintEngine:
         constraints: Sequence[Constraint],
         correspondences: Sequence[Correspondence],
         graph: InteractionGraph,
+        validate: bool = True,
     ):
         self.constraints = tuple(constraints)
         self.correspondences = tuple(correspondences)
-        seen: set[frozenset[Correspondence]] = set()
+        seen: dict[frozenset[Correspondence], int] = {}
         violations: list[Violation] = []
-        for constraint in self.constraints:
+        sources: list[list[int]] = []
+        for position, constraint in enumerate(self.constraints):
             for violation in constraint.minimal_violations(self.correspondences, graph):
-                if violation.correspondences not in seen:
-                    seen.add(violation.correspondences)
+                slot = seen.get(violation.correspondences)
+                if slot is None:
+                    seen[violation.correspondences] = len(violations)
                     violations.append(violation)
+                    sources.append([position])
+                else:
+                    # Duplicate registration: the same minimal violation
+                    # contributed a second time (by another constraint, or by
+                    # one declaring the same exclusion twice).  The engine
+                    # dedupes (so masks stay correct) but remembers every
+                    # contribution.
+                    sources[slot].append(position)
         self.violations: tuple[Violation, ...] = tuple(violations)
+        #: per-violation tuple of indices into ``self.constraints`` that
+        #: contributed it (len > 1 marks a duplicate registration)
+        self.violation_sources: tuple[tuple[int, ...], ...] = tuple(
+            tuple(contributors) for contributors in sources
+        )
         self._involving: dict[Correspondence, list[Violation]] = {
             corr: [] for corr in self.correspondences
         }
         for violation in self.violations:
             for corr in violation:
                 self._involving.setdefault(corr, []).append(violation)
+        if validate:
+            self._validate_compilation()
         self._compile_index_space()
+
+    def _validate_compilation(self) -> None:
+        """Warn about silently mis-compiled constraint registrations.
+
+        Two historical failure modes used to pass without complaint: the
+        same violation registered by more than one constraint (the compile
+        deduped it, hiding the redundant declaration), and declaration-style
+        constraints referencing candidates absent from the universe (their
+        exclusions were silently dropped by the availability filter and
+        never enforced).
+        """
+        duplicated = [
+            (self.violations[slot], contributors)
+            for slot, contributors in enumerate(self.violation_sources)
+            if len(contributors) > 1
+        ]
+        if duplicated:
+            violation, contributors = duplicated[0]
+            names = ", ".join(
+                self.constraints[i].name for i in contributors
+            )
+            warnings.warn(
+                ConstraintCompilationWarning(
+                    f"{len(duplicated)} violation(s) registered by more than "
+                    f"one constraint (e.g. {set(violation.correspondences)!r} "
+                    f"contributed by: {names}); duplicates are compiled once"
+                ),
+                stacklevel=3,
+            )
+        universe = frozenset(self.correspondences)
+        for constraint in self.constraints:
+            referenced = constraint.referenced_correspondences()
+            if referenced is None:
+                continue
+            missing = referenced - universe
+            if missing:
+                warnings.warn(
+                    ConstraintCompilationWarning(
+                        f"constraint {constraint.name!r} references "
+                        f"{len(missing)} correspondence(s) outside the "
+                        f"candidate universe (e.g. {next(iter(missing))!r}); "
+                        "the affected exclusions cannot be enforced"
+                    ),
+                    stacklevel=3,
+                )
 
     # ------------------------------------------------------------------
     # Index-space compilation
@@ -761,6 +850,24 @@ class ConstraintEngine:
                 if found:
                     active = found if active is None else active + found
         return active if active is not None else []
+
+    def violation_masks_involving(self, index: int) -> list[int]:
+        """Masks of every compiled violation that mentions candidate
+        ``index`` (pairs are reconstructed from the partner mask; size-≥3
+        and singleton violations come from the per-index large list).
+
+        The static analyser's forced-candidate rule iterates these per
+        conflicted candidate; kernels never call it.
+        """
+        bit = self.bits[index]
+        masks: list[int] = []
+        partners = self._pair_partners[index]
+        while partners:
+            b = partners & -partners
+            masks.append(bit | b)
+            partners ^= b
+        masks.extend(self._large_vmasks[index])
+        return masks
 
     def conflict_partner_union(self, index: int) -> int | None:
         """Union mask of every co-member of every violation involving

@@ -31,6 +31,11 @@ class MatchingNetwork:
         schemas (the paper's quality-experiment setting).
     constraints:
         Γ; defaults to the paper's one-to-one + cycle constraints.
+    validate:
+        When True (default), constraint compilation warns about duplicate
+        registrations and declarations referencing unknown candidates
+        (:class:`~repro.core.constraints.ConstraintCompilationWarning`).
+        Internal re-compilations over narrowed universes pass False.
     """
 
     def __init__(
@@ -39,6 +44,7 @@ class MatchingNetwork:
         candidates: CandidateSet | Iterable[Correspondence],
         graph: Optional[InteractionGraph] = None,
         constraints: Optional[Sequence[Constraint]] = None,
+        validate: bool = True,
     ):
         validate_disjoint(schemas)
         self.schemas: tuple[Schema, ...] = tuple(schemas)
@@ -54,7 +60,10 @@ class MatchingNetwork:
         )
         self._validate_candidates()
         self.engine = ConstraintEngine(
-            self.constraints, self.candidates.correspondences, self.graph
+            self.constraints,
+            self.candidates.correspondences,
+            self.graph,
+            validate=validate,
         )
 
     def _validate_candidates(self) -> None:
@@ -110,12 +119,19 @@ class MatchingNetwork:
         return len(self.engine.violations)
 
     def restricted_to(self, keep: Iterable[Correspondence]) -> "MatchingNetwork":
-        """A new network over the same schemas with a reduced candidate set."""
+        """A new network over the same schemas with a reduced candidate set.
+
+        Narrowing the universe is sanctioned (sub-network studies, dead-
+        candidate pruning), so the re-compilation skips reference
+        validation: declarations naming dropped candidates are expected
+        here, not a mis-registration.
+        """
         return MatchingNetwork(
             schemas=self.schemas,
             candidates=self.candidates.restricted_to(keep),
             graph=self.graph,
             constraints=self.constraints,
+            validate=False,
         )
 
     def stats(self) -> Mapping[str, int]:

@@ -37,7 +37,7 @@ from .reconciliation import (
     ReconciliationTrace,
     resolve_conflicting_approval,
 )
-from .uncertainty import binary_entropy, information_gains, network_uncertainty
+from .uncertainty import information_gains, network_uncertainty
 
 
 class ReferenceReconciliationSession:

@@ -13,6 +13,7 @@ from . import (
     fig9_uncertainty_reduction,
     fig10_ordering_instantiation,
     fig11_likelihood,
+    lint_network,
     scenarios,
     table2_datasets,
     table3_violations,
@@ -32,6 +33,7 @@ from .scenarios import (
     build_session,
     make_oracle,
     make_strategy,
+    prepare_fixture,
     run_crowd_scenario,
     run_effort_grid,
     run_matrix,
@@ -49,8 +51,10 @@ __all__ = [
     "build_session",
     "conflicted_subnetwork",
     "crowd_budget",
+    "lint_network",
     "make_oracle",
     "make_strategy",
+    "prepare_fixture",
     "run_crowd_scenario",
     "run_effort_grid",
     "run_matrix",

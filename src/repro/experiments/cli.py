@@ -26,6 +26,7 @@ from . import (
     fig9_uncertainty_reduction,
     fig10_ordering_instantiation,
     fig11_likelihood,
+    lint_network,
     table2_datasets,
     table3_violations,
 )
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
     ),
     "fig10": (fig10_ordering_instantiation.run, {"runs": 1, "target_samples": 150}),
     "fig11": (fig11_likelihood.run, {"runs": 1, "target_samples": 150}),
+    "lint": (lint_network.run, {"scale": 0.2, "runs": 3, "dependencies": 12}),
     "crowd": (
         crowd_budget.run,
         {

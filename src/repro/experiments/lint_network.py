@@ -1,0 +1,165 @@
+"""``lint`` — static analysis of the reference constraint network.
+
+Two rows: the plain reference network of the kernel benchmarks (24
+schemas, 1500 candidates at scale 1.0), and a constrained variant with
+declared dependencies seeded over one-to-one conflict pairs.  A
+dependency whose antecedent excludes its own consequent is statically
+impossible, so the variant demonstrates the whole diagnostic surface at
+once — RC004 conflicting constraints, RC002 dead candidates — and the
+candidate-count reduction ``prune_dead`` buys before any sampling runs.
+The timing column is the end-to-end :func:`repro.analysis.lint` wall
+time (median over ``runs``), the figure the benchmark suite gates.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from ..analysis import (
+    ConstraintSet,
+    CycleDeclaration,
+    DependencyDeclaration,
+    OneToOneDeclaration,
+    declare_network,
+    lint,
+    prune_dead_candidates,
+)
+from ..core.constraints import mask_indices
+from ..core.network import MatchingNetwork
+from .harness import synthetic_network
+from .reporting import ExperimentResult
+
+#: The reference network of the kernel benchmarks (see
+#: benchmarks/test_bench_reconciliation.py).
+REFERENCE_KWARGS = dict(
+    n_correspondences=1500,
+    n_schemas=24,
+    attributes_per_schema=150,
+    conflict_bias=0.35,
+)
+
+
+def _reference_network(scale: float, seed: int) -> MatchingNetwork:
+    return synthetic_network(
+        n_correspondences=max(
+            40, round(REFERENCE_KWARGS["n_correspondences"] * scale)
+        ),
+        n_schemas=min(
+            REFERENCE_KWARGS["n_schemas"],
+            max(4, round(REFERENCE_KWARGS["n_schemas"] * scale)),
+        ),
+        attributes_per_schema=max(
+            10, round(REFERENCE_KWARGS["attributes_per_schema"] * scale)
+        ),
+        conflict_bias=REFERENCE_KWARGS["conflict_bias"],
+        seed=seed,
+    )
+
+
+def _constrained_variant(
+    network: MatchingNetwork, seed: int, dependencies: int
+) -> MatchingNetwork:
+    """Re-declare the network with dependencies over conflict pairs.
+
+    Each declared dependency points from one member of a pairwise
+    violation to the other: "accept x only together with y" where x and
+    y already exclude each other.  Compilation derives the singleton
+    violation {x}, i.e. the antecedent is statically dead — exactly the
+    conflict the linter must flag (RC004) and the pruner must exploit.
+    """
+    correspondences = network.candidates.correspondences
+    pairs = [
+        mask_indices(vmask)
+        for vmask in network.engine.violation_masks
+        if vmask.bit_count() == 2
+    ]
+    rng = random.Random(seed + 3)
+    rng.shuffle(pairs)
+    declarations = []
+    antecedents: set[int] = set()
+    for x, y in pairs:
+        if len(declarations) >= dependencies:
+            break
+        if x in antecedents or y in antecedents:
+            continue
+        antecedents.add(x)
+        declarations.append(
+            DependencyDeclaration(correspondences[x], correspondences[y])
+        )
+    rules = ConstraintSet(
+        [OneToOneDeclaration(), CycleDeclaration(), *declarations],
+        name="reference+deps",
+    )
+    # The conflicts are the point of the exercise — compile and build
+    # without fail-fast so the lint row can report them.
+    return declare_network(
+        network.schemas,
+        network.candidates,
+        rules,
+        graph=network.graph,
+        validate=False,
+        strict=False,
+    )
+
+
+def _lint_median_ms(network: MatchingNetwork, runs: int) -> float:
+    timings = []
+    for _ in range(max(1, runs)):
+        started = time.perf_counter()
+        lint(network)
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings) * 1000.0
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 7,
+    runs: int = 5,
+    dependencies: int = 48,
+) -> ExperimentResult:
+    """Lint the reference network and a conflict-seeded variant."""
+    result = ExperimentResult(
+        experiment="lint",
+        title="Constraint network linter on the reference network",
+        columns=(
+            "Network",
+            "|C|",
+            "Violations",
+            "Diagnostics",
+            "Errors",
+            "Dead",
+            "Forced",
+            "Pruned |C|",
+            "Reduction",
+            "Lint ms (median)",
+        ),
+        notes=(
+            f"scale={scale}; variant declares {dependencies} dependencies "
+            "over one-to-one conflict pairs, each statically conflicting "
+            "(RC004) so its antecedent is dead"
+        ),
+    )
+    reference = _reference_network(scale, seed)
+    for name, network in (
+        ("reference", reference),
+        ("reference+deps", _constrained_variant(reference, seed, dependencies)),
+    ):
+        report = lint(network)
+        pruned, _ = prune_dead_candidates(network)
+        total = len(network.candidates)
+        kept = len(pruned.candidates)
+        result.add_row(
+            name,
+            total,
+            network.violation_count(),
+            len(report),
+            len(report.errors()),
+            len(report.dead),
+            len(report.forced),
+            kept,
+            f"{(total - kept) / total:.1%}" if total else "0%",
+            _lint_median_ms(network, runs),
+        )
+    return result

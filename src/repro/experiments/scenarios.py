@@ -19,7 +19,7 @@ a noisy oracle flips answers with ``Random(seed + 2)``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from ..core.feedback import NoisyOracle, Oracle
@@ -92,6 +92,14 @@ class ScenarioSpec:
     uncertainty_goal: Optional[float] = None
     seed: int = 0
     name: str = ""
+    #: Fail fast: lint the network (repro.analysis) before building the
+    #: session and raise LintError on any error-severity finding.
+    validate: bool = False
+    #: Drop statically-dead candidates before sampling.  Instance-space
+    #: preserving (dead candidates appear in no instance), so traces are
+    #: bit-identical whenever nothing is dead — the network object itself
+    #: is reused in that case.
+    prune_dead: bool = False
     # Crowd fields (used only with oracle="crowd").
     crowd_workers: int = 12
     crowd_reliability: str = "mixed"
@@ -164,6 +172,31 @@ def make_oracle(fixture: NetworkFixture, spec: ScenarioSpec) -> Oracle:
     raise ValueError(f"unknown oracle kind {spec.oracle!r}")
 
 
+def prepare_fixture(
+    fixture: NetworkFixture, spec: ScenarioSpec
+) -> NetworkFixture:
+    """Apply a spec's static-analysis knobs before building its session.
+
+    ``validate=True`` lints the fixture's network and raises
+    :class:`~repro.analysis.diagnostics.LintError` on any error-severity
+    finding (unsatisfiable network, conflicting constraints).
+    ``prune_dead=True`` drops statically-dead candidates; pruning is
+    instance-space preserving, and when nothing is dead the very same
+    network object comes back, keeping traces bit-identical.
+    """
+    if not (spec.validate or spec.prune_dead):
+        return fixture
+    from ..analysis import lint, prune_dead_candidates
+
+    if spec.validate:
+        lint(fixture.network).raise_on_error()
+    if spec.prune_dead:
+        pruned, _ = prune_dead_candidates(fixture.network)
+        if pruned is not fixture.network:
+            return replace(fixture, network=pruned)
+    return fixture
+
+
 def build_crowd_session(
     fixture: NetworkFixture,
     spec: ScenarioSpec,
@@ -176,6 +209,7 @@ def build_crowd_session(
     ``Random(seed + 1)``, and the pool's per-worker answer streams derive
     from ``seed + 2`` (see :meth:`WorkerPool.from_distribution`).
     """
+    fixture = prepare_fixture(fixture, spec)
     pnet = ProbabilisticNetwork(
         fixture.network,
         target_samples=spec.target_samples,
@@ -211,6 +245,7 @@ def build_session(
     oracle: Optional[Oracle] = None,
 ) -> ReconciliationSession:
     """Assemble the probabilistic network, strategy and oracle of a spec."""
+    fixture = prepare_fixture(fixture, spec)
     pnet = ProbabilisticNetwork(
         fixture.network,
         target_samples=spec.target_samples,
@@ -235,9 +270,12 @@ def _summarise(
     """The shared outcome summary both oracle paths assemble."""
     pnet = session.pnet
     truth = fixture.ground_truth
+    # The session's own network, not the fixture's: with prune_dead the
+    # session runs over a narrowed universe, and precision_remaining must
+    # measure the candidates the session actually still carries.
     remaining = [
         corr
-        for corr in fixture.network.correspondences
+        for corr in pnet.network.correspondences
         if corr not in pnet.feedback.disapproved
     ]
     return ScenarioOutcome(

@@ -17,7 +17,7 @@ than failing obscurely later.
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Optional
+from typing import Iterable
 
 from .core.constraints import (
     Constraint,

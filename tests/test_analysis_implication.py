@@ -1,0 +1,164 @@
+"""The 2-SAT-style implication graph: SCCs, chains, propagation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import ImplicationGraph
+from repro.analysis.implication import (
+    false_literal,
+    literal_index,
+    literal_is_true,
+    negate,
+    true_literal,
+)
+
+
+class TestLiterals:
+    def test_encoding_roundtrip(self):
+        for index in (0, 1, 7, 63, 64):
+            assert literal_index(true_literal(index)) == index
+            assert literal_index(false_literal(index)) == index
+            assert literal_is_true(true_literal(index))
+            assert not literal_is_true(false_literal(index))
+
+    def test_negation_is_involutive(self):
+        for index in range(4):
+            assert negate(true_literal(index)) == false_literal(index)
+            assert negate(negate(true_literal(index))) == true_literal(index)
+
+
+class TestConstruction:
+    def test_exclusion_edges(self):
+        graph = ImplicationGraph(2)
+        graph.add_exclusion(0, 1)
+        assert graph.implies(true_literal(0), false_literal(1))
+        assert graph.implies(true_literal(1), false_literal(0))
+        assert not graph.implies(false_literal(0), true_literal(1))
+
+    def test_dependency_edges_include_contrapositive(self):
+        graph = ImplicationGraph(2)
+        graph.add_dependency(0, 1)
+        assert graph.implies(true_literal(0), true_literal(1))
+        assert graph.implies(false_literal(1), false_literal(0))
+
+    def test_fact_pins_literal(self):
+        graph = ImplicationGraph(1)
+        graph.add_fact(0, True)
+        assert graph.implies(false_literal(0), true_literal(0))
+
+
+class TestSccs:
+    def test_chain_has_singleton_components(self):
+        graph = ImplicationGraph(2)
+        graph.add_edge(true_literal(0), true_literal(1))
+        components = graph.sccs()
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 4
+
+    def test_cycle_collapses_into_one_component(self):
+        graph = ImplicationGraph(2)
+        graph.add_edge(true_literal(0), true_literal(1))
+        graph.add_edge(true_literal(1), true_literal(0))
+        components = [c for c in graph.sccs() if len(c) > 1]
+        assert len(components) == 1
+        assert sorted(components[0]) == [true_literal(0), true_literal(1)]
+
+    def test_reverse_topological_order(self):
+        graph = ImplicationGraph(2)
+        graph.add_edge(true_literal(0), true_literal(1))
+        component_of, edges = graph.condensation()
+        source = component_of[true_literal(0)]
+        target = component_of[true_literal(1)]
+        # edges point from later (higher id) to earlier components
+        assert source > target
+        assert target in edges[source]
+
+    def test_contradictions_found(self):
+        # x → ¬x and ¬x → x: both literals share an SCC
+        graph = ImplicationGraph(2)
+        graph.add_edge(true_literal(0), false_literal(0))
+        graph.add_edge(false_literal(0), true_literal(0))
+        assert graph.contradictions() == [0]
+
+    def test_deep_graph_does_not_recurse(self):
+        # one long implication chain, far beyond any recursion limit
+        n = 50_000
+        graph = ImplicationGraph(n)
+        for index in range(n - 1):
+            graph.add_edge(true_literal(index), true_literal(index + 1))
+        assert len(graph.sccs()) == 2 * n
+
+    def test_random_graphs_match_reachability_definition(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            n = 6
+            graph = ImplicationGraph(n)
+            for _ in range(18):
+                graph.add_edge(
+                    rng.randrange(2 * n), rng.randrange(2 * n)
+                )
+            component_of, _ = graph.condensation()
+            for a in range(2 * n):
+                for b in range(2 * n):
+                    same = component_of[a] == component_of[b]
+                    mutual = graph.implies(a, b) and graph.implies(b, a)
+                    assert same == mutual
+
+
+class TestChainsAndPropagation:
+    def test_implication_chain_is_shortest(self):
+        graph = ImplicationGraph(4)
+        # long route 0→1→2→3 and a shortcut 0→3
+        graph.add_edge(true_literal(0), true_literal(1))
+        graph.add_edge(true_literal(1), true_literal(2))
+        graph.add_edge(true_literal(2), true_literal(3))
+        graph.add_edge(true_literal(0), true_literal(3))
+        chain = graph.implication_chain(true_literal(0), true_literal(3))
+        assert chain == [true_literal(0), true_literal(3)]
+
+    def test_missing_chain_is_none(self):
+        graph = ImplicationGraph(2)
+        graph.add_edge(true_literal(0), true_literal(1))
+        assert graph.implication_chain(true_literal(1), true_literal(0)) is None
+
+    def test_describe_chain(self):
+        graph = ImplicationGraph(2)
+        chain = [true_literal(0), false_literal(1)]
+        assert graph.describe_chain(chain, ["a", "b"]) == "+a => -b"
+
+    def test_propagate_closes_over_dependencies(self):
+        graph = ImplicationGraph(3)
+        graph.add_dependency(0, 1)
+        graph.add_dependency(1, 2)
+        assignment, conflicts = graph.propagate([(0, True)])
+        assert conflicts == []
+        assert assignment == {0: True, 1: True, 2: True}
+
+    def test_propagate_detects_conflict(self):
+        graph = ImplicationGraph(2)
+        graph.add_dependency(0, 1)
+        assignment, conflicts = graph.propagate([(0, True), (1, False)])
+        assert assignment is None
+        assert conflicts  # surfaced at the contradicting candidate(s)
+
+
+class TestFromEngine:
+    def test_pairwise_violations_become_exclusions(self, movie_network):
+        engine = movie_network.engine
+        graph = ImplicationGraph.from_engine(engine)
+        # {c2, c4} is a one-to-one violation: accepting one rejects the other
+        correspondences = list(engine.correspondences)
+        by_name = {str(c): i for i, c in enumerate(correspondences)}
+        c2 = by_name["SA.productionDate~SC.releaseDate"]
+        c4 = by_name["SA.productionDate~SC.screenDate"]
+        assert graph.implies(true_literal(c2), false_literal(c4))
+        assert graph.implies(true_literal(c4), false_literal(c2))
+
+    def test_feedback_masks_pin_facts(self, movie_network):
+        engine = movie_network.engine
+        graph = ImplicationGraph.from_engine(
+            engine, approved_mask=engine.bits[0], disapproved_mask=engine.bits[1]
+        )
+        assert graph.implies(false_literal(0), true_literal(0))
+        assert graph.implies(true_literal(1), false_literal(1))

@@ -1,0 +1,326 @@
+"""The network linter: every diagnostic code, engineered and end to end.
+
+Verdict correctness (dead/forced/satisfiable ≡ brute force) is pinned
+here on the paper's motivating example and exhaustively randomised in
+``test_analysis_properties.py``; this file focuses on the diagnostics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ConstraintScope,
+    ConstraintSet,
+    DependencyConstraint,
+    DependencyDeclaration,
+    Diagnostic,
+    LintError,
+    NetworkLinter,
+    OneToOneDeclaration,
+    Severity,
+    declare_network,
+    lint,
+    prune_dead_candidates,
+)
+from repro.core import (
+    Feedback,
+    InconsistentFeedbackError,
+    MatchingNetwork,
+    MutualExclusionConstraint,
+    OneToOneConstraint,
+    enumerate_instances,
+)
+
+
+def brute_verdicts(network, feedback=None):
+    """Dead/forced/satisfiable straight from Definition 1."""
+    try:
+        instances = enumerate_instances(network, feedback)
+    except InconsistentFeedbackError:
+        return None, None, False
+    candidates = set(network.correspondences)
+    dead = frozenset(
+        c for c in candidates if not any(c in i for i in instances)
+    )
+    forced = frozenset(c for c in candidates if all(c in i for i in instances))
+    return dead, forced, True
+
+
+class TestVerdictsOnMovieNetwork:
+    def assert_parity(self, network, feedback=None):
+        report = lint(network, feedback)
+        dead, forced, satisfiable = brute_verdicts(network, feedback)
+        assert report.satisfiable == satisfiable
+        if satisfiable:
+            assert report.dead == dead
+            assert report.forced == forced
+        return report
+
+    def test_no_feedback(self, movie_network):
+        report = self.assert_parity(movie_network)
+        assert report.satisfiable
+        assert not report.dead and not report.forced
+        assert report.ok
+
+    def test_approval_kills_partner(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"]])
+        report = self.assert_parity(movie_network, feedback)
+        assert c["c4"] in report.dead
+        (diag,) = report.by_code("RC002")
+        assert "already approved" in diag.message
+
+    def test_mixed_feedback(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c4"]])
+        self.assert_parity(movie_network, feedback)
+
+    def test_forced_reported_rc003(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(disapproved=[c["c2"], c["c5"]])
+        report = self.assert_parity(movie_network, feedback)
+        extra_forced = report.forced - feedback.approved
+        assert len(report.by_code("RC003")) == len(extra_forced)
+
+
+class TestUnsatisfiable:
+    def test_rc001_and_rc007(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"], c["c4"]])
+        with pytest.raises(InconsistentFeedbackError):
+            enumerate_instances(movie_network, feedback)
+        report = lint(movie_network, feedback)
+        assert not report.satisfiable
+        assert not report.ok
+        assert len(report.by_code("RC001")) == 1
+        # one RC007 per approved member of the fully-approved violation
+        culprits = {
+            diag.correspondences[0] for diag in report.by_code("RC007")
+        }
+        assert culprits == {c["c2"], c["c4"]}
+        # unsatisfiable runs report no dead/forced by convention
+        assert not report.dead and not report.forced
+        with pytest.raises(LintError, match="RC001"):
+            report.raise_on_error()
+
+
+class TestConflictingConstraints:
+    def test_rc004_from_derived_singleton(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [OneToOneDeclaration(), DependencyDeclaration(c["c2"], c["c4"])]
+        )
+        network = declare_network(
+            list(movie_schemas),
+            list(c.values()),
+            rules,
+            validate=False,
+            strict=False,
+        )
+        report = lint(network)
+        (diag,) = report.by_code("RC004")
+        assert "forbid the antecedent outright" in diag.message
+        assert c["c2"] in report.dead
+        (dead_diag,) = report.by_code("RC002")
+        assert "it alone forms the violation" in dead_diag.message
+
+    def test_rc004_from_implication_chain(
+        self, movie_schemas, movie_correspondences
+    ):
+        # A hand-built dependency with no derived sets: the conflict is
+        # only visible through the implication graph.
+        c = movie_correspondences
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(c.values()),
+            constraints=[
+                MutualExclusionConstraint([{c["c1"], c["c3"]}]),
+                DependencyConstraint(c["c1"], c["c3"]),
+            ],
+        )
+        report = lint(network)
+        (diag,) = report.by_code("RC004")
+        assert "implication chain" in diag.message
+        assert diag.correspondences == (c["c1"],)
+
+    def test_no_double_report_with_constraint_set(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [OneToOneDeclaration(), DependencyDeclaration(c["c2"], c["c4"])]
+        )
+        network = declare_network(
+            list(movie_schemas),
+            list(c.values()),
+            rules,
+            validate=False,
+            strict=False,
+        )
+        report = lint(network, constraint_set=rules)
+        assert len(report.by_code("RC004")) == 1
+
+
+class TestStructuralHygiene:
+    def test_rc005_duplicate_registration(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(c.values()),
+            constraints=[
+                MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+                MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+            ],
+            validate=False,  # the compile warning is tested elsewhere
+        )
+        report = lint(network)
+        (diag,) = report.by_code("RC005")
+        assert "registered more than once" in diag.message
+        assert len(diag.constraints) == 2
+
+    def test_rc006_subsumed_constraint(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        # {c1, c2, c4} always contains the smaller violation {c2, c4}
+        network = MatchingNetwork(
+            list(movie_schemas),
+            list(c.values()),
+            constraints=[
+                OneToOneConstraint(),
+                MutualExclusionConstraint([{c["c1"], c["c2"], c["c4"]}]),
+            ],
+        )
+        report = lint(network)
+        (diag,) = report.by_code("RC006")
+        assert diag.constraints[0].name == "mutual-exclusion"
+        assert "subsumed" in diag.message
+
+    def test_rc007_dependency_contradicted_by_feedback(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [OneToOneDeclaration(), DependencyDeclaration(c["c1"], c["c3"])]
+        )
+        network = declare_network(
+            list(movie_schemas), list(c.values()), rules
+        )
+        feedback = Feedback(approved=[c["c1"]], disapproved=[c["c3"]])
+        report = lint(network, feedback)
+        assert report.satisfiable  # anti-monotone form cannot forbid it...
+        (diag,) = report.by_code("RC007")  # ...so the linter must say so
+        assert diag.correspondences == (c["c1"], c["c3"])
+        assert not report.ok
+
+
+class TestDeclarationFindingsViaLint:
+    def test_rc008_rc009_rc010_merged_from_constraint_set(
+        self, movie_network
+    ):
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(
+                    scope=ConstraintScope.schema_pairs(("SX", "SY"))
+                ),
+                DependencyDeclaration(("SA.ghost", "SB.ghost"), ("SA.g", "SB.h")),
+                DependencyDeclaration(
+                    ("SA.productionDate", "SB.date"),
+                    ("SA.productionDate", "SB.date"),
+                ),
+            ]
+        )
+        report = lint(movie_network, constraint_set=rules)
+        counts = report.counts()
+        assert counts["RC008"] == 1
+        assert counts["RC009"] == 1
+        assert counts["RC010"] == 1
+
+
+class TestPruneDeadCandidates:
+    def test_untouched_when_nothing_dead(self, movie_network):
+        pruned, report = prune_dead_candidates(movie_network)
+        assert pruned is movie_network
+        assert not report.dead
+
+    def test_dead_candidates_dropped_instance_space_preserved(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [OneToOneDeclaration(), DependencyDeclaration(c["c2"], c["c4"])]
+        )
+        network = declare_network(
+            list(movie_schemas),
+            list(c.values()),
+            rules,
+            validate=False,
+            strict=False,
+        )
+        pruned, report = prune_dead_candidates(network)
+        assert c["c2"] in report.dead
+        assert c["c2"] not in set(pruned.correspondences)
+        assert len(pruned.candidates) == len(network.candidates) - len(
+            report.dead
+        )
+        assert set(enumerate_instances(pruned)) == set(
+            enumerate_instances(network)
+        )
+
+    def test_disapproved_members_are_kept(
+        self, movie_network, movie_correspondences
+    ):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"]], disapproved=[c["c3"]])
+        pruned, report = prune_dead_candidates(movie_network, feedback)
+        # c4 is constraint-dead and dropped; F⁻ member c3 stays addressable
+        assert c["c4"] not in set(pruned.correspondences)
+        assert c["c3"] in set(pruned.correspondences)
+
+    def test_unsatisfiable_network_raises(
+        self, movie_network, movie_correspondences
+    ):
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c2"], c["c4"]])
+        with pytest.raises(LintError):
+            prune_dead_candidates(movie_network, feedback)
+
+
+class TestReportAndDiagnosticApi:
+    def test_render_and_severity(self):
+        diag = Diagnostic.of("RC002", "candidate x is dead")
+        assert diag.render() == (
+            "RC002 warning dead-candidate: candidate x is dead"
+        )
+        assert diag.severity is Severity.WARNING
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic.of("RC999", "mystery")
+
+    def test_report_accessors(self, movie_network, movie_correspondences):
+        c = movie_correspondences
+        report = lint(movie_network, Feedback(approved=[c["c2"]]))
+        assert len(report) == len(tuple(report))
+        assert report.counts()["RC002"] == 1
+        assert report.by_code("RC002") == tuple(
+            d for d in report.warnings() if d.code == "RC002"
+        )
+        assert report.ok
+        assert "satisfiable=True" in report.to_text()
+        assert "RC002" in report.to_text()
+
+    def test_to_text_without_findings(self, movie_network):
+        report = lint(movie_network)
+        assert "no findings" in report.to_text()
+
+    def test_linter_class_entrypoint(self, movie_network):
+        report = NetworkLinter(movie_network).run()
+        assert report.satisfiable
+        assert report.candidates == 5
+        assert report.violations == 4

@@ -1,0 +1,190 @@
+"""Property tests: linter verdicts ≡ brute-force enumeration.
+
+The linter's dead/forced/satisfiable verdicts claim to be *exact* under
+the engine's anti-monotone semantics.  These tests pin that claim against
+:func:`~repro.core.instances.enumerate_instances` on small random
+networks carrying the full declaration mix — scoped structural rules,
+mutual exclusions and (possibly conflicting) dependencies — under random
+consistent and inconsistent feedback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ConstraintSet,
+    CycleDeclaration,
+    DependencyDeclaration,
+    MutexDeclaration,
+    OneToOneDeclaration,
+    declare_network,
+    lint,
+    prune_dead_candidates,
+)
+from repro.core import (
+    Feedback,
+    InconsistentFeedbackError,
+    Schema,
+    correspondence,
+    enumerate_instances,
+)
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: guard against unlucky draws with exponential instance spaces
+_ENUM_LIMIT = 1500
+
+
+def build_declared_network(rng, max_candidates=10):
+    """One random declared network: schemas, candidates, constraint mix."""
+    n_schemas = rng.randint(2, 4)
+    schemas = [
+        Schema.from_names(
+            f"S{i}", [f"a{j}" for j in range(rng.randint(1, 3))]
+        )
+        for i in range(n_schemas)
+    ]
+    pool = [
+        correspondence(left_attr, right_attr)
+        for i in range(n_schemas)
+        for j in range(i + 1, n_schemas)
+        for left_attr in schemas[i]
+        for right_attr in schemas[j]
+    ]
+    rng.shuffle(pool)
+    count = rng.randint(1, min(max_candidates, len(pool)))
+    candidates = sorted(pool[:count])
+
+    declarations = [OneToOneDeclaration()]
+    if rng.random() < 0.5:
+        declarations.append(CycleDeclaration())
+    for _ in range(rng.randint(0, 2)):
+        if len(candidates) < 2:
+            continue
+        size = rng.randint(2, min(3, len(candidates)))
+        declarations.append(MutexDeclaration([rng.sample(candidates, size)]))
+    for _ in range(rng.randint(0, 2)):
+        if len(candidates) < 2:
+            continue
+        antecedent, consequent = rng.sample(candidates, 2)
+        declarations.append(DependencyDeclaration(antecedent, consequent))
+    return declare_network(
+        schemas,
+        candidates,
+        ConstraintSet(declarations),
+        validate=False,  # conflicting declarations are part of the test space
+        strict=False,
+    )
+
+
+def draw_feedback(rng, network):
+    """Random (possibly inconsistent) feedback over the candidates."""
+    feedback = Feedback()
+    for corr in network.correspondences:
+        roll = rng.random()
+        if roll < 0.2:
+            feedback.approve(corr)
+        elif roll < 0.35:
+            feedback.disapprove(corr)
+    return feedback
+
+
+def bounded_instances(network, feedback):
+    instances = enumerate_instances(network, feedback, limit=_ENUM_LIMIT)
+    return None if len(instances) >= _ENUM_LIMIT else instances
+
+
+def assert_verdict_parity(network, feedback):
+    report = lint(network, feedback)
+    try:
+        instances = bounded_instances(network, feedback)
+    except InconsistentFeedbackError:
+        assert not report.satisfiable
+        assert not report.ok
+        assert report.by_code("RC001")
+        return
+    assert report.satisfiable
+    if instances is None:  # space too large to check exhaustively
+        return
+    assert len(instances) >= 1
+    candidates = set(network.correspondences)
+    dead = frozenset(
+        c for c in candidates if not any(c in i for i in instances)
+    )
+    forced = frozenset(
+        c for c in candidates if all(c in i for i in instances)
+    )
+    assert report.dead == dead
+    assert report.forced == forced
+
+
+@common_settings
+@given(st.integers(min_value=0, max_value=10_000))
+def test_lint_verdicts_match_enumeration(seed):
+    rng = random.Random(seed)
+    network = build_declared_network(rng)
+    assert_verdict_parity(network, None)
+    assert_verdict_parity(network, draw_feedback(rng, network))
+
+
+@common_settings
+@given(st.integers(min_value=0, max_value=10_000))
+def test_unsatisfiable_iff_enumeration_raises(seed):
+    rng = random.Random(seed)
+    network = build_declared_network(rng)
+    feedback = draw_feedback(rng, network)
+    report = lint(network, feedback)
+    raised = False
+    try:
+        enumerate_instances(network, feedback, limit=_ENUM_LIMIT)
+    except InconsistentFeedbackError:
+        raised = True
+    assert report.satisfiable == (not raised)
+
+
+@common_settings
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pruning_preserves_the_instance_space(seed):
+    rng = random.Random(seed)
+    network = build_declared_network(rng)
+    pruned, report = prune_dead_candidates(network)
+    if not report.dead:
+        assert pruned is network
+        return
+    original = bounded_instances(network, None)
+    if original is None:
+        return
+    assert set(enumerate_instances(pruned, limit=_ENUM_LIMIT)) == set(original)
+
+
+@common_settings
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dead_and_forced_are_disjoint_and_consistent(seed):
+    rng = random.Random(seed)
+    network = build_declared_network(rng)
+    feedback = draw_feedback(rng, network)
+    report = lint(network, feedback)
+    if not report.satisfiable:
+        return
+    assert not (report.dead & report.forced)
+    assert feedback.approved <= report.forced
+    assert feedback.disapproved <= report.dead
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 2014])
+def test_seeded_mixes_stay_exact(seed):
+    """Deterministic spot checks, independent of hypothesis' shrinking."""
+    rng = random.Random(seed)
+    for _ in range(5):
+        network = build_declared_network(rng)
+        assert_verdict_parity(network, None)
+        assert_verdict_parity(network, draw_feedback(rng, network))

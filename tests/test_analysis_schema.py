@@ -1,0 +1,496 @@
+"""The declarative constraint schema: refs, scopes, lookup, compilation.
+
+The load-bearing assertions are the *parity* tests: declarations compiled
+through :meth:`ConstraintSet.compile` must reproduce the violations of
+the hard-coded constraint classes exactly, and dependency lowering must
+carve out precisely the strong-maximal feasible sets (consistent, maximal
+and implication-respecting) on brute-forceable networks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    CompiledConstraints,
+    ConstraintScope,
+    ConstraintSet,
+    CorrespondenceRef,
+    CycleDeclaration,
+    DependencyConstraint,
+    DependencyDeclaration,
+    LintError,
+    MutexDeclaration,
+    OneToOneDeclaration,
+    ScopedConstraint,
+    as_ref,
+    compile_dependencies,
+    declare_network,
+    ref_index,
+)
+from repro.core import (
+    CycleConstraint,
+    MatchingNetwork,
+    MutualExclusionConstraint,
+    OneToOneConstraint,
+    enumerate_instances,
+)
+
+
+def violation_sets(constraint, correspondences, graph):
+    return {
+        v.correspondences
+        for v in constraint.minimal_violations(tuple(correspondences), graph)
+    }
+
+
+def engine_violation_sets(network):
+    return {v.correspondences for v in network.engine.violations}
+
+
+class TestCorrespondenceRef:
+    def test_endpoints_sorted_and_order_insensitive(self):
+        a = CorrespondenceRef("SB.date", "SA.productionDate")
+        b = CorrespondenceRef("SA.productionDate", "SB.date")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key == ("SA.productionDate", "SB.date")
+
+    def test_requires_qualified_names(self):
+        with pytest.raises(ValueError, match="not qualified"):
+            CorrespondenceRef("date", "SA.productionDate")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="distinct"):
+            CorrespondenceRef("SA.x", "SA.x")
+
+    def test_of_and_resolve_roundtrip(self, movie_correspondences):
+        corr = movie_correspondences["c1"]
+        index = ref_index(movie_correspondences.values())
+        ref = CorrespondenceRef.of(corr)
+        assert ref.resolve(index) is corr
+        assert ref.describe() == "SA.productionDate~SB.date"
+
+    def test_resolve_misses_return_none(self, movie_correspondences):
+        index = ref_index(movie_correspondences.values())
+        assert CorrespondenceRef("SA.x", "SB.y").resolve(index) is None
+
+    def test_as_ref_coercions(self, movie_correspondences):
+        corr = movie_correspondences["c2"]
+        ref = CorrespondenceRef.of(corr)
+        assert as_ref(ref) is ref
+        assert as_ref(corr) == ref
+        assert as_ref(("SA.productionDate", "SC.releaseDate")) == ref
+        with pytest.raises(TypeError):
+            as_ref("SA.productionDate~SC.releaseDate")
+
+
+class TestConstraintScope:
+    def test_network_scope_covers_everything(self, movie_correspondences):
+        scope = ConstraintScope.network()
+        assert all(scope.covers(c) for c in movie_correspondences.values())
+        assert scope.covers_pair("SA", "SB")
+        assert scope.covers_attribute("SA.productionDate")
+
+    def test_schema_pair_scope(self, movie_correspondences):
+        scope = ConstraintScope.schema_pairs(("SB", "SA"))
+        c = movie_correspondences
+        assert scope.covers(c["c1"])
+        assert not scope.covers(c["c2"])
+        assert scope.covers_pair("SA", "SB")
+        assert scope.covers_pair("SB", "SA")
+        assert not scope.covers_pair("SA", "SC")
+        assert scope.select(c.values()) == (c["c1"],)
+
+    def test_attribute_scope(self, movie_correspondences):
+        scope = ConstraintScope.attributes("SC.screenDate")
+        c = movie_correspondences
+        assert scope.select(c.values()) == (c["c4"], c["c5"])
+        assert scope.covers_attribute("SC.screenDate")
+        assert not scope.covers_attribute("SC.releaseDate")
+        # pair coverage is schema-level for attribute scopes
+        assert scope.covers_pair("SA", "SC")
+        assert not scope.covers_pair("SA", "SB")
+
+    def test_invalid_scopes_rejected(self):
+        with pytest.raises(ValueError, match="unknown scope kind"):
+            ConstraintScope(kind="galaxy")
+        with pytest.raises(ValueError, match="no values"):
+            ConstraintScope(kind="network", values=frozenset({"x"}))
+        with pytest.raises(ValueError, match="at least one value"):
+            ConstraintScope(kind="attribute-set")
+
+    def test_scopes_do_not_nest(self):
+        scoped = ScopedConstraint(
+            OneToOneConstraint(), ConstraintScope.attributes("SA.x")
+        )
+        with pytest.raises(TypeError, match="do not nest"):
+            ScopedConstraint(scoped, ConstraintScope.network())
+
+
+class TestConstraintSetLookup:
+    def make_set(self):
+        return ConstraintSet(
+            [
+                OneToOneDeclaration(),
+                CycleDeclaration(
+                    scope=ConstraintScope.schema_pairs(("SA", "SB"))
+                ),
+                DependencyDeclaration(
+                    ("SA.productionDate", "SB.date"),
+                    ("SA.productionDate", "SC.releaseDate"),
+                ),
+            ],
+            name="movie-rules",
+        )
+
+    def test_by_kind_and_iteration(self):
+        rules = self.make_set()
+        assert len(rules) == 3
+        assert [d.kind for d in rules] == [
+            "one-to-one",
+            "cycle",
+            "dependency",
+        ]
+        assert len(rules.by_kind("dependency")) == 1
+
+    def test_network_wide_lookup(self):
+        rules = self.make_set()
+        wide = rules.network_wide()
+        assert [d.kind for d in wide] == ["one-to-one"]
+
+    def test_schema_pair_lookup_includes_network_wide(self):
+        rules = self.make_set()
+        governing = rules.for_schema_pair("SB", "SA")
+        assert {d.kind for d in governing} == {
+            "one-to-one",
+            "cycle",
+            "dependency",
+        }
+        # the SA~SC pair is outside the cycle declaration's scope
+        governing = rules.for_schema_pair("SA", "SC")
+        assert {d.kind for d in governing} == {"one-to-one", "dependency"}
+
+    def test_attribute_lookup(self):
+        rules = self.make_set()
+        governing = rules.for_attribute("SC.releaseDate")
+        assert {d.kind for d in governing} == {"one-to-one", "dependency"}
+
+    def test_add_rejects_non_declarations(self):
+        with pytest.raises(TypeError, match="not a declaration"):
+            ConstraintSet().add(OneToOneConstraint())
+
+
+class TestDeclaredCompiledParity:
+    """Declared constraints must violate exactly like hard-coded ones."""
+
+    def test_default_declarations_match_default_network(
+        self, movie_schemas, movie_correspondences
+    ):
+        rules = ConstraintSet([OneToOneDeclaration(), CycleDeclaration()])
+        declared = declare_network(
+            list(movie_schemas), list(movie_correspondences.values()), rules
+        )
+        hard_coded = MatchingNetwork(
+            list(movie_schemas), list(movie_correspondences.values())
+        )
+        assert engine_violation_sets(declared) == engine_violation_sets(
+            hard_coded
+        )
+
+    def test_scoped_one_to_one_equals_restricted_hard_coded(
+        self, movie_network, movie_correspondences
+    ):
+        scope = ConstraintScope.schema_pairs(("SA", "SC"))
+        scoped = ScopedConstraint(OneToOneConstraint(), scope)
+        correspondences = tuple(movie_correspondences.values())
+        graph = movie_network.graph
+        covered = scope.select(correspondences)
+        assert violation_sets(scoped, correspondences, graph) == violation_sets(
+            OneToOneConstraint(), covered, graph
+        )
+
+    def test_scoped_cycle_equals_restricted_hard_coded(
+        self, movie_network, movie_correspondences
+    ):
+        scope = ConstraintScope.attributes(
+            "SA.productionDate", "SB.date", "SC.releaseDate"
+        )
+        scoped = ScopedConstraint(CycleConstraint(3), scope)
+        correspondences = tuple(movie_correspondences.values())
+        graph = movie_network.graph
+        covered = scope.select(correspondences)
+        assert violation_sets(scoped, correspondences, graph) == violation_sets(
+            CycleConstraint(3), covered, graph
+        )
+
+    def test_mutex_declaration_compiles_to_mutual_exclusion(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [MutexDeclaration([[c["c1"], c["c4"]]], label="editorial")]
+        )
+        compiled = rules.compile(
+            tuple(c.values()),
+            MatchingNetwork(list(movie_schemas), list(c.values())).graph,
+        )
+        assert isinstance(compiled, CompiledConstraints)
+        (constraint,) = compiled.constraints
+        assert isinstance(constraint, MutualExclusionConstraint)
+        assert constraint.name == "editorial"
+        hard_coded = MutualExclusionConstraint([{c["c1"], c["c4"]}])
+        graph = MatchingNetwork(list(movie_schemas), list(c.values())).graph
+        assert violation_sets(
+            constraint, tuple(c.values()), graph
+        ) == violation_sets(hard_coded, tuple(c.values()), graph)
+
+
+class TestCompileDependencies:
+    def test_rewrites_violations_through_consequent(
+        self, movie_correspondences
+    ):
+        c = movie_correspondences
+        base = {frozenset({c["c2"], c["c4"]})}
+        derived, conflicting = compile_dependencies(
+            [(c["c1"], c["c4"])], base
+        )
+        assert derived == [{frozenset({c["c1"], c["c2"]})}]
+        assert conflicting == set()
+
+    def test_antecedent_inside_violation_is_conflicting(
+        self, movie_correspondences
+    ):
+        # c2 → c4 while {c2, c4} is itself a violation: accepting c2
+        # simultaneously requires and forbids c4.
+        c = movie_correspondences
+        derived, conflicting = compile_dependencies(
+            [(c["c2"], c["c4"])], {frozenset({c["c2"], c["c4"]})}
+        )
+        assert conflicting == {0}
+        assert frozenset({c["c2"]}) in derived[0]
+
+    def test_fixpoint_chains_dependencies(self, movie_correspondences):
+        # c1 → c2 and c2 → c4 with {c4, c5} violating: the second rewrite
+        # {c2, c5} feeds the first into {c1, c5}.
+        c = movie_correspondences
+        derived, conflicting = compile_dependencies(
+            [(c["c1"], c["c2"]), (c["c2"], c["c4"])],
+            {frozenset({c["c4"], c["c5"]})},
+        )
+        assert not conflicting
+        assert frozenset({c["c2"], c["c5"]}) in derived[1]
+        assert frozenset({c["c1"], c["c5"]}) in derived[0]
+
+    def test_subsumed_rewrites_are_skipped(self, movie_correspondences):
+        c = movie_correspondences
+        base = {
+            frozenset({c["c2"], c["c4"]}),
+            frozenset({c["c1"], c["c2"]}),
+        }
+        derived, _ = compile_dependencies([(c["c1"], c["c4"])], base)
+        # the rewrite {c1, c2} already exists as a base violation
+        assert derived == [set()]
+
+    def test_budget_guard(self, movie_correspondences):
+        c = movie_correspondences
+        with pytest.raises(RuntimeError, match="budget"):
+            compile_dependencies(
+                [(c["c1"], c["c4"])],
+                {frozenset({c["c2"], c["c4"]})},
+                max_derived=0,
+            )
+
+
+class TestDependencySemantics:
+    """Compiled dependencies carve out the implication-respecting instances."""
+
+    def brute_force_strong_instances(self, network, dependencies):
+        """Maximal-consistent sets of the base network that respect every
+        dependency, computed from first principles."""
+        base = MatchingNetwork(
+            network.schemas,
+            network.candidates,
+            graph=network.graph,
+            constraints=[
+                c
+                for c in network.constraints
+                if not isinstance(c, DependencyConstraint)
+            ],
+        )
+        candidates = tuple(base.correspondences)
+        engine = base.engine
+        respecting = []
+        for r in range(len(candidates) + 1):
+            for combo in itertools.combinations(candidates, r):
+                selected = frozenset(combo)
+                if not engine.is_consistent(selected):
+                    continue
+                if any(
+                    a in selected and b not in selected
+                    for a, b in dependencies
+                ):
+                    continue
+                respecting.append(selected)
+        # keep the maximal ones among the feasible sets
+        return {
+            s
+            for s in respecting
+            if not any(s < t for t in respecting)
+        }
+
+    def test_compiled_instances_are_strong_maximal_feasible(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(),
+                CycleDeclaration(),
+                DependencyDeclaration(c["c1"], c["c3"]),
+            ]
+        )
+        network = declare_network(
+            list(movie_schemas), list(c.values()), rules
+        )
+        expected = self.brute_force_strong_instances(
+            network, [(c["c1"], c["c3"])]
+        )
+        assert set(enumerate_instances(network)) == expected
+
+    def test_every_instance_respects_the_dependency(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(),
+                CycleDeclaration(),
+                DependencyDeclaration(c["c2"], c["c3"]),
+            ]
+        )
+        network = declare_network(
+            list(movie_schemas), list(c.values()), rules
+        )
+        for instance in enumerate_instances(network):
+            assert c["c2"] not in instance or c["c3"] in instance
+
+
+class TestCompileDiagnostics:
+    def compile(self, movie_schemas, movie_correspondences, rules):
+        network = MatchingNetwork(
+            list(movie_schemas), list(movie_correspondences.values())
+        )
+        return rules.compile(
+            tuple(movie_correspondences.values()), network.graph
+        )
+
+    def test_unknown_reference_rc008(
+        self, movie_schemas, movie_correspondences
+    ):
+        rules = ConstraintSet(
+            [
+                DependencyDeclaration(
+                    ("SA.productionDate", "SB.date"), ("SA.ghost", "SB.ghost")
+                )
+            ]
+        )
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        codes = [d.code for d in compiled.diagnostics]
+        assert codes == ["RC008"]
+        assert not compiled.constraints
+        with pytest.raises(LintError, match="RC008"):
+            compiled.raise_on_error()
+
+    def test_strict_compile_raises_immediately(
+        self, movie_schemas, movie_correspondences
+    ):
+        network = MatchingNetwork(
+            list(movie_schemas), list(movie_correspondences.values())
+        )
+        rules = ConstraintSet(
+            [MutexDeclaration([[("SA.ghost", "SB.ghost"), ("SA.x", "SB.y")]])]
+        )
+        with pytest.raises(LintError):
+            rules.compile(
+                tuple(movie_correspondences.values()),
+                network.graph,
+                strict=True,
+            )
+
+    def test_mutex_group_with_unknown_member_dropped_wholesale(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [MutexDeclaration([[c["c1"], ("SA.ghost", "SB.ghost")]])]
+        )
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        # enforcing the resolvable remainder would be a *stronger* rule
+        assert not compiled.constraints
+        assert [d.code for d in compiled.diagnostics] == ["RC008"]
+
+    def test_self_dependency_rc009(self, movie_schemas, movie_correspondences):
+        c = movie_correspondences
+        rules = ConstraintSet([DependencyDeclaration(c["c1"], c["c1"])])
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        assert [d.code for d in compiled.diagnostics] == ["RC009"]
+        assert not compiled.constraints
+
+    def test_collapsed_mutex_group_rc009(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet([MutexDeclaration([[c["c1"], c["c1"]]])])
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        assert [d.code for d in compiled.diagnostics] == ["RC009"]
+
+    def test_empty_scope_rc010(self, movie_schemas, movie_correspondences):
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(
+                    scope=ConstraintScope.schema_pairs(("SX", "SY"))
+                )
+            ]
+        )
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        assert [d.code for d in compiled.diagnostics] == ["RC010"]
+
+    def test_conflicting_dependency_rc004(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(),
+                DependencyDeclaration(c["c2"], c["c4"]),
+            ]
+        )
+        compiled = self.compile(movie_schemas, movie_correspondences, rules)
+        assert [d.code for d in compiled.diagnostics] == ["RC004"]
+        (dependency,) = compiled.dependencies
+        assert frozenset({c["c2"]}) in dependency.derived
+
+    def test_declare_network_validate_raises(
+        self, movie_schemas, movie_correspondences
+    ):
+        c = movie_correspondences
+        rules = ConstraintSet(
+            [
+                OneToOneDeclaration(),
+                DependencyDeclaration(c["c2"], c["c4"]),
+            ]
+        )
+        with pytest.raises(LintError, match="RC004"):
+            declare_network(list(movie_schemas), list(c.values()), rules)
+        # opting out of both gates still builds the (satisfiable) network
+        network = declare_network(
+            list(movie_schemas),
+            list(c.values()),
+            rules,
+            validate=False,
+            strict=False,
+        )
+        assert len(network.candidates) == 5

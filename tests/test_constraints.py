@@ -3,8 +3,10 @@
 import pytest
 
 from repro.core.constraints import (
+    ConstraintCompilationWarning,
     ConstraintEngine,
     CycleConstraint,
+    MutualExclusionConstraint,
     OneToOneConstraint,
     Violation,
     default_constraints,
@@ -198,10 +200,8 @@ class TestConstraintEngine:
         assert all(c["c3"] in v.correspondences for v in involving_c3)
         assert len(involving_c3) == 2  # {c3,c5} and {c1,c3,c4}
 
-    def test_violations_involving_unknown_is_empty(self, movie_engine, movie_schemas):
-        sa, sb, _ = movie_schemas
-        foreign = correspondence(sa.attribute("productionDate"), sb.attribute("date"))
-        # c1 is known; craft a genuinely unknown one via fresh schemas
+    def test_violations_involving_unknown_is_empty(self, movie_engine):
+        # craft a genuinely unknown correspondence via fresh schemas
         s_x = Schema.from_names("SX", ["q"])
         s_y = Schema.from_names("SY", ["r"])
         unknown = correspondence(s_x.attribute("q"), s_y.attribute("r"))
@@ -267,3 +267,92 @@ class TestConstraintEngine:
     def test_engine_repr(self, movie_engine):
         assert "5 correspondences" in repr(movie_engine)
         assert "4 minimal violations" in repr(movie_engine)
+
+
+class TestCompileValidation:
+    """Declaration-time validation in ConstraintEngine.__init__."""
+
+    def make_engine(self, movie_network, movie_correspondences, constraints,
+                    validate=True):
+        return ConstraintEngine(
+            constraints,
+            tuple(movie_correspondences.values()),
+            movie_network.graph,
+            validate=validate,
+        )
+
+    def test_duplicate_registration_warns(
+        self, movie_network, movie_correspondences
+    ):
+        c = movie_correspondences
+        duplicated = [
+            MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+            MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+        ]
+        with pytest.warns(
+            ConstraintCompilationWarning, match="more than one constraint"
+        ):
+            engine = self.make_engine(
+                movie_network, movie_correspondences, duplicated
+            )
+        # duplicates compile once, but every contribution is recorded
+        assert len(engine.violations) == 1
+        assert engine.violation_sources == ((0, 1),)
+
+    def test_same_constraint_duplicate_exclusion_warns(
+        self, movie_network, movie_correspondences
+    ):
+        c = movie_correspondences
+        constraint = MutualExclusionConstraint(
+            [{c["c2"], c["c4"]}, {c["c4"], c["c2"]}]
+        )
+        with pytest.warns(ConstraintCompilationWarning, match="registered"):
+            engine = self.make_engine(
+                movie_network, movie_correspondences, [constraint]
+            )
+        assert len(engine.violations) == 1
+
+    def test_unknown_reference_warns(
+        self, movie_network, movie_correspondences, movie_schemas
+    ):
+        sa, sb, _ = movie_schemas
+        ghost = correspondence(
+            sa.attribute("productionDate"), sb.attribute("date")
+        )
+        c = movie_correspondences
+        constraint = MutualExclusionConstraint([{c["c2"], c["c4"]}, {ghost, c["c3"]}])
+        universe = [c["c2"], c["c3"], c["c4"]]
+        with pytest.warns(ConstraintCompilationWarning, match="outside the"):
+            ConstraintEngine([constraint], universe, movie_network.graph)
+
+    def test_validation_opt_out_is_silent(
+        self, movie_network, movie_correspondences
+    ):
+        import warnings
+
+        c = movie_correspondences
+        duplicated = [
+            MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+            MutualExclusionConstraint([{c["c2"], c["c4"]}]),
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine = self.make_engine(
+                movie_network, movie_correspondences, duplicated, validate=False
+            )
+        assert len(engine.violations) == 1
+
+    def test_clean_compile_records_single_sources(self, movie_engine):
+        assert all(
+            len(sources) == 1 for sources in movie_engine.violation_sources
+        )
+
+    def test_violation_masks_involving(self, movie_engine):
+        for index in range(movie_engine.n):
+            masks = movie_engine.violation_masks_involving(index)
+            expected = [
+                vmask
+                for vmask in movie_engine.violation_masks
+                if vmask & movie_engine.bits[index]
+            ]
+            assert sorted(masks) == sorted(expected)

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core import MatchingNetwork, complete_graph
+from repro.core import MatchingNetwork
 from repro.datasets import (
     CORPORA,
     Concept,

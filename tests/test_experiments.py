@@ -249,8 +249,20 @@ class TestCli:
             "fig9",
             "fig10",
             "fig11",
+            "lint",
             "crowd",
         }
+
+    def test_lint_experiment_quick(self):
+        result = run_experiment("lint", quick=True)
+        assert result.column("Network") == ["reference", "reference+deps"]
+        reference, constrained = result.rows
+        by_column = dict(zip(result.columns, constrained))
+        # the conflict-seeded variant demonstrates dead-candidate pruning
+        assert by_column["Errors"] > 0
+        assert by_column["Dead"] > 0
+        assert by_column["Pruned |C|"] < by_column["|C|"]
+        assert dict(zip(result.columns, reference))["Errors"] == 0
 
     def test_run_experiment_unknown(self):
         with pytest.raises(KeyError, match="unknown experiment"):

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.core import (
-    Feedback,
+    ConstraintCompilationWarning,
     InformationGainSelection,
     MajorityOracle,
     MatchingNetwork,
@@ -198,16 +198,36 @@ class TestMutualExclusion:
         assert network.engine.is_consistent({c["c1"], c["c2"]})
         assert not network.engine.is_consistent({c["c1"], c["c2"], c["c3"]})
 
-    def test_exclusions_outside_candidates_ignored(
+    def test_exclusions_outside_candidates_warn(
         self, movie_schemas, movie_correspondences
     ):
+        # Exclusions referencing non-candidates cannot be enforced; the
+        # compile used to drop them silently, now it warns.
         c = movie_correspondences
         constraint = MutualExclusionConstraint([[c["c1"], c["c2"]]])
-        network = MatchingNetwork(
-            list(movie_schemas),
-            [c["c3"], c["c4"]],
-            constraints=[OneToOneConstraint(), constraint],
-        )
+        with pytest.warns(ConstraintCompilationWarning, match="outside the"):
+            network = MatchingNetwork(
+                list(movie_schemas),
+                [c["c3"], c["c4"]],
+                constraints=[OneToOneConstraint(), constraint],
+            )
+        assert network.violation_count() == 0
+
+    def test_exclusions_outside_candidates_silent_when_opted_out(
+        self, movie_schemas, movie_correspondences
+    ):
+        import warnings
+
+        c = movie_correspondences
+        constraint = MutualExclusionConstraint([[c["c1"], c["c2"]]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            network = MatchingNetwork(
+                list(movie_schemas),
+                [c["c3"], c["c4"]],
+                constraints=[OneToOneConstraint(), constraint],
+                validate=False,
+            )
         assert network.violation_count() == 0
 
 

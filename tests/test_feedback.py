@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Feedback, Oracle
+from repro.core import Feedback
 
 
 class TestFeedback:

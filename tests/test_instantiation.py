@@ -143,7 +143,6 @@ class TestExactInstantiate:
         assert best == frozenset({c["c1"], c["c4"], c["c5"]})
 
     def test_without_likelihood_ignores_probabilities(self, movie_network, movie_correspondences):
-        c = movie_correspondences
         probabilities = {corr: 0.5 for corr in movie_network.correspondences}
         best = exact_instantiate(
             movie_network, probabilities, use_likelihood=False

@@ -18,7 +18,7 @@ from repro.core import (
     is_matching_instance,
     network_uncertainty,
 )
-from repro.metrics import f_measure, precision, recall
+from repro.metrics import f_measure, precision
 
 
 class TestEndToEndMovieExample:

@@ -10,7 +10,6 @@ from repro.core import (
     Feedback,
     MatchingNetwork,
     OneToOneConstraint,
-    Schema,
 )
 from repro import io
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     ExactEstimator,
-    MatchingNetwork,
     ProbabilisticNetwork,
     SampledEstimator,
     exact_probabilities,

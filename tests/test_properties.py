@@ -9,7 +9,6 @@ bounds, and string-metric axioms.
 
 from __future__ import annotations
 
-import math
 import random
 
 from hypothesis import HealthCheck, given, settings

@@ -62,7 +62,7 @@ class TestStep:
 
 class TestRun:
     def test_run_to_completion(self, session):
-        trace = session.run()
+        session.run()
         assert session.is_done()
         assert session.uncertainty() == pytest.approx(0.0)
 

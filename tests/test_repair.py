@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core import (
-    Feedback,
     MatchingNetwork,
     Schema,
     UnrepairableError,

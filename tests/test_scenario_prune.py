@@ -1,0 +1,126 @@
+"""`prune_dead` / `validate` on ScenarioSpec: golden traces and payoff.
+
+Two halves of the contract:
+
+* nothing dead → :func:`prepare_fixture` hands back the *same* network
+  object and the scenario trace stays bit-identical to the unpruned run;
+* pruning fires → the session runs over a smaller universe, never asks a
+  dead candidate, and (random questioning wastes budget on candidates
+  that appear in no instance) the seeded runs end at equal-or-lower
+  uncertainty on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import LintError
+from repro.core.repair import greedy_maximalize
+from repro.experiments import (
+    ScenarioSpec,
+    run_scenario,
+    synthetic_fixture,
+)
+from repro.experiments.lint_network import _constrained_variant
+from repro.experiments.scenarios import prepare_fixture
+
+SEEDS = (0, 1, 2)
+
+
+def plain_fixture(seed):
+    return synthetic_fixture(
+        120,
+        n_schemas=6,
+        attributes_per_schema=20,
+        conflict_bias=0.6,
+        seed=seed,
+    )
+
+
+def conflicted_fixture(seed):
+    """A fixture whose network carries statically-dead candidates."""
+    fixture = plain_fixture(seed)
+    network = _constrained_variant(fixture.network, seed=seed, dependencies=25)
+    truth = frozenset(
+        greedy_maximalize(set(), network.correspondences, [], network.engine)
+    )
+    return replace(fixture, network=network, ground_truth=truth)
+
+
+class TestNothingDead:
+    def test_fixture_object_reused(self):
+        fixture = plain_fixture(3)
+        spec = ScenarioSpec(prune_dead=True, validate=True, seed=3)
+        assert prepare_fixture(fixture, spec) is fixture
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_golden_traces_bit_identical(self, seed):
+        fixture = plain_fixture(seed)
+        base = dict(budget=25, target_samples=80, seed=seed)
+        off = run_scenario(fixture, ScenarioSpec(**base))
+        on = run_scenario(fixture, ScenarioSpec(prune_dead=True, **base))
+        assert off.trace.steps == on.trace.steps
+        assert off.final_uncertainty == on.final_uncertainty
+        assert off.precision_remaining == on.precision_remaining
+        assert off.recall_approved == on.recall_approved
+
+
+class TestPruningFires:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_session_runs_over_smaller_universe(self, seed):
+        fixture = conflicted_fixture(seed)
+        spec = ScenarioSpec(prune_dead=True, seed=seed)
+        prepared = prepare_fixture(fixture, spec)
+        assert prepared is not fixture
+        dropped = set(fixture.network.correspondences) - set(
+            prepared.network.correspondences
+        )
+        assert dropped
+        # dead candidates are never in the ground truth
+        assert not dropped & fixture.ground_truth
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dead_candidates_never_asked(self, seed):
+        fixture = conflicted_fixture(seed)
+        spec = ScenarioSpec(
+            strategy="random",
+            budget=40,
+            target_samples=150,
+            seed=seed,
+            prune_dead=True,
+        )
+        prepared = prepare_fixture(fixture, spec)
+        dropped = set(fixture.network.correspondences) - set(
+            prepared.network.correspondences
+        )
+        outcome = run_scenario(fixture, spec)
+        asked = {step.correspondence for step in outcome.trace.steps}
+        assert not asked & dropped
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_uncertainty_equivalent_or_better(self, seed):
+        # Random questioning wastes budget on dead candidates; pruning
+        # removes them, so the seeded runs end at lower uncertainty.
+        fixture = conflicted_fixture(seed)
+        base = dict(
+            strategy="random", budget=40, target_samples=150, seed=seed
+        )
+        off = run_scenario(fixture, ScenarioSpec(**base))
+        on = run_scenario(fixture, ScenarioSpec(prune_dead=True, **base))
+        assert on.final_uncertainty <= off.final_uncertainty + 1e-9
+
+
+class TestValidate:
+    def test_validate_raises_on_conflicting_network(self):
+        fixture = conflicted_fixture(0)
+        with pytest.raises(LintError, match="RC004"):
+            run_scenario(fixture, ScenarioSpec(validate=True, budget=5, seed=0))
+
+    def test_validate_passes_on_clean_network(self):
+        fixture = plain_fixture(0)
+        outcome = run_scenario(
+            fixture, ScenarioSpec(validate=True, budget=5, seed=0)
+        )
+        assert outcome.steps == 5

@@ -91,7 +91,6 @@ class TestInformationGainSelection:
 
 class TestEntropySelection:
     def test_selects_most_uncertain(self, movie_schemas, movie_correspondences):
-        c = movie_correspondences
         network = MatchingNetwork(
             list(movie_schemas), list(movie_correspondences.values())
         )
