@@ -1,0 +1,116 @@
+"""Fast chaos smoke for CI: crash at every round boundary, recover, compare.
+
+One seeded crowd session on a small synthetic network is the golden run;
+the smoke then kills a fresh copy at each round boundary with
+``FaultPlan.crash_at_round``, recovers it from the checkpoint + journal,
+finishes the run and asserts the final trace is bit-identical to the
+golden one.  A short timeout-with-retry leg checks graceful dispatch on
+top.  Takes ~2 s; exits non-zero on the first divergence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.durability import (  # noqa: E402
+    FaultPlan,
+    RetryPolicy,
+    SimulatedCrash,
+    recover,
+    run_durable,
+)
+from repro.experiments import synthetic_fixture  # noqa: E402
+from repro.experiments.scenarios import (  # noqa: E402
+    ScenarioSpec,
+    build_crowd_session,
+)
+
+SEED = 0
+SPEC = ScenarioSpec(
+    strategy="information-gain",
+    oracle="crowd",
+    on_conflict="disapprove",
+    target_samples=120,
+    seed=SEED,
+    crowd_workers=6,
+    crowd_reliability="mixed",
+    crowd_redundancy=3,
+    crowd_k=3,
+    crowd_cost=1.0,
+    crowd_budget=36.0,
+)
+
+
+def trace_tuple(trace):
+    return (
+        trace.initial_uncertainty,
+        tuple(
+            (r.questions, r.verdicts, r.votes, r.uncertainty, r.spent)
+            for r in trace.rounds
+        ),
+    )
+
+
+def main() -> int:
+    fixture = synthetic_fixture(
+        110, n_schemas=8, attributes_per_schema=30, seed=5
+    )
+    golden_session = build_crowd_session(fixture, SPEC)
+    golden_session.run()
+    golden = trace_tuple(golden_session.trace)
+    total_rounds = len(golden_session.trace.rounds)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for crash_round in range(1, total_rounds + 1):
+            directory = pathlib.Path(tmp) / f"round{crash_round}"
+            session = build_crowd_session(fixture, SPEC)
+            session.faults = FaultPlan(
+                seed=SEED, crash_at_round=crash_round, latency_mean=0.0
+            )
+            try:
+                run_durable(session, directory)
+            except SimulatedCrash:
+                pass
+            else:
+                print(f"chaos smoke: no crash at round {crash_round}")
+                return 1
+            recovered, _ = recover(directory)
+            run_durable(recovered, directory)
+            if trace_tuple(recovered.trace) != golden:
+                print(
+                    "chaos smoke: recovery diverged after a crash at "
+                    f"round {crash_round}"
+                )
+                return 1
+
+    # Graceful dispatch: 20% timeouts with retry must reproduce the
+    # fault-free answer stream (worker RNG is consumed only on delivery).
+    session = build_crowd_session(fixture, SPEC)
+    session.faults = FaultPlan(
+        seed=SEED,
+        timeout_probability=0.2,
+        latency_mean=0.0,
+        retry=RetryPolicy(),
+    )
+    session.run()
+    if trace_tuple(session.trace) != golden:
+        print("chaos smoke: timeout+retry run diverged from fault-free")
+        return 1
+
+    print(
+        f"chaos smoke: {total_rounds} crash/recover boundaries and the "
+        "retry leg are bit-identical to the golden run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

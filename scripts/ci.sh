@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 CI entrypoint: byte-compile the package, import/dead-store lint,
-# the fast test profile, then the src/repro/{core,crowd,analysis}
+# the fast test profile, then the src/repro/{core,crowd,analysis,durability}
 # line-coverage floors (stdlib settrace tracer over the deterministic test
 # files — the container ships no coverage.py).
 # (pytest.ini deselects the slow benchmark/experiment regenerations; run
@@ -17,6 +17,9 @@ else
     python scripts/import_hygiene.py
 fi
 python -m pytest -q
+# Durability: crash at every round boundary of a seeded crowd run, recover
+# from checkpoint + journal, require a bit-identical final trace.
+python scripts/chaos_smoke.py
 # The traced floor re-runs the deterministic core test files; the overlap
 # with the plain pass above is deliberate — the plain pass is the exact
 # tier-1 gate profile (all tests, no tracer), the floor is a coverage

@@ -1,6 +1,6 @@
 #!/usr/bin/env python
-"""Line-coverage floor for ``src/repro/{core,crowd,analysis}`` — stdlib
-only.
+"""Line-coverage floor for ``src/repro/{core,crowd,analysis,durability}``
+— stdlib only.
 
 The container ships no ``coverage``/``pytest-cov``, so this script measures
 line coverage with a ``sys.settrace`` tracer that activates only for frames
@@ -29,7 +29,7 @@ import threading
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Packages under the floor; each is enforced independently.
-PACKAGES = ("core", "crowd", "analysis")
+PACKAGES = ("core", "crowd", "analysis", "durability")
 PACKAGE_DIRS = {
     name: str(ROOT / "src" / "repro" / name) + os.sep for name in PACKAGES
 }
@@ -59,6 +59,8 @@ TEST_FILES = [
     "tests/test_analysis_implication.py",
     "tests/test_analysis_linter.py",
     "tests/test_scenario_prune.py",
+    "tests/test_durability.py",
+    "tests/test_chaos.py",
 ]
 
 _executed: dict[str, set[int]] = {}

@@ -30,6 +30,7 @@ BENCH_FILES = (
     "benchmarks/test_bench_reconciliation.py",
     "benchmarks/test_bench_crowd.py",
     "benchmarks/test_bench_lint.py",
+    "benchmarks/test_bench_checkpoint.py",
 )
 
 

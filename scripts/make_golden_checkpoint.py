@@ -1,0 +1,67 @@
+"""Regenerate the golden crowd-checkpoint fixture.
+
+Runs the golden-trace scenario frozen in ``tests/test_crowd.py``
+(``TestGoldenTrace.SPEC``) for three of its five rounds and checkpoints
+the live session to ``tests/data/golden_crowd_checkpoint_round3.json``.
+``tests/test_durability.py`` restores that file and plays rounds 4–5,
+asserting the frozen uncertainty tail and final matching — so the fixture
+only needs regenerating when the checkpoint format version is bumped (in
+which case the golden trace itself must not have moved).
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_golden_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.durability import save_checkpoint  # noqa: E402
+from repro.experiments import synthetic_fixture  # noqa: E402
+from repro.experiments.scenarios import (  # noqa: E402
+    ScenarioSpec,
+    build_crowd_session,
+)
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "data"
+    / "golden_crowd_checkpoint_round3.json"
+)
+
+#: Must stay identical to ``TestGoldenTrace.SPEC`` in tests/test_crowd.py.
+SPEC = ScenarioSpec(
+    strategy="information-gain",
+    oracle="crowd",
+    on_conflict="disapprove",
+    target_samples=120,
+    seed=11,
+    crowd_workers=6,
+    crowd_reliability="mixed",
+    crowd_redundancy=3,
+    crowd_k=3,
+    crowd_cost=1.0,
+    crowd_budget=45.0,
+)
+
+
+def main() -> int:
+    fixture = synthetic_fixture(
+        110, n_schemas=8, attributes_per_schema=30, seed=5
+    )
+    session = build_crowd_session(fixture, SPEC)
+    for _ in range(3):
+        session.round()
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    save_checkpoint(session, FIXTURE)
+    print(f"wrote {FIXTURE} ({FIXTURE.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,6 +178,27 @@ class NoisyOracle(Oracle):
             self._verdicts[corr] = verdict
         return verdict
 
+    def get_state(self) -> dict:
+        """Answer-stream RNG state, memoised verdicts and question count.
+
+        What the checkpoint layer needs to restore the oracle mid-session:
+        re-asking a memoised question returns the identical verdict, and a
+        fresh question draws from the exact RNG position the checkpoint
+        captured.  ``error_rate`` and the ground truth travel separately.
+        """
+        return {
+            "rng": self.rng.getstate(),
+            "verdicts": list(self._verdicts.items()),
+            "assertions_made": self.assertions_made,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore the live state captured by :meth:`get_state`."""
+        version, internal, gauss = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss))
+        self._verdicts = {corr: bool(v) for corr, v in state["verdicts"]}
+        self.assertions_made = int(state["assertions_made"])
+
 
 class MajorityOracle(Oracle):
     """Aggregates several (noisy) workers by majority vote.

@@ -129,6 +129,19 @@ class SampledEstimator(ProbabilityEstimator):
         self.store = SampleStore(network, sampler, target_samples=target_samples)
         self.network = network
 
+    @classmethod
+    def from_store(cls, store: SampleStore) -> "SampledEstimator":
+        """Wrap an existing (e.g. checkpoint-restored) store directly.
+
+        The normal constructor builds and *fills* a fresh store; restoring
+        a session must instead adopt the store rebuilt by
+        :meth:`~repro.core.sampling.SampleStore.from_state` untouched.
+        """
+        estimator = cls.__new__(cls)
+        estimator.store = store
+        estimator.network = store.network
+        return estimator
+
     @property
     def feedback(self) -> Feedback:
         return self.store.feedback

@@ -150,6 +150,10 @@ class ReconciliationSession:
     strategy:
         The ``select`` routine of Algorithm 1; defaults to the random
         baseline.
+    journal:
+        Optional :class:`~repro.durability.journal.FeedbackJournal`; when
+        attached, every elicited verdict is journaled durably *before*
+        integration and every step ends with a commit record.
     """
 
     def __init__(
@@ -159,6 +163,7 @@ class ReconciliationSession:
         strategy: Optional[SelectionStrategy] = None,
         rng: Optional[random.Random] = None,
         on_conflict: str = "raise",
+        journal=None,
     ):
         if on_conflict not in ("raise", "disapprove"):
             raise ValueError("on_conflict must be 'raise' or 'disapprove'")
@@ -166,6 +171,7 @@ class ReconciliationSession:
         self.oracle = oracle
         self.strategy = strategy or RandomSelection(rng=rng)
         self.on_conflict = on_conflict
+        self.journal = journal
         self.conflicts_resolved = 0
         self.approvals_retracted = 0
         self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
@@ -215,7 +221,20 @@ class ReconciliationSession:
         corr = self.strategy.select(self.pnet)
         if corr is None:
             return None
+        step_index = len(self.trace.steps) + 1
         approved = self.oracle.assert_correspondence(corr)
+        if self.journal is not None:
+            from .. import io as _io
+
+            self.journal.append(
+                {
+                    "type": "assertion",
+                    "step": step_index,
+                    "corr": _io.correspondence_to_dict(corr),
+                    "approved": bool(approved),
+                }
+            )
+        retracted: list[Correspondence] = []
         try:
             self.pnet.record_assertion(corr, approved)
         except InconsistentFeedbackError:
@@ -228,14 +247,36 @@ class ReconciliationSession:
                 {step.correspondence: step.index for step in self.trace.steps},
             )
             self.approvals_retracted += len(retracted)
+        if self.journal is not None and retracted:
+            from .. import io as _io
+
+            for victim in retracted:
+                self.journal.append(
+                    {
+                        "type": "retraction",
+                        "step": step_index,
+                        "corr": _io.correspondence_to_dict(victim),
+                        "cause": _io.correspondence_to_dict(corr),
+                    }
+                )
         record = ReconciliationStep(
-            index=len(self.trace.steps) + 1,
+            index=step_index,
             correspondence=corr,
             approved=approved,
             uncertainty=self.uncertainty(),
             effort=self.effort(),
         )
         self.trace.steps.append(record)
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "step-commit",
+                    "step": record.index,
+                    "approved": bool(record.approved),
+                    "uncertainty": record.uncertainty,
+                    "effort": record.effort,
+                }
+            )
         return record
 
     def run(

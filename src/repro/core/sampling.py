@@ -90,6 +90,24 @@ class InstanceSampler:
         # deterministic while the two streams remain independent.
         self.np_rng = np.random.default_rng(self.rng.getrandbits(64))
 
+    def get_state(self) -> dict:
+        """Both RNG streams' states, as plain Python objects.
+
+        The checkpoint layer (:mod:`repro.durability`) persists this so a
+        restored sampler continues the *same* walk and emission streams;
+        the configuration knobs travel separately in the checkpoint.
+        """
+        return {
+            "rng": self.rng.getstate(),
+            "np_rng": self.np_rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore both RNG streams captured by :meth:`get_state`."""
+        version, internal, gauss = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss))
+        self.np_rng.bit_generator.state = state["np_rng"]
+
     def walk_states(
         self, n_samples: int, feedback: Optional[Feedback] = None
     ) -> tuple[list[int], int]:
@@ -260,6 +278,55 @@ class SampleStore:
         self._prob_vector_cache: Optional[np.ndarray] = None
         self._frequency_cache: Optional[Mapping[Correspondence, float]] = None
         self.refresh()
+
+    def get_state(self) -> dict:
+        """The store's persistent state: Ω* masks, feedback, flags.
+
+        Everything else the store holds (membership matrices, counts,
+        frequency views) is derived from these and rebuilt lazily after
+        :meth:`from_state`; the sampler's RNG streams travel via
+        :meth:`InstanceSampler.get_state`.
+        """
+        return {
+            "sample_masks": list(self._sample_masks),
+            "approved": sorted(self.feedback.approved),
+            "disapproved": sorted(self.feedback.disapproved),
+            "exhausted": self._exhausted,
+            "version": self.version,
+            "target_samples": self.target_samples,
+            "min_samples": self.min_samples,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        network: MatchingNetwork,
+        sampler: InstanceSampler,
+        state: dict,
+    ) -> "SampleStore":
+        """Rebuild a store from :meth:`get_state` without re-sampling.
+
+        The normal constructor refills the store (consuming sampler RNG);
+        a restore must instead adopt the checkpointed Ω* verbatim so the
+        RNG streams stay exactly where the checkpoint left them.
+        """
+        store = cls.__new__(cls)
+        store.network = network
+        store.sampler = sampler
+        store.target_samples = state["target_samples"]
+        store.min_samples = state["min_samples"]
+        store.feedback = Feedback(state["approved"], state["disapproved"])
+        store._sample_masks = list(state["sample_masks"])
+        store._sample_set = set(store._sample_masks)
+        store._exhausted = bool(state["exhausted"])
+        store.version = int(state["version"])
+        store._samples_cache = None
+        store._matrix_cache = None
+        store._matrix_float_cache = None
+        store._counts_cache = None
+        store._prob_vector_cache = None
+        store._frequency_cache = None
+        return store
 
     @property
     def samples(self) -> Sequence[frozenset[Correspondence]]:

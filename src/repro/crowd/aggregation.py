@@ -62,6 +62,18 @@ class WorkerStats:
             for worker_id, votes in sorted(self._votes.items())
         }
 
+    def get_state(self) -> dict:
+        """Raw agreement counters, for the checkpoint layer."""
+        return {
+            "votes": dict(sorted(self._votes.items())),
+            "agreed": dict(sorted(self._agreed.items())),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore counters captured by :meth:`get_state`."""
+        self._votes = {k: int(v) for k, v in state["votes"].items()}
+        self._agreed = {k: int(v) for k, v in state["agreed"].items()}
+
 
 class Aggregator(abc.ABC):
     """Reduces one question's votes to a single approve/disapprove."""

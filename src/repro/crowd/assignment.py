@@ -60,6 +60,12 @@ class RoundRobinAssignment(AssignmentPolicy):
     def __init__(self) -> None:
         self._cursor = 0
 
+    def get_state(self) -> dict:
+        return {"cursor": self._cursor}
+
+    def set_state(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])
+
     def assign(
         self,
         questions: Sequence[Correspondence],
@@ -103,6 +109,14 @@ class ReliabilityAwareAssignment(AssignmentPolicy):
             raise ValueError("exploration must lie in [0, 1]")
         self.exploration = exploration
         self.rng = rng or random.Random()
+
+    def get_state(self) -> dict:
+        return {"exploration": self.exploration, "rng": self.rng.getstate()}
+
+    def set_state(self, state: dict) -> None:
+        self.exploration = float(state["exploration"])
+        version, internal, gauss = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss))
 
     def assign(
         self,

@@ -69,6 +69,44 @@ class BudgetLedger:
         self.answers_charged += 1
         self._per_worker[worker_id] = self._per_worker.get(worker_id, 0) + 1
 
+    def apply_shock(self, delta: float) -> None:
+        """Adjust the budget cap mid-run (fault injection: funding shocks).
+
+        Negative deltas model funding cuts; a cut below current spend
+        simply exhausts the ledger (``remaining`` floors at zero — no
+        clawback of answers already paid for).  A shock on an *uncapped*
+        ledger first crystallises the cap at the current spend, so a cut
+        stops further answers and a raise grants exactly ``delta`` more
+        headroom.
+        """
+        if self.budget is None:
+            self.budget = self.spent
+        self.budget = max(0.0, self.budget + delta)
+
+    def get_state(self) -> dict:
+        """The ledger's full state, for the checkpoint layer."""
+        return {
+            "cost_per_answer": self.cost_per_answer,
+            "budget": self.budget,
+            "spent": self.spent,
+            "answers_charged": self.answers_charged,
+            "per_worker": dict(sorted(self._per_worker.items())),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BudgetLedger":
+        """Rebuild a mid-session ledger captured by :meth:`get_state`."""
+        ledger = cls(
+            cost_per_answer=state["cost_per_answer"], budget=state["budget"]
+        )
+        ledger.spent = float(state["spent"])
+        ledger.answers_charged = int(state["answers_charged"])
+        ledger._per_worker = {
+            worker_id: int(count)
+            for worker_id, count in state["per_worker"].items()
+        }
+        return ledger
+
     @property
     def per_worker_answers(self) -> Mapping[str, int]:
         """``worker_id → answers charged``, for trace reporting."""

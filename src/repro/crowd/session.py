@@ -41,6 +41,7 @@ from ..core.correspondence import Correspondence
 from ..core.probability import ProbabilisticNetwork, SampledEstimator
 from ..core.reconciliation import resolve_conflicting_approval
 from ..core.uncertainty import binary_entropy_cached, information_gain_array
+from ..io import correspondence_to_dict
 from .aggregation import Aggregator, MajorityVote, Vote, WorkerStats
 from .assignment import AssignmentPolicy, RoundRobinAssignment
 from .budget import BudgetLedger
@@ -67,6 +68,23 @@ class CrowdRound:
     answers: int
     uncertainty: float
     effort: float
+    # Fault-injection accounting (repro.durability.faults).  All default to
+    # the fault-free values so traces of un-faulted sessions are unchanged.
+    #: Answers lost to timeouts — after retries, so a transient timeout a
+    #: retry recovered does not count (or degrade the round).
+    timeouts: int = 0
+    #: Workers who abandoned a question outright (never retried).
+    dropouts: int = 0
+    #: Questions that collected zero votes (re-queued or skipped).
+    unanswered: tuple[Correspondence, ...] = ()
+    #: True when any fault degraded this round (partial votes, lost
+    #: questions) — the graceful-degradation flag, distinct from the
+    #: budget-driven ``truncated``.
+    degraded: bool = False
+    #: Simulated seconds of answer latency + backoff accumulated.
+    latency: float = 0.0
+    #: Budget delta a fault plan applied at the start of this round.
+    shock: float = 0.0
 
 
 @dataclass
@@ -142,6 +160,17 @@ class CrowdSession:
         round (backfilling if fewer than ``k`` diverse candidates exist).
         Same-violation candidates carry heavily overlapping information, so
         a diversified batch loses far less to within-round staleness.
+    faults:
+        Optional :class:`~repro.durability.faults.FaultPlan` injected into
+        dispatch: per-attempt timeouts (retried with exponential backoff
+        when the plan carries a retry policy), worker dropouts, simulated
+        latency with a per-question deadline, budget shocks and a
+        crash-at-round.  ``None`` (default) leaves the dispatch path —
+        and therefore every existing golden trace — bit-identical.
+    journal:
+        Optional :class:`~repro.durability.journal.FeedbackJournal`; when
+        attached, every aggregated verdict is journaled durably *before*
+        integration and every round ends with a commit record.
     """
 
     def __init__(
@@ -156,6 +185,8 @@ class CrowdSession:
         ledger: Optional[BudgetLedger] = None,
         on_conflict: str = "disapprove",
         diversify: bool = True,
+        faults=None,
+        journal=None,
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -175,10 +206,15 @@ class CrowdSession:
         self.ledger = ledger or BudgetLedger()
         self.on_conflict = on_conflict
         self.diversify = diversify
+        self.faults = faults
+        self.journal = journal
         self.stats = WorkerStats()
         self.conflicts_resolved = 0
         self.approvals_retracted = 0
         self._assertion_order: dict[Correspondence, int] = {}
+        #: Questions that collected zero votes under fault injection and
+        #: were re-queued; served ahead of fresh selections next round.
+        self._requeued: list[Correspondence] = []
         self.trace = CrowdTrace(initial_uncertainty=self.uncertainty())
 
     # ------------------------------------------------------------------
@@ -215,6 +251,30 @@ class CrowdSession:
     # ------------------------------------------------------------------
     def select_questions(self) -> list[Correspondence]:
         """The round's top-``k`` questions under the session criterion.
+
+        Questions re-queued by fault injection (zero votes collected) are
+        served first — they were already judged worth asking and their
+        information was never bought; the remaining slots come from the
+        fresh ranking.  Without faults the re-queue is always empty and
+        this is exactly the ranked selection.
+        """
+        if not self._requeued:
+            return self._select_ranked()
+        feedback = self.pnet.feedback
+        requeued: list[Correspondence] = []
+        seen: set[Correspondence] = set()
+        for corr in self._requeued:
+            if corr not in seen and not feedback.is_asserted(corr):
+                requeued.append(corr)
+                seen.add(corr)
+        self._requeued = []
+        if len(requeued) >= self.k:
+            return requeued[: self.k]
+        fresh = [c for c in self._select_ranked() if c not in seen]
+        return (requeued + fresh)[: self.k]
+
+    def _select_ranked(self) -> list[Correspondence]:
+        """The criterion's top-``k`` ranking over the batched arrays.
 
         Scores come straight from the core's batched representations — the
         information-gain vector over the store's membership matrix, the
@@ -280,10 +340,17 @@ class CrowdSession:
     # ------------------------------------------------------------------
     # The crowd loop
     # ------------------------------------------------------------------
-    def _integrate(self, corr: Correspondence, approved: bool) -> bool:
-        """Feed one aggregated verdict through the feedback plumbing."""
+    def _integrate(
+        self, corr: Correspondence, approved: bool
+    ) -> tuple[bool, list[Correspondence]]:
+        """Feed one aggregated verdict through the feedback plumbing.
+
+        Returns the final verdict (conflict repair may flip it) plus the
+        approvals the repair retracted, so callers can journal them.
+        """
         from ..core.instances import InconsistentFeedbackError
 
+        retracted: list[Correspondence] = []
         try:
             self.pnet.record_assertion(corr, approved)
         except InconsistentFeedbackError:
@@ -295,7 +362,59 @@ class CrowdSession:
             )
             self.approvals_retracted += len(retracted)
         self._assertion_order[corr] = len(self._assertion_order) + 1
-        return approved
+        return approved, retracted
+
+    def _dispatch_faulted(
+        self, corr: Correspondence, workers
+    ) -> tuple[list[Vote], int, int, float, bool]:
+        """Dispatch one question under the session's fault plan.
+
+        Per worker: a dropout loses the worker for the question outright; a
+        timeout is retried with exponential backoff when the plan carries a
+        retry policy; every attempt accrues simulated latency against the
+        per-question deadline, after which the remaining dispatches are
+        skipped as timeouts.  Only *delivered* answers are charged, so the
+        budget semantics mirror the fault-free path: when a charge cannot
+        be funded, dispatch stops and the round is budget-truncated.
+
+        Returns ``(votes, timeouts, dropouts, latency, truncated)``.
+        """
+        plan = self.faults
+        votes: list[Vote] = []
+        timeouts = 0
+        dropouts = 0
+        elapsed = 0.0
+        truncated = False
+        deadline = plan.question_timeout
+        for worker in workers:
+            if deadline is not None and elapsed > deadline:
+                timeouts += 1
+                continue
+            if plan.draw_dropout():
+                dropouts += 1
+                continue
+            attempts = 1 + (plan.retry.max_retries if plan.retry else 0)
+            for attempt in range(attempts):
+                if not self.ledger.can_afford(1):
+                    truncated = True
+                    break
+                elapsed += plan.draw_latency()
+                if deadline is not None and elapsed > deadline:
+                    timeouts += 1
+                    break
+                if plan.draw_timeout():
+                    if plan.retry is not None and attempt + 1 < attempts:
+                        elapsed += plan.retry.delay(attempt)
+                        continue
+                    # Retries exhausted (or none configured): answer lost.
+                    timeouts += 1
+                    break
+                self.ledger.charge(worker.worker_id)
+                votes.append((worker.worker_id, worker.answer(corr)))
+                break
+            if truncated:
+                break
+        return votes, timeouts, dropouts, elapsed, truncated
 
     def round(self, max_questions: Optional[int] = None) -> Optional[CrowdRound]:
         """Dispatch one batched round; ``None`` when nothing can be asked.
@@ -308,6 +427,13 @@ class CrowdSession:
         cannot fund even one answer stops the round — the trace marks it
         ``truncated``.
         """
+        faults = self.faults
+        round_index = len(self.trace.rounds) + 1
+        shock = 0.0
+        if faults is not None:
+            shock = faults.shock_for_round(round_index)
+            if shock:
+                self.ledger.apply_shock(shock)
         if self.ledger.exhausted:
             return None
         if max_questions is not None and max_questions < 1:
@@ -323,32 +449,77 @@ class CrowdSession:
         asked: list[Correspondence] = []
         verdicts: list[bool] = []
         votes_record: list[tuple[Vote, ...]] = []
+        unanswered: list[Correspondence] = []
         conflicts_before = self.conflicts_resolved
         retracted_before = self.approvals_retracted
         truncated = False
+        timeouts = 0
+        dropouts = 0
+        latency = 0.0
         for corr, workers in zip(questions, assignments):
-            affordable = self.ledger.affordable_answers()
-            if affordable < 1:
-                truncated = True
-                break
-            if affordable < len(workers):
-                workers = workers[: int(affordable)]
-                truncated = True
-            votes: list[Vote] = []
-            for worker in workers:
-                self.ledger.charge(worker.worker_id)
-                votes.append((worker.worker_id, worker.answer(corr)))
+            if faults is None:
+                affordable = self.ledger.affordable_answers()
+                if affordable < 1:
+                    truncated = True
+                    break
+                if affordable < len(workers):
+                    workers = workers[: int(affordable)]
+                    truncated = True
+                votes: list[Vote] = []
+                for worker in workers:
+                    self.ledger.charge(worker.worker_id)
+                    votes.append((worker.worker_id, worker.answer(corr)))
+            else:
+                votes, q_timeouts, q_dropouts, q_latency, q_truncated = (
+                    self._dispatch_faulted(corr, workers)
+                )
+                timeouts += q_timeouts
+                dropouts += q_dropouts
+                latency += q_latency
+                truncated = truncated or q_truncated
+                if not votes:
+                    if q_truncated:
+                        # Budget death, not a fault: stop the round exactly
+                        # as the fault-free path does.
+                        break
+                    # Every worker dropped out or timed out: the question
+                    # was never answered — re-queue it (or skip it) and
+                    # flag the round instead of failing.
+                    unanswered.append(corr)
+                    if faults.requeue:
+                        self._requeued.append(corr)
+                    continue
             verdict = self.aggregator.aggregate(votes, self.stats)
             for worker_id, vote in votes:
                 self.stats.record_agreement(worker_id, vote == verdict)
-            verdict = self._integrate(corr, verdict)
+            if self.journal is not None:
+                self.journal.append(
+                    {
+                        "type": "question",
+                        "round": round_index,
+                        "corr": correspondence_to_dict(corr),
+                        "votes": [[wid, bool(v)] for wid, v in votes],
+                        "verdict": bool(verdict),
+                    }
+                )
+            verdict, retracted = self._integrate(corr, verdict)
+            if self.journal is not None:
+                for victim in retracted:
+                    self.journal.append(
+                        {
+                            "type": "retraction",
+                            "round": round_index,
+                            "corr": correspondence_to_dict(victim),
+                            "cause": correspondence_to_dict(corr),
+                        }
+                    )
             asked.append(corr)
             verdicts.append(verdict)
             votes_record.append(tuple(votes))
-        if not asked:
+        if not asked and not (faults is not None and (unanswered or shock)):
             return None
         record = CrowdRound(
-            index=len(self.trace.rounds) + 1,
+            index=round_index,
             questions=tuple(asked),
             verdicts=tuple(verdicts),
             votes=tuple(votes_record),
@@ -359,8 +530,30 @@ class CrowdSession:
             answers=self.ledger.answers_charged,
             uncertainty=self.uncertainty(),
             effort=self.effort(),
+            timeouts=timeouts,
+            dropouts=dropouts,
+            unanswered=tuple(unanswered),
+            degraded=bool(timeouts or dropouts or unanswered),
+            latency=latency,
+            shock=shock,
         )
         self.trace.rounds.append(record)
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "round-commit",
+                    "round": record.index,
+                    "max_questions": max_questions,
+                    "questions": len(record.questions),
+                    "answers": record.answers,
+                    "spent": record.spent,
+                    "uncertainty": record.uncertainty,
+                }
+            )
+        if faults is not None and faults.crash_at_round == record.index:
+            from ..durability.faults import SimulatedCrash
+
+            raise SimulatedCrash(record.index)
         return record
 
     def run(
@@ -392,6 +585,10 @@ class CrowdSession:
             )
             record = self.round(max_questions=remaining)
             if record is None:
+                break
+            if not record.questions:
+                # A fully-faulted round (every question lost to dropouts or
+                # timeouts) made no progress; stop rather than loop forever.
                 break
             current = record.uncertainty
         return self.trace

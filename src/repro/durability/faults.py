@@ -1,0 +1,192 @@
+"""Fault injection for crowd dispatch: the chaos half of durability.
+
+A :class:`FaultPlan` describes everything that can go wrong between a
+session and its workers — transient answer timeouts, workers dropping out
+of a question entirely, simulated answer latency, mid-run budget shocks and
+a deterministic crash at a chosen round boundary — plus the
+:class:`RetryPolicy` that decides how hard dispatch fights back.
+
+Two invariants make the plan safe to wire through
+:class:`~repro.crowd.session.CrowdSession`:
+
+* **Isolation.**  All fault draws come from the plan's *own* seeded
+  ``random.Random``.  Worker answer streams, assignment exploration and the
+  sampler never see an extra draw, so a faulted run stays statistically
+  comparable to the fault-free run at equal budget, and ``faults=None``
+  leaves existing golden traces bit-identical.
+* **Determinism.**  The plan's RNG state is captured by checkpoints
+  (:mod:`repro.durability.checkpoint`), so re-executing journaled rounds
+  after a crash re-draws the *same* faults and recovery stays bit-identical
+  to the uninterrupted run.  ``crash_at_round`` is deliberately *not*
+  re-armed on restore — the crash already happened; a recovered session
+  must run past it.
+
+Latency is simulated (a per-attempt exponential draw accumulated into the
+round record), never slept: chaos tests and benches stay fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a session when its fault plan kills it at a round boundary.
+
+    Raised *after* the round's journal commit record is durable, modelling a
+    process death between rounds — exactly the point crash-recovery
+    equivalence tests kill at.
+    """
+
+    def __init__(self, round_index: int):
+        super().__init__(f"simulated crash after round {round_index}")
+        self.round_index = round_index
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff against transient (timeout) failures.
+
+    A timed-out answer is retried up to ``max_retries`` times; attempt
+    ``i`` waits ``backoff_base * backoff_factor**i`` simulated seconds
+    before redispatching.  Dropouts are *not* retried — a worker who
+    abandoned the question is gone for the round.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0.0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def delay(self, attempt: int) -> float:
+        """Simulated wait before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+
+class FaultPlan:
+    """What goes wrong, when, and how the session should cope.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the plan's private fault stream (isolation invariant above).
+    timeout_probability:
+        Per-attempt chance an answer times out.  Transient: a retry (under
+        ``retry``) re-draws and usually succeeds.
+    dropout_probability:
+        Per-dispatch chance the worker abandons the question outright.
+        Permanent for the question: retries do not help.
+    latency_mean:
+        Mean of the per-attempt exponential simulated-latency draw (0
+        disables latency simulation entirely — no draw is made).
+    question_timeout:
+        Cap on one question's accumulated simulated time (answer latencies
+        plus backoff waits); once exceeded, the question's remaining
+        dispatches are skipped and counted as timeouts.
+    crash_at_round:
+        Raise :class:`SimulatedCrash` after this round commits.
+    budget_shocks:
+        ``round_index → delta`` applied to the ledger at the start of that
+        round (negative deltas model funding cuts).
+    retry:
+        The :class:`RetryPolicy` for timed-out answers; ``None`` disables
+        retries (graceful-degradation mode).
+    requeue:
+        Re-queue questions that collected zero votes for the next round
+        (default); ``False`` drops them, the round is flagged either way.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        timeout_probability: float = 0.0,
+        dropout_probability: float = 0.0,
+        latency_mean: float = 0.05,
+        question_timeout: Optional[float] = None,
+        crash_at_round: Optional[int] = None,
+        budget_shocks: Optional[Mapping[int, float]] = None,
+        retry: Optional[RetryPolicy] = None,
+        requeue: bool = True,
+    ):
+        for name, probability in (
+            ("timeout_probability", timeout_probability),
+            ("dropout_probability", dropout_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if latency_mean < 0.0:
+            raise ValueError("latency_mean must be non-negative")
+        if question_timeout is not None and question_timeout <= 0.0:
+            raise ValueError("question_timeout must be positive")
+        if crash_at_round is not None and crash_at_round < 1:
+            raise ValueError("crash_at_round must be a 1-based round index")
+        self.seed = seed
+        self.timeout_probability = timeout_probability
+        self.dropout_probability = dropout_probability
+        self.latency_mean = latency_mean
+        self.question_timeout = question_timeout
+        self.crash_at_round = crash_at_round
+        self.budget_shocks: dict[int, float] = dict(budget_shocks or {})
+        self.retry = retry
+        self.requeue = requeue
+        self.rng = random.Random(seed)
+
+    def clone(self) -> "FaultPlan":
+        """A fresh plan with the same knobs and a *reset* fault stream.
+
+        Scenario harnesses hand one plan to many sessions; cloning keeps
+        each session's fault draws independent of run order.
+        """
+        return FaultPlan(
+            seed=self.seed,
+            timeout_probability=self.timeout_probability,
+            dropout_probability=self.dropout_probability,
+            latency_mean=self.latency_mean,
+            question_timeout=self.question_timeout,
+            crash_at_round=self.crash_at_round,
+            budget_shocks=self.budget_shocks,
+            retry=self.retry,
+            requeue=self.requeue,
+        )
+
+    # ------------------------------------------------------------------
+    # Draws (each consumes the plan's private stream, never the session's)
+    # ------------------------------------------------------------------
+    def draw_dropout(self) -> bool:
+        """Does this worker abandon the question?  (No draw when p=0.)"""
+        if self.dropout_probability <= 0.0:
+            return False
+        return self.rng.random() < self.dropout_probability
+
+    def draw_timeout(self) -> bool:
+        """Does this dispatch attempt time out?  (No draw when p=0.)"""
+        if self.timeout_probability <= 0.0:
+            return False
+        return self.rng.random() < self.timeout_probability
+
+    def draw_latency(self) -> float:
+        """Simulated seconds this attempt takes.  (No draw when mean=0.)"""
+        if self.latency_mean <= 0.0:
+            return 0.0
+        return self.rng.expovariate(1.0 / self.latency_mean)
+
+    def shock_for_round(self, round_index: int) -> float:
+        """The budget delta scheduled for ``round_index`` (0 when none)."""
+        return self.budget_shocks.get(round_index, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, timeout={self.timeout_probability:g}, "
+            f"dropout={self.dropout_probability:g}, "
+            f"crash_at_round={self.crash_at_round}, "
+            f"retry={'on' if self.retry else 'off'})"
+        )

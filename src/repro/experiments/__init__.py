@@ -6,6 +6,7 @@ and the ``benchmarks/`` suite are thin wrappers over these runners.
 """
 
 from . import (
+    chaos,
     crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
@@ -49,6 +50,7 @@ __all__ = [
     "build_crowd_session",
     "build_fixture",
     "build_session",
+    "chaos",
     "conflicted_subnetwork",
     "crowd_budget",
     "lint_network",

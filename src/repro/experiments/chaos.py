@@ -1,0 +1,170 @@
+"""Chaos experiment — crowd reconciliation under injected worker faults.
+
+The crowd-vs-expert comparison (:mod:`~repro.experiments.crowd_budget`)
+assumes every dispatched question comes back answered.  Real marketplaces
+do not: workers time out, abandon questions, and funding moves mid-run.
+This experiment measures how much uncertainty reduction survives at **equal
+answer budget** when dispatch is degraded by a
+:class:`~repro.durability.faults.FaultPlan`:
+
+* **dropout** — the worker abandons the question outright; retries cannot
+  help, the session re-queues starved questions and flags the round;
+* **timeout** — the answer is lost in transit; transient, so an
+  exponential-backoff :class:`~repro.durability.faults.RetryPolicy`
+  recovers most of them at the cost of simulated latency.
+
+Each row sweeps one fault probability (0–30 %) across three dispatch
+regimes — dropouts, timeouts without retry (graceful degradation), and
+timeouts with retry/backoff — reporting H/H₀ at the shared budget plus the
+degraded-round and lost-question counts.  The fault-free column is the
+anchor: the acceptance criterion for the durability layer is that 20 %
+timeouts *with retry* stay within 10 % of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..durability.faults import FaultPlan, RetryPolicy
+from .crowd_budget import reference_fixture
+from .reporting import ExperimentResult
+from .scenarios import ScenarioSpec, run_scenario
+
+
+def chaos_spec(
+    budget: float,
+    seed: int,
+    target_samples: int,
+    faults: Optional[FaultPlan],
+    name: str,
+    workers: int = 12,
+    k: int = 4,
+    redundancy: int = 3,
+) -> ScenarioSpec:
+    """One crowd scenario with (or without) a fault plan attached."""
+    return ScenarioSpec(
+        strategy="information-gain",
+        oracle="crowd",
+        on_conflict="disapprove",
+        target_samples=target_samples,
+        seed=seed,
+        crowd_workers=workers,
+        crowd_reliability="mixed",
+        crowd_redundancy=redundancy,
+        crowd_k=k,
+        crowd_cost=1.0,
+        crowd_budget=budget,
+        faults=faults,
+        name=name,
+    )
+
+
+def run(
+    fault_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    budget: float = 240.0,
+    workers: int = 12,
+    k: int = 4,
+    redundancy: int = 3,
+    seed: int = 3,
+    target_samples: int = 250,
+    network_overrides: Optional[dict] = None,
+) -> ExperimentResult:
+    """Uncertainty vs. fault rate at equal budget, across dispatch regimes.
+
+    ``network_overrides`` shrinks the reference network for quick runs.
+    """
+    fixture = reference_fixture(**(network_overrides or {}))
+    result = ExperimentResult(
+        experiment="chaos",
+        title="Crowd uncertainty reduction under injected worker faults",
+        columns=(
+            "fault rate",
+            "H/H0 fault-free",
+            "H/H0 dropout",
+            "H/H0 timeout",
+            "H/H0 timeout+retry",
+            "lost questions (dropout)",
+            "degraded rounds (timeout)",
+            "degraded rounds (+retry)",
+        ),
+        notes=(
+            f"reference synthetic network, {workers} mixed workers, k={k}, "
+            f"r={redundancy}, budget={budget:g} answers at unit cost; "
+            "H/H0 is final/initial uncertainty at the shared budget; "
+            "retry = exponential backoff, 3 attempts"
+        ),
+    )
+    clean = run_scenario(
+        fixture,
+        chaos_spec(
+            budget,
+            seed,
+            target_samples,
+            None,
+            "fault-free",
+            workers=workers,
+            k=k,
+            redundancy=redundancy,
+        ),
+    )
+    for rate in fault_rates:
+        regimes = {
+            "dropout": FaultPlan(
+                seed=seed, dropout_probability=rate, latency_mean=0.0
+            ),
+            "timeout": FaultPlan(
+                seed=seed, timeout_probability=rate, latency_mean=0.0
+            ),
+            "timeout+retry": FaultPlan(
+                seed=seed,
+                timeout_probability=rate,
+                latency_mean=0.0,
+                retry=RetryPolicy(),
+            ),
+        }
+        outcomes = {
+            name: run_scenario(
+                fixture,
+                chaos_spec(
+                    budget,
+                    seed,
+                    target_samples,
+                    plan,
+                    f"{name}@{rate:g}",
+                    workers=workers,
+                    k=k,
+                    redundancy=redundancy,
+                ),
+            )
+            for name, plan in regimes.items()
+        }
+        dropout_rounds = outcomes["dropout"].trace.rounds
+        timeout_rounds = outcomes["timeout"].trace.rounds
+        retry_rounds = outcomes["timeout+retry"].trace.rounds
+        result.add_row(
+            rate,
+            clean.uncertainty_ratio,
+            outcomes["dropout"].uncertainty_ratio,
+            outcomes["timeout"].uncertainty_ratio,
+            outcomes["timeout+retry"].uncertainty_ratio,
+            sum(len(r.unanswered) for r in dropout_rounds),
+            sum(1 for r in timeout_rounds if r.degraded),
+            sum(1 for r in retry_rounds if r.degraded),
+        )
+    return result
+
+
+def retry_margin(result: ExperimentResult, rate: float = 0.2) -> float:
+    """H/H₀ gap between retry and fault-free dispatch at one fault rate.
+
+    The durability acceptance criterion bounds this at 0.1: with 20 %
+    timeouts, retry/backoff must land within 10 % (of initial uncertainty)
+    of the fault-free run at equal budget.
+    """
+    rates = result.column("fault rate")
+    clean = result.column("H/H0 fault-free")
+    retry = result.column("H/H0 timeout+retry")
+    for row_rate, row_clean, row_retry in zip(rates, clean, retry):
+        if abs(row_rate - rate) < 1e-12:
+            return abs(row_retry - row_clean)
+    raise KeyError(f"fault rate {rate:g} not in the result grid")

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from . import (
+    chaos,
     crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
@@ -54,6 +55,20 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
         {
             "budgets": (90.0, 180.0, 270.0),
             "redundancies": (3,),
+            "target_samples": 150,
+            "network_overrides": {
+                "n_correspondences": 260,
+                "n_schemas": 12,
+                "attributes_per_schema": 40,
+                "conflict_bias": 0.5,
+            },
+        },
+    ),
+    "chaos": (
+        chaos.run,
+        {
+            "fault_rates": (0.0, 0.2),
+            "budget": 120.0,
             "target_samples": 150,
             "network_overrides": {
                 "n_correspondences": 260,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from ..core.feedback import NoisyOracle, Oracle
+from ..durability.faults import FaultPlan
 from ..core.probability import ProbabilisticNetwork
 from ..core.reconciliation import ReconciliationSession, ReconciliationTrace
 from ..crowd import (
@@ -110,6 +111,17 @@ class ScenarioSpec:
     crowd_rounds: Optional[int] = None
     crowd_aggregator: str = "weighted"
     crowd_assignment: str = "reliability"
+    # Durability fields (repro.durability).
+    #: Fault-injection plan wired into crowd dispatch; the session gets a
+    #: :meth:`~repro.durability.faults.FaultPlan.clone` so one spec can be
+    #: run repeatedly with independent fault streams.
+    faults: Optional[FaultPlan] = None
+    #: Run the session durably under this directory (write-ahead journal +
+    #: checkpoints); ``None`` (default) runs in memory only.
+    checkpoint_dir: Optional[str] = None
+    #: Auto-checkpoint every k transactions (rounds / steps) when running
+    #: durably; 0 keeps only the initial and final checkpoints.
+    checkpoint_every: int = 1
 
     @property
     def label(self) -> str:
@@ -236,6 +248,7 @@ def build_crowd_session(
             cost_per_answer=spec.crowd_cost, budget=spec.crowd_budget
         ),
         on_conflict=spec.on_conflict,
+        faults=spec.faults.clone() if spec.faults is not None else None,
     )
 
 
@@ -296,11 +309,23 @@ def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome
     if spec.oracle == "crowd":
         return run_crowd_scenario(fixture, spec)
     session = build_session(fixture, spec)
-    session.run(
-        budget=spec.budget,
-        effort_budget=spec.effort_budget,
-        uncertainty_goal=spec.uncertainty_goal,
-    )
+    if spec.checkpoint_dir is not None:
+        from ..durability.recovery import run_durable
+
+        run_durable(
+            session,
+            spec.checkpoint_dir,
+            checkpoint_every=spec.checkpoint_every,
+            budget=spec.budget,
+            effort_budget=spec.effort_budget,
+            uncertainty_goal=spec.uncertainty_goal,
+        )
+    else:
+        session.run(
+            budget=spec.budget,
+            effort_budget=spec.effort_budget,
+            uncertainty_goal=spec.uncertainty_goal,
+        )
     return _summarise(fixture, spec, session, steps=len(session.trace.steps))
 
 
@@ -324,11 +349,23 @@ def run_crowd_scenario(
         questions = (
             effort_cap if questions is None else min(questions, effort_cap)
         )
-    session.run(
-        rounds=spec.crowd_rounds,
-        questions=questions,
-        uncertainty_goal=spec.uncertainty_goal,
-    )
+    if spec.checkpoint_dir is not None:
+        from ..durability.recovery import run_durable
+
+        run_durable(
+            session,
+            spec.checkpoint_dir,
+            checkpoint_every=spec.checkpoint_every,
+            rounds=spec.crowd_rounds,
+            questions=questions,
+            uncertainty_goal=spec.uncertainty_goal,
+        )
+    else:
+        session.run(
+            rounds=spec.crowd_rounds,
+            questions=questions,
+            uncertainty_goal=spec.uncertainty_goal,
+        )
     return _summarise(
         fixture,
         spec,

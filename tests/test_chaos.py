@@ -1,0 +1,253 @@
+"""Fault injection through the crowd loop, and the chaos experiment.
+
+Covers the durability acceptance criteria that live on the dispatch side:
+fault-stream isolation (zero-probability plans leave golden traces
+bit-identical), retry/backoff recovering 20 % timeouts to within 10 % of
+fault-free at equal budget, graceful degradation when retries are off, and
+the nasty collision of worker dropout with mid-round budget exhaustion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import FaultPlan, RetryPolicy, SimulatedCrash
+from repro.experiments import chaos, synthetic_fixture
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    build_crowd_session,
+    run_scenario,
+)
+
+_CACHE: dict[str, object] = {}
+
+#: cli.py quick-mode overrides, reused so the grid test stays fast.
+QUICK = EXPERIMENTS["chaos"][1]
+
+
+def small_fixture():
+    if "small" not in _CACHE:
+        _CACHE["small"] = synthetic_fixture(
+            110, n_schemas=8, attributes_per_schema=30, seed=5
+        )
+    return _CACHE["small"]
+
+
+def crowd_spec(seed=11, budget=45.0, **overrides) -> ScenarioSpec:
+    fields = dict(
+        strategy="information-gain",
+        oracle="crowd",
+        on_conflict="disapprove",
+        target_samples=120,
+        seed=seed,
+        crowd_workers=6,
+        crowd_reliability="mixed",
+        crowd_redundancy=3,
+        crowd_k=3,
+        crowd_cost=1.0,
+        crowd_budget=budget,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def faulted_session(plan, seed=11, budget=45.0, **overrides):
+    session = build_crowd_session(
+        small_fixture(), crowd_spec(seed=seed, budget=budget, **overrides)
+    )
+    session.faults = plan
+    return session
+
+
+def golden_trace():
+    if "golden" not in _CACHE:
+        session = build_crowd_session(small_fixture(), crowd_spec())
+        session.run()
+        _CACHE["golden"] = session.trace
+    return _CACHE["golden"]
+
+
+def answer_core(trace):
+    """The fault-invariant part of a trace: what was asked and concluded."""
+    return [
+        (r.questions, r.verdicts, r.votes, r.uncertainty, r.spent)
+        for r in trace.rounds
+    ]
+
+
+class TestFaultIsolation:
+    """Fault draws never leak into worker/sampler RNG streams."""
+
+    def test_zero_probability_plan_is_bit_identical(self):
+        session = faulted_session(FaultPlan(seed=0, latency_mean=0.0))
+        session.run()
+        golden = golden_trace()
+        assert answer_core(session.trace) == answer_core(golden)
+        assert [r.degraded for r in session.trace.rounds] == [False] * len(
+            golden.rounds
+        )
+
+    def test_latency_only_plan_changes_only_latency(self):
+        session = faulted_session(FaultPlan(seed=0, latency_mean=0.05))
+        session.run()
+        golden = golden_trace()
+        assert answer_core(session.trace) == answer_core(golden)
+        assert sum(r.latency for r in session.trace.rounds) > 0.0
+        assert not any(r.degraded for r in session.trace.rounds)
+
+    def test_timeouts_fully_recovered_by_retry_are_invisible(self):
+        # Worker RNG is consumed only on delivery, so a retry-recovered
+        # timeout leaves the answer stream untouched: bit-identical trace.
+        session = faulted_session(
+            FaultPlan(
+                seed=1,
+                timeout_probability=0.2,
+                latency_mean=0.0,
+                retry=RetryPolicy(),
+            )
+        )
+        session.run()
+        golden = golden_trace()
+        assert answer_core(session.trace) == answer_core(golden)
+        assert sum(r.timeouts for r in session.trace.rounds) == 0
+        assert not any(r.degraded for r in session.trace.rounds)
+        # ... but the retries did cost simulated backoff time.
+        assert sum(r.latency for r in session.trace.rounds) > 0.0
+
+
+class TestGracefulDegradation:
+    def test_timeouts_without_retry_flag_rounds_and_complete(self):
+        session = faulted_session(
+            FaultPlan(seed=1, timeout_probability=0.3, latency_mean=0.0)
+        )
+        session.run()  # must not raise
+        rounds = session.trace.rounds
+        assert sum(r.timeouts for r in rounds) > 0
+        assert any(r.degraded for r in rounds)
+        for r in rounds:
+            assert r.degraded == bool(r.timeouts or r.dropouts or r.unanswered)
+            assert len(r.questions) == len(r.verdicts) == len(r.votes)
+        assert session.ledger.spent <= 45.0
+
+    def test_total_dropout_requeues_starved_questions(self):
+        session = faulted_session(
+            FaultPlan(seed=0, dropout_probability=1.0, latency_mean=0.0)
+        )
+        record = session.round()
+        assert record.questions == ()
+        assert len(record.unanswered) == 3
+        assert record.degraded and record.dropouts >= 3
+        assert session._requeued == list(record.unanswered)
+        # The starved questions head the next round's selection.
+        assert tuple(session.select_questions()) == record.unanswered
+
+    def test_total_dropout_drop_mode_discards_questions(self):
+        session = faulted_session(
+            FaultPlan(
+                seed=0, dropout_probability=1.0, latency_mean=0.0, requeue=False
+            )
+        )
+        record = session.round()
+        assert len(record.unanswered) == 3
+        assert session._requeued == []
+
+    def test_run_terminates_under_total_dropout(self):
+        session = faulted_session(
+            FaultPlan(seed=0, dropout_probability=1.0, latency_mean=0.0)
+        )
+        trace = session.run()
+        assert len(trace.rounds) == 1  # no answers bought: loop must stop
+        assert session.ledger.spent == 0.0
+
+    def test_budget_shock_shrinks_the_run(self):
+        session = faulted_session(
+            FaultPlan(seed=0, budget_shocks={1: -40.0}, latency_mean=0.0)
+        )
+        trace = session.run()
+        assert trace.rounds[0].shock == -40.0
+        assert session.ledger.spent <= 5.0
+        full = golden_trace()
+        assert trace.questions_asked < full.questions_asked
+
+    def test_crash_at_round_raises_after_commit(self):
+        session = faulted_session(
+            FaultPlan(seed=0, crash_at_round=2, latency_mean=0.0)
+        )
+        with pytest.raises(SimulatedCrash) as excinfo:
+            session.run()
+        assert excinfo.value.round_index == 2
+        assert len(session.trace.rounds) == 2  # committed before the crash
+
+
+class TestDropoutBudgetCollision:
+    """Worker dropout colliding with mid-round budget exhaustion."""
+
+    def test_collision_round_stays_consistent(self):
+        session = faulted_session(
+            FaultPlan(seed=9, dropout_probability=0.4, latency_mean=0.0),
+            budget=16.0,
+        )
+        trace = session.run()
+        collisions = [
+            r
+            for r in trace.rounds
+            if r.truncated and (r.dropouts or r.unanswered)
+        ]
+        assert collisions, "expected dropout + budget exhaustion in one round"
+        final = collisions[-1]
+        assert final.dropouts > 0 and len(final.unanswered) > 0
+        # Only delivered answers were charged, and the books balance even
+        # with both truncation paths active in the same round.
+        assert session.ledger.spent == 16.0
+        assert session.ledger.exhausted
+        total_votes = sum(
+            len(votes) for r in trace.rounds for votes in r.votes
+        )
+        assert total_votes == session.ledger.answers_charged
+        for r in trace.rounds:
+            assert len(r.questions) == len(r.verdicts) == len(r.votes)
+            assert set(r.unanswered).isdisjoint(r.questions)
+        # The session ends on the exhausted budget, not an infinite requeue.
+        assert session.round() is None
+
+
+class TestChaosExperiment:
+    def test_quick_grid_meets_acceptance_criteria(self):
+        result = chaos.run(**QUICK)
+        assert len(result.rows) == len(QUICK["fault_rates"])
+        for ratio in result.column("H/H0 fault-free"):
+            assert 0.0 <= ratio <= 1.0
+        # Acceptance: 20% timeouts with retry stay within 10% of fault-free.
+        assert chaos.retry_margin(result, rate=0.2) <= 0.1
+        rates = result.column("fault rate")
+        row = rates.index(0.2)
+        degraded_plain = result.column("degraded rounds (timeout)")[row]
+        degraded_retry = result.column("degraded rounds (+retry)")[row]
+        assert degraded_plain > 0  # graceful degradation, visibly flagged
+        assert degraded_retry <= degraded_plain
+        # At rate zero every regime matches the fault-free anchor.
+        zero = rates.index(0.0)
+        clean = result.column("H/H0 fault-free")[zero]
+        for column in ("H/H0 dropout", "H/H0 timeout", "H/H0 timeout+retry"):
+            assert result.column(column)[zero] == clean
+
+    def test_retry_margin_requires_a_sampled_rate(self):
+        result = chaos.run(
+            **{**QUICK, "fault_rates": (0.0,)},
+        )
+        with pytest.raises(KeyError, match="0.2"):
+            chaos.retry_margin(result, rate=0.2)
+
+    def test_spec_faults_are_cloned_per_session(self):
+        # One plan handed to two runs must yield identical outcomes: the
+        # builder clones it, so the first run cannot advance the second
+        # run's fault stream.
+        plan = FaultPlan(seed=2, dropout_probability=0.3, latency_mean=0.0)
+        spec = crowd_spec(faults=plan)
+        first = run_scenario(small_fixture(), spec)
+        second = run_scenario(small_fixture(), spec)
+        assert answer_core(first.trace) == answer_core(second.trace)
+
+    def test_registered_in_cli(self):
+        assert "chaos" in EXPERIMENTS

@@ -251,6 +251,7 @@ class TestCli:
             "fig11",
             "lint",
             "crowd",
+            "chaos",
         }
 
     def test_lint_experiment_quick(self):

@@ -113,6 +113,23 @@ class TestFeedbackRoundTrip:
         assert restored.approved == feedback.approved
         assert restored.disapproved == feedback.disapproved
 
+    def test_round_trip_after_retraction(
+        self, movie_network, movie_correspondences
+    ):
+        # Conflict repair can move an approval to F⁻ (retract + disapprove).
+        # The serialised document must reflect the post-retraction state,
+        # not the assertion history.
+        c = movie_correspondences
+        feedback = Feedback(approved=[c["c1"], c["c3"]], disapproved=[])
+        feedback.retract_approval(c["c1"])
+        feedback.disapprove(c["c1"])
+        restored = io.feedback_from_dict(
+            io.feedback_to_dict(feedback), movie_network
+        )
+        assert restored.approved == frozenset({c["c3"]})
+        assert restored.disapproved == frozenset({c["c1"]})
+        assert not (restored.approved & restored.disapproved)
+
     def test_wrong_kind_rejected(self, movie_network):
         with pytest.raises(io.FormatError):
             io.feedback_from_dict({"kind": "x", "version": 1}, movie_network)
