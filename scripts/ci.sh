@@ -17,6 +17,11 @@ else
     python scripts/import_hygiene.py
 fi
 python -m pytest -q
+# Shard parity smoke: one differential seed per strategy must reproduce
+# the unsharded session trace bit-for-bit (the full 15-combination matrix
+# runs in the plain pass above; this re-runs the three seed-0 traces
+# standalone so a sharding regression is named in the CI log).
+python -m pytest -q "tests/test_shard_equivalence.py::TestTraceEquivalence::test_sharded_trace_bit_identical" -k "0-"
 # Durability: crash at every round boundary of a seeded crowd run, recover
 # from checkpoint + journal, require a bit-identical final trace.
 python scripts/chaos_smoke.py

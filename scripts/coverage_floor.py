@@ -29,7 +29,7 @@ import threading
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Packages under the floor; each is enforced independently.
-PACKAGES = ("core", "crowd", "analysis", "durability")
+PACKAGES = ("core", "crowd", "analysis", "durability", "shard")
 PACKAGE_DIRS = {
     name: str(ROOT / "src" / "repro" / name) + os.sep for name in PACKAGES
 }
@@ -61,6 +61,8 @@ TEST_FILES = [
     "tests/test_scenario_prune.py",
     "tests/test_durability.py",
     "tests/test_chaos.py",
+    "tests/test_multichain_walk.py",
+    "tests/test_shard_equivalence.py",
 ]
 
 _executed: dict[str, set[int]] = {}

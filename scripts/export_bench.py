@@ -31,6 +31,7 @@ BENCH_FILES = (
     "benchmarks/test_bench_crowd.py",
     "benchmarks/test_bench_lint.py",
     "benchmarks/test_bench_checkpoint.py",
+    "benchmarks/test_bench_shard.py",
 )
 
 

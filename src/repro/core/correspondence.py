@@ -130,6 +130,7 @@ class CandidateSet:
         confidences: Optional[Mapping[Correspondence, float]] = None,
     ):
         self._confidences: dict[Correspondence, float] = {}
+        self._ordered: Optional[tuple[Correspondence, ...]] = None
         confidences = confidences or {}
         for corr in correspondences:
             self.add(corr, confidences.get(corr, 1.0))
@@ -139,6 +140,7 @@ class CandidateSet:
         if not 0.0 <= confidence <= 1.0:
             raise ValueError(f"confidence {confidence} outside [0, 1]")
         self._confidences[corr] = confidence
+        self._ordered = None
 
     def confidence(self, corr: Correspondence) -> float:
         """Matcher confidence of ``corr`` (KeyError if absent)."""
@@ -146,7 +148,9 @@ class CandidateSet:
 
     @property
     def correspondences(self) -> tuple[Correspondence, ...]:
-        return tuple(self._confidences)
+        if self._ordered is None:
+            self._ordered = tuple(self._confidences)
+        return self._ordered
 
     def by_schema_pair(self) -> dict[tuple[str, str], list[Correspondence]]:
         """Group correspondences by the pair of schemas they span."""

@@ -216,6 +216,8 @@ class ProbabilisticNetwork:
         # the estimator without going through record_assertion).
         self._approved_indices: list[int] = []
         self._disapproved_indices: list[int] = []
+        self._approved_array: Optional[np.ndarray] = None
+        self._disapproved_array: Optional[np.ndarray] = None
         self._approved_seen = -1
         self._disapproved_seen = -1
 
@@ -262,6 +264,7 @@ class ProbabilisticNetwork:
                 if corr in index_of
             ]
             self._approved_seen = feedback.approved_count
+            self._approved_array = None
         if self._disapproved_seen != feedback.disapproved_count:
             self._disapproved_indices = [
                 index_of[corr]
@@ -269,10 +272,23 @@ class ProbabilisticNetwork:
                 if corr in index_of
             ]
             self._disapproved_seen = feedback.disapproved_count
-        return (
-            np.asarray(self._approved_indices, dtype=np.intp),
-            np.asarray(self._disapproved_indices, dtype=np.intp),
-        )
+            self._disapproved_array = None
+        # The list→array conversion is O(len) *per element* in Python, so
+        # it is cached and only re-done for the side whose list actually
+        # grew — otherwise a long session pays O(|F|²) in conversions.
+        if self._approved_array is None or len(self._approved_array) != len(
+            self._approved_indices
+        ):
+            self._approved_array = np.asarray(
+                self._approved_indices, dtype=np.intp
+            )
+        if self._disapproved_array is None or len(
+            self._disapproved_array
+        ) != len(self._disapproved_indices):
+            self._disapproved_array = np.asarray(
+                self._disapproved_indices, dtype=np.intp
+            )
+        return (self._approved_array, self._disapproved_array)
 
     def probability_vector(self) -> np.ndarray:
         """P as a frozen float64 vector over the candidate index, with user
@@ -389,10 +405,18 @@ class ProbabilisticNetwork:
             if self._approved_seen == feedback.approved_count - 1:
                 if index is not None:
                     self._approved_indices.append(index)
+                    if self._approved_array is not None:
+                        self._approved_array = np.append(
+                            self._approved_array, index
+                        )
                 self._approved_seen += 1
         elif self._disapproved_seen == feedback.disapproved_count - 1:
             if index is not None:
                 self._disapproved_indices.append(index)
+                if self._disapproved_array is not None:
+                    self._disapproved_array = np.append(
+                        self._disapproved_array, index
+                    )
             self._disapproved_seen += 1
 
     def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:

@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from .correspondence import Correspondence
-from .probability import ProbabilisticNetwork, SampledEstimator
+from .probability import ProbabilisticNetwork
 from .uncertainty import (
     binary_entropy_cached,
     information_gain_array,
@@ -47,10 +47,20 @@ class SelectionStrategy(abc.ABC):
         """
 
 
-def _unasserted(pnet: ProbabilisticNetwork) -> list[Correspondence]:
-    """Candidates the expert has not yet looked at (insertion order)."""
-    correspondences = pnet.correspondences
-    return [correspondences[i] for i in pnet.unasserted_indices().tolist()]
+def _random_unasserted(
+    pnet: ProbabilisticNetwork, rng: random.Random
+) -> Optional[Correspondence]:
+    """A uniform draw over unasserted candidates, without materialising them.
+
+    Draw-compatible with the historical list materialisation (the same
+    single ``randrange`` call over the same insertion order, so golden
+    traces are untouched) but O(1) per pick after the index array — which
+    matters when a large-network strategy falls back here on every step.
+    """
+    indices = pnet.unasserted_indices()
+    if len(indices) == 0:
+        return None
+    return pnet.correspondences[int(indices[rng.randrange(len(indices))])]
 
 
 class RandomSelection(SelectionStrategy):
@@ -67,10 +77,7 @@ class RandomSelection(SelectionStrategy):
         self.rng = rng or random.Random()
 
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
-        unasserted = _unasserted(pnet)
-        if not unasserted:
-            return None
-        return unasserted[self.rng.randrange(len(unasserted))]
+        return _random_unasserted(pnet, self.rng)
 
 
 class InformationGainSelection(SelectionStrategy):
@@ -100,14 +107,16 @@ class InformationGainSelection(SelectionStrategy):
             # Nothing informative left: fall back to any unasserted
             # correspondence (zero gain) so effort sweeps can continue, or
             # report completion.
-            unasserted = _unasserted(pnet)
-            if not unasserted:
-                return None
-            return unasserted[self.rng.randrange(len(unasserted))]
-        if not isinstance(pnet.estimator, SampledEstimator):
+            return _random_unasserted(pnet, self.rng)
+        membership_matrix = getattr(
+            pnet.estimator, "membership_matrix", None
+        )
+        if membership_matrix is None:
             raise TypeError(
-                "information-gain selection needs a SampledEstimator; use "
-                "EntropySelection with exact estimators instead"
+                "information-gain selection needs a sampling estimator "
+                "exposing membership_matrix (SampledEstimator or "
+                "ShardedEstimator); use EntropySelection with exact "
+                "estimators instead"
             )
         if self.max_candidates is not None and len(columns) > self.max_candidates:
             # Two-stage filter: keep the highest-marginal-entropy targets.
@@ -124,9 +133,7 @@ class InformationGainSelection(SelectionStrategy):
         # One batched gain reduction over the store's cached float matrix —
         # the same array core information_gains funnels through, so the
         # floats (and tie sets) match the mapping API bit-for-bit.
-        gains = information_gain_array(
-            pnet.estimator.membership_matrix(), columns
-        )
+        gains = information_gain_array(membership_matrix(), columns)
         best = np.flatnonzero(gains == gains.max())
         choice = best[self.rng.randrange(len(best))]
         return pnet.correspondences[int(columns[choice])]
@@ -146,13 +153,17 @@ def rank_by_information_gain(
     uncertain = pnet.uncertain_correspondences()
     if not uncertain:
         return []
-    if not isinstance(pnet.estimator, SampledEstimator):
-        raise TypeError("information-gain ranking needs a SampledEstimator")
+    membership_matrix = getattr(pnet.estimator, "membership_matrix", None)
+    if membership_matrix is None:
+        raise TypeError(
+            "information-gain ranking needs a sampling estimator exposing "
+            "membership_matrix (SampledEstimator or ShardedEstimator)"
+        )
     gains = information_gains(
         (),
         pnet.correspondences,
         restrict_to=uncertain,
-        matrix=pnet.estimator.membership_matrix(),
+        matrix=membership_matrix(),
     )
     ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))
     return ranked[:k] if k is not None else ranked
@@ -174,10 +185,7 @@ class EntropySelection(SelectionStrategy):
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
         uncertain = pnet.uncertain_indices()
         if len(uncertain) == 0:
-            unasserted = _unasserted(pnet)
-            if not unasserted:
-                return None
-            return unasserted[self.rng.randrange(len(unasserted))]
+            return _random_unasserted(pnet, self.rng)
         vector = pnet.probability_vector()
         entropies = [
             binary_entropy_cached(p) for p in vector[uncertain].tolist()
@@ -205,10 +213,7 @@ class LikelihoodSelection(SelectionStrategy):
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
         uncertain = pnet.uncertain_indices()
         if len(uncertain) == 0:
-            unasserted = _unasserted(pnet)
-            if not unasserted:
-                return None
-            return unasserted[self.rng.randrange(len(unasserted))]
+            return _random_unasserted(pnet, self.rng)
         probabilities = pnet.probability_vector()[uncertain]
         best = np.flatnonzero(probabilities == probabilities.max())
         choice = best[self.rng.randrange(len(best))]
@@ -230,10 +235,7 @@ class ConfidenceSelection(SelectionStrategy):
     def select(self, pnet: ProbabilisticNetwork) -> Optional[Correspondence]:
         uncertain = pnet.uncertain_correspondences()
         if not uncertain:
-            unasserted = _unasserted(pnet)
-            if not unasserted:
-                return None
-            return unasserted[self.rng.randrange(len(unasserted))]
+            return _random_unasserted(pnet, self.rng)
         confidence = pnet.network.candidates.confidence
         lowest = min(confidence(c) for c in uncertain)
         best = [c for c in uncertain if confidence(c) == lowest]

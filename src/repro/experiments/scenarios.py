@@ -122,6 +122,21 @@ class ScenarioSpec:
     #: Auto-checkpoint every k transactions (rounds / steps) when running
     #: durably; 0 keeps only the initial and final checkpoints.
     checkpoint_every: int = 1
+    # Sharding fields (repro.shard).
+    #: Estimate probabilities with a component-sharded store
+    #: (:class:`~repro.shard.ShardedEstimator`) instead of the whole-network
+    #: sampled store.  Exact — the shard merge factorises over violation
+    #: components — so sessions over complete stores are bit-identical.
+    sharded: bool = False
+    #: Cap the shard count (components are bin-packed); None = one shard
+    #: per violation-graph component.
+    max_shards: Optional[int] = None
+    #: Fan shard refills across this many worker processes; None/1 runs
+    #: them sequentially (bit-identical either way).
+    shard_parallel: Optional[int] = None
+    #: Walk chains advanced per shard refill (>1 routes through the
+    #: lockstep multi-chain walk).
+    shard_chains: int = 1
 
     @property
     def label(self) -> str:
@@ -209,6 +224,36 @@ def prepare_fixture(
     return fixture
 
 
+def _build_pnet(
+    fixture: NetworkFixture, spec: ScenarioSpec
+) -> ProbabilisticNetwork:
+    """The probabilistic network of a spec — sharded or whole-network.
+
+    Both estimators sample with ``Random(seed)``; the sharded one derives
+    one independent stream per shard from it (in shard order), so the
+    whole decomposition is a pure function of the spec.
+    """
+    if spec.sharded:
+        from ..shard import ShardedEstimator
+
+        return ProbabilisticNetwork(
+            fixture.network,
+            estimator=ShardedEstimator(
+                fixture.network,
+                target_samples=spec.target_samples,
+                rng=random.Random(spec.seed),
+                chains=spec.shard_chains,
+                max_shards=spec.max_shards,
+                parallel=spec.shard_parallel,
+            ),
+        )
+    return ProbabilisticNetwork(
+        fixture.network,
+        target_samples=spec.target_samples,
+        rng=random.Random(spec.seed),
+    )
+
+
 def build_crowd_session(
     fixture: NetworkFixture,
     spec: ScenarioSpec,
@@ -222,11 +267,7 @@ def build_crowd_session(
     from ``seed + 2`` (see :meth:`WorkerPool.from_distribution`).
     """
     fixture = prepare_fixture(fixture, spec)
-    pnet = ProbabilisticNetwork(
-        fixture.network,
-        target_samples=spec.target_samples,
-        rng=random.Random(spec.seed),
-    )
+    pnet = _build_pnet(fixture, spec)
     if pool is None:
         pool = WorkerPool.from_distribution(
             fixture.ground_truth,
@@ -259,11 +300,7 @@ def build_session(
 ) -> ReconciliationSession:
     """Assemble the probabilistic network, strategy and oracle of a spec."""
     fixture = prepare_fixture(fixture, spec)
-    pnet = ProbabilisticNetwork(
-        fixture.network,
-        target_samples=spec.target_samples,
-        rng=random.Random(spec.seed),
-    )
+    pnet = _build_pnet(fixture, spec)
     strategy = make_strategy(spec.strategy, random.Random(spec.seed + 1))
     return ReconciliationSession(
         pnet,

@@ -1,0 +1,116 @@
+"""Violation-graph connected components and shard planning.
+
+The constraint structure of a matching network factorises over the
+connected components of its *violation graph* — the graph whose vertices
+are candidate correspondences and whose (hyper)edges are the engine's
+minimal violations.  Two candidates in different components never share a
+constraint, so the instance space is a product space: a maximal
+consistent selection of the whole network is exactly one maximal
+consistent selection per component (plus every violation-free candidate,
+which belongs to all instances).  That factorisation is what makes
+shard-local probability estimates *exact* rather than approximate — the
+differential suite in ``tests/test_shard_equivalence.py`` pins it.
+
+This module computes the components in the engine's int-bitmask index
+space and packs them into a deterministic :class:`ShardPlan`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.constraints import ConstraintEngine, mask_indices
+from ..core.network import MatchingNetwork
+
+__all__ = ["ShardPlan", "shard_plan", "violation_components"]
+
+
+def violation_components(engine: ConstraintEngine) -> list[int]:
+    """Connected components of the violation graph, as candidate bitmasks.
+
+    Every minimal violation connects all its members, so the components
+    are the transitive closure of mask overlap: each returned mask is a
+    maximal union of violation masks reachable from one another through
+    shared candidates.  Violation-free candidates belong to *no*
+    component (they are the plan's ``free`` set).  The result is sorted
+    by lowest set bit, i.e. by each component's smallest candidate index,
+    so the decomposition is deterministic for a given engine.
+    """
+    components: list[int] = []
+    for vmask in engine.violation_masks:
+        merged = vmask
+        disjoint: list[int] = []
+        for component in components:
+            if component & merged:
+                merged |= component
+            else:
+                disjoint.append(component)
+        disjoint.append(merged)
+        components = disjoint
+    components.sort(key=lambda mask: mask & -mask)
+    return components
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the candidate index space.
+
+    ``shards`` holds one tuple of ascending global engine indices per
+    shard — each shard is a union of whole violation-graph components, so
+    the product-space factorisation holds shard-by-shard.  ``free`` holds
+    the violation-free candidate indices: they participate in no
+    constraint, appear in every matching instance, and therefore need no
+    shard (their probability is exactly 1 unless disapproved).
+    """
+
+    shards: tuple[tuple[int, ...], ...]
+    free: tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def sizes(self) -> tuple[int, ...]:
+        """Per-shard candidate counts (diagnostics and balance checks)."""
+        return tuple(len(indices) for indices in self.shards)
+
+
+def shard_plan(
+    network: MatchingNetwork, max_shards: Optional[int] = None
+) -> ShardPlan:
+    """Plan the shard decomposition of ``network``.
+
+    With ``max_shards=None`` every violation-graph component becomes its
+    own shard — the finest exact decomposition.  A ``max_shards`` cap
+    packs components into at most that many shards with a deterministic
+    greedy bin-packing (largest component first into the currently
+    smallest shard; ties broken on smallest candidate index and lowest
+    shard slot), trading per-shard enumerability for fewer engines.
+    Either way every shard is a union of whole components, so exactness
+    is preserved.
+    """
+    if max_shards is not None and max_shards < 1:
+        raise ValueError("max_shards must be at least 1")
+    engine = network.engine
+    components = violation_components(engine)
+    free = tuple(mask_indices(engine.violation_free_mask))
+    if max_shards is None or len(components) <= max_shards:
+        groups = components
+    else:
+        # Largest-first greedy packing into a min-heap of (size, slot).
+        order = sorted(
+            components, key=lambda mask: (-mask.bit_count(), mask & -mask)
+        )
+        heap = [(0, slot) for slot in range(max_shards)]
+        heapq.heapify(heap)
+        bins = [0] * max_shards
+        for mask in order:
+            size, slot = heapq.heappop(heap)
+            bins[slot] |= mask
+            heapq.heappush(heap, (size + mask.bit_count(), slot))
+        groups = [mask for mask in bins if mask]
+        groups.sort(key=lambda mask: mask & -mask)
+    shards = tuple(tuple(mask_indices(mask)) for mask in groups)
+    return ShardPlan(shards=shards, free=free)

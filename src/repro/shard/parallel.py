@@ -1,0 +1,82 @@
+"""Process-pool fan-out for shard refills.
+
+Each shard's refill reads and writes nothing but that shard's store
+masks and RNG streams, so the unit of work ships cleanly to a worker
+process: (sub-network, store state, sampler state) out, (store state,
+sampler state) back.  The worker runs the *same* ``refresh()`` code the
+sequential path runs, from the same captured stream positions, so the
+fan-out is bit-identical to the sequential fallback by construction —
+``tests/test_shard_equivalence.py`` pins it.
+
+Sub-networks pickle whole (the engine re-wraps its index proxy on
+unpickle, see ``ConstraintEngine.__getstate__``); everything else
+crosses the boundary as the plain-data state dicts the durability layer
+already round-trips.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..core.sampling import InstanceSampler
+from .store import EnumeratingSampleStore, Shard
+
+__all__ = ["refill_shards_parallel"]
+
+
+def _refill_shard_worker(payload: dict) -> tuple[dict, dict]:
+    """Refill one shard store in a worker process; return its new state."""
+    network = payload["network"]
+    sampler = InstanceSampler(
+        network,
+        walk_steps=payload["walk_steps"],
+        rng=random.Random(),
+        restart_probability=payload["restart_probability"],
+        chains=payload["chains"],
+    )
+    sampler.set_state(payload["sampler"])
+    store = EnumeratingSampleStore.from_state(
+        network,
+        sampler,
+        payload["store"],
+        enumerate_limit=payload["enumerate_limit"],
+    )
+    store.refresh()
+    return store.get_state(), sampler.get_state()
+
+
+def refill_shards_parallel(shards: Sequence[Shard], workers: int) -> None:
+    """Refresh every shard store across a process pool, in place.
+
+    Results are applied in shard order (the pool's ``map`` preserves
+    input order), and each worker starts from the shard's captured
+    stream positions, so the post-state is bit-identical to running
+    ``store.refresh()`` sequentially.
+    """
+    payloads = []
+    for shard in shards:
+        sampler = shard.store.sampler
+        payloads.append(
+            {
+                "network": shard.network,
+                "store": shard.store.get_state(),
+                "sampler": sampler.get_state(),
+                "walk_steps": sampler.walk_steps,
+                "restart_probability": sampler.restart_probability,
+                "chains": sampler.chains,
+                "enumerate_limit": shard.store.enumerate_limit,
+            }
+        )
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(_refill_shard_worker, payloads))
+    for shard, (store_state, sampler_state) in zip(shards, results):
+        sampler = shard.store.sampler
+        sampler.set_state(sampler_state)
+        shard.store = EnumeratingSampleStore.from_state(
+            shard.network,
+            sampler,
+            store_state,
+            enumerate_limit=shard.store.enumerate_limit,
+        )

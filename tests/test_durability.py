@@ -556,3 +556,116 @@ class TestDurableScenarioKnobs:
         session = build_crowd_session(small_fixture(), crowd_spec())
         with pytest.raises(ValueError, match="checkpoint_every"):
             run_durable(session, tmp_path, checkpoint_every=-1)
+
+
+class TestShardedCheckpointRoundTrip:
+    """Checkpoint/restore of mid-flight *sharded* sessions.
+
+    A sharded checkpoint must capture every shard's Ω* masks and both of
+    its RNG streams (plus the master stream): restore rebuilds the shard
+    plan from the network and adopts the per-shard state verbatim, so a
+    restored session continues bit-for-bit — including with multi-chain
+    samplers, whose chain streams derive from the checkpointed rng.
+    """
+
+    def _sharded_spec(self, **overrides) -> ScenarioSpec:
+        # Likelihood selection: information gain needs the product
+        # membership matrix, which is out of budget by design on a
+        # sharded network of this size (see MAX_PRODUCT_ROWS).
+        return expert_spec(sharded=True, strategy="likelihood", **overrides)
+
+    def test_restored_sharded_session_continues_identically(self, tmp_path):
+        session = build_session(small_fixture(), self._sharded_spec())
+        session.run(budget=6)
+        restored = restore_session(save_checkpoint(session, tmp_path / "c"))
+        session.run(budget=25)
+        restored.run(budget=25)
+        assert restored.trace.uncertainties == session.trace.uncertainties
+        assert [s.correspondence for s in restored.trace.steps] == [
+            s.correspondence for s in session.trace.steps
+        ]
+        assert [s.approved for s in restored.trace.steps] == [
+            s.approved for s in session.trace.steps
+        ]
+
+    def test_multichain_sampler_round_trips(self, tmp_path):
+        session = build_session(
+            small_fixture(), self._sharded_spec(shard_chains=3)
+        )
+        session.run(budget=5)
+        restored = restore_session(save_checkpoint(session, tmp_path / "c"))
+        store = restored.pnet.estimator.store
+        assert all(
+            shard.store.sampler.chains == 3 for shard in store.shards
+        )
+        session.run(budget=15)
+        restored.run(budget=15)
+        assert restored.trace.uncertainties == session.trace.uncertainties
+
+    def test_sharded_document_shape(self, tmp_path):
+        from repro.shard import ShardedEstimator
+
+        session = build_session(small_fixture(), self._sharded_spec())
+        session.run(budget=3)
+        path = save_checkpoint(session, tmp_path / "c")
+        document = json.loads(path.read_text())
+        pnet_doc = document["pnet"]
+        assert pnet_doc["estimator"] == "sharded"
+        estimator = session.pnet.estimator
+        assert isinstance(estimator, ShardedEstimator)
+        assert len(pnet_doc["shards"]) == estimator.n_shards
+        config = pnet_doc["config"]
+        assert config["target_samples"] == estimator.store.target_samples
+        assert config["chains"] == estimator.store.chains
+        # Every shard checkpoints both RNG streams.
+        for shard_doc in pnet_doc["shards"]:
+            assert "rng" in shard_doc["sampler"]
+            assert "np_rng" in shard_doc["sampler"]
+
+    def test_restored_store_state_matches_exactly(self, tmp_path):
+        session = build_session(small_fixture(), self._sharded_spec())
+        session.run(budget=4)
+        restored = restore_session(save_checkpoint(session, tmp_path / "c"))
+        original = session.pnet.estimator.store
+        recovered = restored.pnet.estimator.store
+        assert original.rng.getstate() == recovered.rng.getstate()
+        for a, b in zip(original.shards, recovered.shards):
+            assert a.store.get_state() == b.store.get_state()
+            assert a.store.sampler.get_state() == b.store.sampler.get_state()
+
+    def test_pre_multichain_checkpoint_still_restores(self, tmp_path):
+        """Unsharded checkpoints written before the `chains` field existed
+        restore as single-chain samplers (backward compatibility)."""
+        session = build_session(small_fixture(), expert_spec())
+        session.run(budget=4)
+        path = save_checkpoint(session, tmp_path / "c")
+        document = json.loads(path.read_text())
+        assert document["pnet"]["sampler"]["chains"] == 1
+        del document["pnet"]["sampler"]["chains"]
+        path.write_text(json.dumps(document))
+        restored = restore_session(path)
+        assert restored.pnet.estimator.store.sampler.chains == 1
+        session.run(budget=10)
+        restored.run(budget=10)
+        assert restored.trace.uncertainties == session.trace.uncertainties
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        session = build_session(small_fixture(), self._sharded_spec())
+        session.run(budget=2)
+        path = save_checkpoint(session, tmp_path / "c")
+        document = json.loads(path.read_text())
+        document["pnet"]["shards"].pop()
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="shards"):
+            restore_session(path)
+
+    def test_sharded_crowd_session_round_trips(self, tmp_path):
+        spec = crowd_spec(
+            sharded=True, strategy="likelihood", crowd_rounds=2
+        )
+        session = build_crowd_session(small_fixture(), spec)
+        session.run()
+        restored = restore_session(save_checkpoint(session, tmp_path / "c"))
+        assert crowd_trace_tuple(restored.trace) == crowd_trace_tuple(
+            session.trace
+        )
