@@ -5,7 +5,11 @@ the smoke then kills a fresh copy at each round boundary with
 ``FaultPlan.crash_at_round``, recovers it from the checkpoint + journal,
 finishes the run and asserts the final trace is bit-identical to the
 golden one.  A short timeout-with-retry leg checks graceful dispatch on
-top.  Takes ~2 s; exits non-zero on the first divergence.
+top, and two mid-delta legs cover network evolution: a crash right after
+a journaled delta committed (recovery must re-execute it) and a *torn*
+delta whose commit record never landed (recovery must discard it and
+continue pre-delta).  Takes a few seconds; exits non-zero on the first
+divergence.
 
 Usage::
 
@@ -108,6 +112,62 @@ def main() -> int:
     print(
         f"chaos smoke: {total_rounds} crash/recover boundaries and the "
         "retry leg are bit-identical to the golden run"
+    )
+    return delta_legs(fixture)
+
+
+def delta_legs(fixture) -> int:
+    """Crash legs around a mid-run network delta."""
+    import random
+
+    from repro.experiments.churn import make_churn_delta
+    from repro.io import delta_to_dict
+
+    delta = make_churn_delta(fixture.network, 0.125, random.Random(42))
+    with tempfile.TemporaryDirectory() as tmp:
+        # The golden evolved run: two rounds, the delta, then run to goal.
+        golden = build_crowd_session(fixture, SPEC)
+        run_durable(golden, pathlib.Path(tmp) / "golden", rounds=2)
+        golden.apply_delta(delta)
+        run_durable(golden, pathlib.Path(tmp) / "golden")
+
+        # Leg 1: crash immediately after the delta committed — recovery
+        # re-executes it from the write-ahead journal record.
+        crash_dir = pathlib.Path(tmp) / "committed"
+        crashed = build_crowd_session(fixture, SPEC)
+        run_durable(crashed, crash_dir, rounds=2)
+        crashed.apply_delta(delta)
+        recovered, report = recover(crash_dir)
+        if report.transactions_redone != 1 or recovered.deltas_applied != 1:
+            print("chaos smoke: committed delta was not re-executed on redo")
+            return 1
+        run_durable(recovered, crash_dir)
+        if trace_tuple(recovered.trace) != trace_tuple(golden.trace):
+            print("chaos smoke: committed-delta crash recovery diverged")
+            return 1
+
+        # Leg 2: the crash lands between the write-ahead delta record and
+        # its commit — the torn delta never durably happened.
+        torn_dir = pathlib.Path(tmp) / "torn"
+        torn = build_crowd_session(fixture, SPEC)
+        run_durable(torn, torn_dir, rounds=2)
+        pre_trace = trace_tuple(torn.trace)
+        n_candidates = len(torn.pnet.network.correspondences)
+        torn.journal.append({"type": "delta", "delta": delta_to_dict(delta)})
+        recovered, report = recover(torn_dir)
+        if (
+            report.records_discarded != 1
+            or recovered.deltas_applied != 0
+            or len(recovered.pnet.network.correspondences) != n_candidates
+            or trace_tuple(recovered.trace) != pre_trace
+        ):
+            print("chaos smoke: torn delta was not discarded cleanly")
+            return 1
+        run_durable(recovered, torn_dir)
+
+    print(
+        "chaos smoke: mid-delta legs (committed redo, torn discard) are "
+        "bit-identical"
     )
     return 0
 

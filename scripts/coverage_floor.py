@@ -63,6 +63,8 @@ TEST_FILES = [
     "tests/test_chaos.py",
     "tests/test_multichain_walk.py",
     "tests/test_shard_equivalence.py",
+    "tests/test_delta.py",
+    "tests/test_delta_equivalence.py",
 ]
 
 _executed: dict[str, set[int]] = {}

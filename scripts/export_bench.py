@@ -32,6 +32,7 @@ BENCH_FILES = (
     "benchmarks/test_bench_lint.py",
     "benchmarks/test_bench_checkpoint.py",
     "benchmarks/test_bench_shard.py",
+    "benchmarks/test_bench_churn.py",
 )
 
 

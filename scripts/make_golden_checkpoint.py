@@ -1,38 +1,51 @@
-"""Regenerate the golden crowd-checkpoint fixture.
+"""Regenerate the golden checkpoint fixtures under ``tests/data/``.
 
-Runs the golden-trace scenario frozen in ``tests/test_crowd.py``
-(``TestGoldenTrace.SPEC``) for three of its five rounds and checkpoints
-the live session to ``tests/data/golden_crowd_checkpoint_round3.json``.
-``tests/test_durability.py`` restores that file and plays rounds 4–5,
-asserting the frozen uncertainty tail and final matching — so the fixture
-only needs regenerating when the checkpoint format version is bumped (in
-which case the golden trace itself must not have moved).
+Two fixtures pin the durable on-disk format from both ends:
+
+``golden_crowd_checkpoint_round3.json``
+    A **format-version-1** checkpoint of the golden-trace scenario frozen
+    in ``tests/test_crowd.py`` (``TestGoldenTrace.SPEC``), taken at round
+    3 of 5.  ``tests/test_durability.py`` restores it and plays rounds
+    4–5 against the frozen uncertainty tail.  Since the format moved to
+    version 2 this file doubles as the *backward-compatibility pin* — it
+    must keep decoding under newer code — so the default invocation
+    leaves it untouched.  Pass ``--round3`` only on a format break that
+    genuinely cannot read version 1 anymore (which forfeits the pin, and
+    requires the golden trace itself not to have moved).
+
+``golden_expert_checkpoint_postdelta.json``
+    A current-format checkpoint of a sharded expert session that applied
+    a schema-churn :class:`~repro.core.NetworkDelta` mid-run — the
+    evolved-network state (successor schemas, carried shard stores,
+    ``deltas_applied``) as it round-trips through version 2.
+    ``tests/test_delta_equivalence.py`` restores it and asserts the
+    resumed tail matches a live re-run.
 
 Usage::
 
-    PYTHONPATH=src python scripts/make_golden_checkpoint.py
+    PYTHONPATH=src python scripts/make_golden_checkpoint.py [--round3]
 """
 
 from __future__ import annotations
 
 import pathlib
+import random
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.durability import save_checkpoint  # noqa: E402
 from repro.experiments import synthetic_fixture  # noqa: E402
+from repro.experiments.churn import make_churn_delta  # noqa: E402
 from repro.experiments.scenarios import (  # noqa: E402
     ScenarioSpec,
     build_crowd_session,
+    build_session,
 )
 
-FIXTURE = (
-    pathlib.Path(__file__).resolve().parent.parent
-    / "tests"
-    / "data"
-    / "golden_crowd_checkpoint_round3.json"
-)
+DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
+ROUND3_FIXTURE = DATA_DIR / "golden_crowd_checkpoint_round3.json"
+POSTDELTA_FIXTURE = DATA_DIR / "golden_expert_checkpoint_postdelta.json"
 
 #: Must stay identical to ``TestGoldenTrace.SPEC`` in tests/test_crowd.py.
 SPEC = ScenarioSpec(
@@ -49,17 +62,52 @@ SPEC = ScenarioSpec(
     crowd_budget=45.0,
 )
 
+#: Must stay identical to the constants in tests/test_delta_equivalence.py
+#: (``TestGoldenPostDeltaFixture``): the enumerable 24-candidate fixture,
+#: a likelihood-driven sharded session, 4 prefix steps, then the shared
+#: churn delta (fraction 0.2, ``Random(97)``).
+POSTDELTA_SPEC = ScenarioSpec(
+    strategy="likelihood",
+    seed=3,
+    target_samples=512,
+    on_conflict="disapprove",
+    sharded=True,
+)
+POSTDELTA_PREFIX_STEPS = 4
 
-def main() -> int:
+
+def write_round3() -> None:
     fixture = synthetic_fixture(
         110, n_schemas=8, attributes_per_schema=30, seed=5
     )
     session = build_crowd_session(fixture, SPEC)
     for _ in range(3):
         session.round()
-    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
-    save_checkpoint(session, FIXTURE)
-    print(f"wrote {FIXTURE} ({FIXTURE.stat().st_size} bytes)")
+    save_checkpoint(session, ROUND3_FIXTURE)
+    print(f"wrote {ROUND3_FIXTURE} ({ROUND3_FIXTURE.stat().st_size} bytes)")
+
+
+def write_postdelta() -> None:
+    fixture = synthetic_fixture(
+        24, n_schemas=5, attributes_per_schema=8, seed=1
+    )
+    session = build_session(fixture, POSTDELTA_SPEC)
+    for _ in range(POSTDELTA_PREFIX_STEPS):
+        session.step()
+    delta = make_churn_delta(fixture.network, 0.2, random.Random(97))
+    session.apply_delta(delta)
+    save_checkpoint(session, POSTDELTA_FIXTURE)
+    print(
+        f"wrote {POSTDELTA_FIXTURE} ({POSTDELTA_FIXTURE.stat().st_size} bytes)"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    if "--round3" in argv:
+        write_round3()
+    write_postdelta()
     return 0
 
 

@@ -16,6 +16,7 @@ from .constraints import (
     default_constraints,
 )
 from .correspondence import CandidateSet, Correspondence, correspondence
+from .delta import DeltaResult, NetworkDelta, apply_network_delta
 from .feedback import Feedback, MajorityOracle, NoisyOracle, Oracle
 from .graphs import (
     InteractionGraph,
@@ -92,6 +93,7 @@ __all__ = [
     "ConstraintEngine",
     "Correspondence",
     "CycleConstraint",
+    "DeltaResult",
     "EntropySelection",
     "ExactEstimator",
     "Feedback",
@@ -103,6 +105,7 @@ __all__ = [
     "MajorityOracle",
     "MatchingNetwork",
     "MutualExclusionConstraint",
+    "NetworkDelta",
     "NoisyOracle",
     "OneToOneConstraint",
     "Oracle",
@@ -118,6 +121,7 @@ __all__ = [
     "SelectionStrategy",
     "UnrepairableError",
     "Violation",
+    "apply_network_delta",
     "binary_entropy",
     "binary_entropy_cached",
     "complete_graph",

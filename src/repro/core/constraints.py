@@ -426,6 +426,39 @@ class ConstraintEngine:
             self._validate_compilation()
         self._compile_index_space()
 
+    @classmethod
+    def from_violations(
+        cls,
+        constraints: Sequence[Constraint],
+        correspondences: Sequence[Correspondence],
+        violations: Sequence[Violation],
+        sources: Sequence[Sequence[int]],
+    ) -> "ConstraintEngine":
+        """Compile an engine from an externally-assembled violation family.
+
+        The delta pipeline (:mod:`repro.core.delta`) carries surviving
+        violations over from a predecessor engine and discovers only the
+        ones a change could have created, so the expensive discovery loop
+        of ``__init__`` is skipped entirely; the caller vouches that
+        ``violations`` is exactly the deduplicated minimal-violation
+        family of ``constraints`` over ``correspondences``.  Everything
+        downstream of discovery (the mask index space, SWAR tables, wave
+        CSR layouts) is recompiled, because removals renumber the bits.
+        """
+        engine = cls.__new__(cls)
+        engine.constraints = tuple(constraints)
+        engine.correspondences = tuple(correspondences)
+        engine.violations = tuple(violations)
+        engine.violation_sources = tuple(
+            tuple(contributors) for contributors in sources
+        )
+        engine._involving = {corr: [] for corr in engine.correspondences}
+        for violation in engine.violations:
+            for corr in violation:
+                engine._involving.setdefault(corr, []).append(violation)
+        engine._compile_index_space()
+        return engine
+
     def _validate_compilation(self) -> None:
         """Warn about silently mis-compiled constraint registrations.
 

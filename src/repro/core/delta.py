@@ -1,0 +1,522 @@
+"""Network deltas: incremental evolution of a matching network.
+
+Production networks are never rebuilt from scratch — schemas arrive and
+leave while reconciliation sessions are mid-flight.  A
+:class:`NetworkDelta` describes one batch of such changes (schemas and
+candidate correspondences added and removed); :func:`apply_network_delta`
+produces the successor :class:`~repro.core.network.MatchingNetwork`
+*incrementally*: the constraint engine keeps every compiled violation
+whose members all survive and re-discovers only the violations that a
+change could have created, instead of re-enumerating the whole
+violation hypergraph.
+
+**The locality contract.**  Every edge added by a delta must touch an
+*added* schema.  Surviving candidates therefore never gain a new way to
+violate a constraint among themselves:
+
+* one-to-one violations are graph-independent pairs within one schema
+  pair — new ones must involve an added candidate;
+* cycle violations need a graph cycle carrying all their members; a new
+  cycle uses a new edge, a new edge touches an added schema, and only
+  added candidates can span an added schema;
+* declaration-style constraints (``referenced_correspondences()`` not
+  ``None``) fire only when every named member is available, so a new
+  firing must involve an added candidate too.
+
+Hence *new* violations all intersect the added candidate set, and they
+are found by re-running each structural constraint over a small
+BFS-bounded scope around the delta (radius 0 for one-to-one, the cycle
+bound for cycles).  Constraints outside this taxonomy fall back to a
+full recompile — correct, just not incremental.
+
+The per-index mask tables are renumbered (removals shift every bit), so
+the *global* engine saves re-discovery, not re-indexing; the shard layer
+(:func:`repro.shard.shard_plan_delta`) is where untouched components
+keep their live engines, stores and RNG streams verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .constraints import (
+    ConstraintEngine,
+    CycleConstraint,
+    OneToOneConstraint,
+    Violation,
+)
+from .correspondence import CandidateSet, Correspondence
+from .graphs import InteractionGraph
+from .network import MatchingNetwork
+from .schema import Schema, validate_disjoint
+
+__all__ = ["DeltaResult", "NetworkDelta", "apply_network_delta"]
+
+
+@dataclass(frozen=True)
+class NetworkDelta:
+    """One batch of network evolution: schemas and candidates in/out.
+
+    Attributes
+    ----------
+    add_schemas:
+        New :class:`Schema` objects; names must be fresh (a name removed
+        in the same delta may be re-used — the old candidates touching
+        it are gone either way).
+    remove_schemas:
+        Names of schemas to drop.  Every candidate touching a removed
+        schema is removed implicitly.
+    add_edges:
+        New interaction-graph edges.  Each must touch an added schema
+        (see the locality contract in the module docstring).
+    add_candidates:
+        ``(correspondence, confidence)`` pairs to append to the
+        candidate set; endpoints must exist in the successor schemas and
+        span an edge of the successor graph.
+    remove_candidates:
+        Existing candidates to drop explicitly.
+    """
+
+    add_schemas: tuple[Schema, ...] = ()
+    remove_schemas: tuple[str, ...] = ()
+    add_edges: tuple[tuple[str, str], ...] = ()
+    add_candidates: tuple[tuple[Correspondence, float], ...] = ()
+    remove_candidates: tuple[Correspondence, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_schemas", tuple(self.add_schemas))
+        object.__setattr__(self, "remove_schemas", tuple(self.remove_schemas))
+        object.__setattr__(
+            self,
+            "add_edges",
+            tuple((str(a), str(b)) for a, b in self.add_edges),
+        )
+        object.__setattr__(
+            self,
+            "add_candidates",
+            tuple(
+                (corr, float(confidence))
+                for corr, confidence in self.add_candidates
+            ),
+        )
+        object.__setattr__(
+            self, "remove_candidates", tuple(self.remove_candidates)
+        )
+
+    def is_empty(self) -> bool:
+        """Whether applying this delta is a structural no-op."""
+        return not (
+            self.add_schemas
+            or self.remove_schemas
+            or self.add_edges
+            or self.add_candidates
+            or self.remove_candidates
+        )
+
+
+@dataclass(frozen=True)
+class DeltaResult:
+    """Everything downstream layers need to consume a delta incrementally.
+
+    Attributes
+    ----------
+    delta:
+        The applied :class:`NetworkDelta`.
+    network:
+        The successor network (incrementally compiled engine).
+    index_map:
+        Old engine index → new engine index for every *surviving*
+        candidate.  Monotone: survivors keep their relative order and
+        additions are appended, which is what lets the shard layer wrap
+        carried shard stores in remapped index tuples without touching
+        their contents.
+    removed_indices:
+        Old-space indices of removed candidates, ascending.
+    removed_correspondences:
+        The removed candidates themselves (a candidate removed and
+        re-added in one delta counts as removed — its feedback must be
+        retracted, the re-added twin starts fresh).
+    added_indices:
+        New-space indices of added candidates, ascending.
+    new_violation_masks:
+        New-space masks of the violations that were *not* carried over
+        from the old engine — the touched region the shard planner must
+        recompute; every one of them intersects the added candidates.
+    """
+
+    delta: NetworkDelta
+    network: MatchingNetwork
+    index_map: Mapping[int, int]
+    removed_indices: tuple[int, ...]
+    removed_correspondences: frozenset[Correspondence] = field(repr=False)
+    added_indices: tuple[int, ...] = ()
+    new_violation_masks: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def removed_mask(self) -> int:
+        """Old-space bitmask of the removed candidates."""
+        mask = 0
+        for index in self.removed_indices:
+            mask |= 1 << index
+        return mask
+
+    @property
+    def added_mask(self) -> int:
+        """New-space bitmask of the added candidates."""
+        mask = 0
+        for index in self.added_indices:
+            mask |= 1 << index
+        return mask
+
+
+def _bfs_scope(
+    graph: InteractionGraph, seeds: Iterable[str], radius: int
+) -> set[str]:
+    """Schemas within ``radius`` graph hops of any seed (seeds included)."""
+    scope = set(seeds)
+    frontier = set(scope)
+    for _ in range(radius):
+        grown: set[str] = set()
+        for node in frontier:
+            grown |= graph.neighbors(node)
+        grown -= scope
+        if not grown:
+            break
+        scope |= grown
+        frontier = grown
+    return scope
+
+
+def _canonical_cycle(path: tuple[str, ...]) -> tuple[str, ...]:
+    """The rotation/direction :meth:`InteractionGraph.cycles` would emit:
+    smallest node first, then towards its smaller cycle neighbour."""
+    k = len(path)
+    pivot = path.index(min(path))
+    forward = tuple(path[(pivot + j) % k] for j in range(k))
+    backward = tuple(path[(pivot - j) % k] for j in range(k))
+    return forward if forward[1] < forward[-1] else backward
+
+
+def _cycles_through_edges(
+    graph: InteractionGraph,
+    anchor_edges: Iterable[tuple[str, str]],
+    max_length: int,
+) -> Iterator[tuple[str, ...]]:
+    """Simple cycles (length 3..``max_length``) using ≥1 anchor edge, each
+    once.
+
+    Equivalent to filtering :meth:`InteractionGraph.cycles` to cycles
+    containing an anchor edge, but enumerated as simple paths *between*
+    each anchor edge's endpoints — the work is bounded by the handful of
+    edges a delta's added candidates span, not the network's full (dense)
+    cycle space.
+    """
+    if max_length < 3:
+        return
+    seen: set[tuple[str, ...]] = set()
+    for start, goal in sorted(set(anchor_edges)):
+        if start not in graph or not graph.has_edge(start, goal):
+            continue
+        # Paths start → … → goal of 3..max_length nodes; closing them over
+        # the anchor edge (goal, start) is the cycle.
+        stack: list[tuple[str, ...]] = [(start,)]
+        while stack:
+            path = stack.pop()
+            head = path[-1]
+            for neighbour in sorted(graph.neighbors(head)):
+                if neighbour == goal:
+                    if len(path) >= 2:
+                        canonical = _canonical_cycle(path + (goal,))
+                        if canonical not in seen:
+                            seen.add(canonical)
+                            yield canonical
+                    continue
+                if neighbour in path:
+                    continue
+                if len(path) < max_length - 1:
+                    stack.append(path + (neighbour,))
+
+
+def _cycle_violations_through(
+    constraint: CycleConstraint,
+    correspondences: Sequence[Correspondence],
+    graph: InteractionGraph,
+    added_corrs: Sequence[Correspondence],
+) -> Iterator[Violation]:
+    """``CycleConstraint`` discovery restricted to the delta's cycles.
+
+    Every *new* violation contains an added candidate, and a cycle
+    violation's members each span one edge of the underlying schema
+    cycle — so the cycle passes through an added candidate's edge.
+    Anchoring the enumeration on those few edges is exhaustive for the
+    added-intersecting family without walking the dense survivor-only
+    cycle space a BFS scope would drag in.
+    """
+    by_edge: dict[tuple[str, str], list[Correspondence]] = {}
+    for corr in correspondences:
+        by_edge.setdefault(corr.schema_pair, []).append(corr)
+    anchor_edges = {corr.schema_pair for corr in added_corrs}
+    seen: set[frozenset[Correspondence]] = set()
+    for cycle in _cycles_through_edges(
+        graph, anchor_edges, constraint.max_cycle_length
+    ):
+        for rotation in range(len(cycle)):
+            rotated = cycle[rotation:] + cycle[:rotation]
+            for violation in constraint._cycle_violations(rotated, by_edge):
+                if violation.correspondences not in seen:
+                    seen.add(violation.correspondences)
+                    yield violation
+
+
+def _incremental_engine(
+    old_engine: ConstraintEngine,
+    correspondences: Sequence[Correspondence],
+    graph: InteractionGraph,
+    removed_mask: int,
+    added_corrs: Sequence[Correspondence],
+    added_names: set[str],
+) -> ConstraintEngine:
+    """Recompile the engine keeping every violation among survivors.
+
+    Carried violations are the old ones whose mask misses every removed
+    bit (their members, graph edges and constraint semantics all
+    survive).  New violations all intersect the added candidate set (the
+    locality contract), so structural constraints are re-run only over a
+    BFS-bounded scope around the delta and declaration-style constraints
+    over the (cheap) explicit reference lists.
+    """
+    constraints = old_engine.constraints
+    violations = []
+    sources: list[list[int]] = []
+    seen: dict[frozenset[Correspondence], int] = {}
+    for violation, vmask, contributors in zip(
+        old_engine.violations,
+        old_engine.violation_masks,
+        old_engine.violation_sources,
+    ):
+        if vmask & removed_mask:
+            continue
+        seen[violation.correspondences] = len(violations)
+        violations.append(violation)
+        sources.append(list(contributors))
+
+    added_set = set(added_corrs)
+    if added_set or added_names:
+        seeds: set[str] = set(added_names)
+        for corr in added_corrs:
+            seeds.update(corr.schema_pair)
+        scope_cache: dict[int, tuple[tuple, InteractionGraph]] = {}
+        for position, constraint in enumerate(constraints):
+            referenced = constraint.referenced_correspondences()
+            if referenced is not None:
+                fresh = constraint.minimal_violations(correspondences, graph)
+            elif isinstance(constraint, CycleConstraint):
+                # Anchored, not scoped: a BFS ball of radius max_cycle_length
+                # around the delta covers most of a dense network, making
+                # "scoped" rediscovery as expensive as a full recompile.
+                # Every new violation lies on a cycle through an added
+                # schema, so enumerate exactly those cycles instead.
+                fresh = _cycle_violations_through(
+                    constraint, correspondences, graph, added_corrs
+                )
+            else:
+                radius = 0  # OneToOneConstraint: pairs within one schema pair
+                cached = scope_cache.get(radius)
+                if cached is None:
+                    scope = _bfs_scope(graph, seeds, radius)
+                    scope_corrs = tuple(
+                        corr
+                        for corr in correspondences
+                        if corr.schema_pair[0] in scope
+                        and corr.schema_pair[1] in scope
+                    )
+                    scope_graph = InteractionGraph(
+                        nodes=sorted(scope),
+                        edges=[
+                            edge
+                            for edge in graph.edges
+                            if edge[0] in scope and edge[1] in scope
+                        ],
+                    )
+                    cached = (scope_corrs, scope_graph)
+                    scope_cache[radius] = cached
+                scope_corrs, scope_graph = cached
+                fresh = constraint.minimal_violations(scope_corrs, scope_graph)
+            for violation in fresh:
+                if not (violation.correspondences & added_set):
+                    # Violations among survivors only: either already
+                    # carried, or (scoped discovery over a sub-universe)
+                    # a subset of the carried family — skip either way.
+                    continue
+                slot = seen.get(violation.correspondences)
+                if slot is None:
+                    seen[violation.correspondences] = len(violations)
+                    violations.append(violation)
+                    sources.append([position])
+                elif position not in sources[slot]:
+                    sources[slot].append(position)
+
+    return ConstraintEngine.from_violations(
+        constraints, correspondences, violations, sources
+    )
+
+
+def apply_network_delta(
+    network: MatchingNetwork, delta: NetworkDelta
+) -> DeltaResult:
+    """Apply ``delta`` to ``network``, returning the successor + mappings.
+
+    The input network is left untouched; the successor shares the
+    surviving :class:`Schema`, :class:`Correspondence` and
+    :class:`~repro.core.constraints.Violation` objects, so downstream
+    layers can carry state keyed on them verbatim.
+    """
+    # ------------------------------------------------------------------
+    # Schemas
+    # ------------------------------------------------------------------
+    removed_names = set(delta.remove_schemas)
+    if len(removed_names) != len(delta.remove_schemas):
+        raise ValueError("delta removes the same schema twice")
+    for name in delta.remove_schemas:
+        if name not in network._schema_by_name:
+            raise ValueError(f"delta removes unknown schema {name!r}")
+    surviving_schemas = [
+        schema for schema in network.schemas if schema.name not in removed_names
+    ]
+    schemas = tuple(surviving_schemas) + tuple(delta.add_schemas)
+    validate_disjoint(schemas)
+    added_names = {schema.name for schema in delta.add_schemas}
+    by_name = {schema.name: schema for schema in schemas}
+
+    # ------------------------------------------------------------------
+    # Interaction graph (edges touching a removed schema drop with it)
+    # ------------------------------------------------------------------
+    surviving_edges = [
+        edge
+        for edge in network.graph.edges
+        if edge[0] not in removed_names and edge[1] not in removed_names
+    ]
+    for left, right in delta.add_edges:
+        if left not in by_name or right not in by_name:
+            raise ValueError(
+                f"delta edge ({left!r}, {right!r}) references an unknown schema"
+            )
+        if left not in added_names and right not in added_names:
+            raise ValueError(
+                f"delta edge ({left!r}, {right!r}) connects two pre-existing "
+                "schemas; delta edges must touch an added schema (an edge "
+                "among survivors could create violations among surviving "
+                "candidates, defeating incremental recompilation — rebuild "
+                "the network instead)"
+            )
+    graph = InteractionGraph(
+        nodes=[schema.name for schema in schemas],
+        edges=[*surviving_edges, *delta.add_edges],
+    )
+
+    # ------------------------------------------------------------------
+    # Candidates: survivors keep insertion order, additions append
+    # ------------------------------------------------------------------
+    old_corrs = network.correspondences
+    explicit = set(delta.remove_candidates)
+    unknown = explicit.difference(old_corrs)
+    if unknown:
+        raise ValueError(
+            f"delta removes {len(unknown)} correspondence(s) that are not "
+            f"candidates (e.g. {next(iter(unknown))})"
+        )
+    removed: list[Correspondence] = []
+    removed_indices: list[int] = []
+    index_map: dict[int, int] = {}
+    candidates = CandidateSet()
+    confidence_of = network.candidates.confidence
+    for old_index, corr in enumerate(old_corrs):
+        if corr in explicit or any(
+            endpoint.schema in removed_names for endpoint in corr.attributes
+        ):
+            removed.append(corr)
+            removed_indices.append(old_index)
+        else:
+            index_map[old_index] = len(candidates)
+            candidates.add(corr, confidence_of(corr))
+
+    added_corrs: list[Correspondence] = []
+    added_indices: list[int] = []
+    for corr, confidence in delta.add_candidates:
+        if corr in candidates:
+            raise ValueError(f"delta adds {corr} which is already a candidate")
+        for endpoint in corr.attributes:
+            schema = by_name.get(endpoint.schema)
+            if schema is None:
+                raise ValueError(
+                    f"added candidate {corr} references unknown schema "
+                    f"{endpoint.schema!r}"
+                )
+            if endpoint not in schema:
+                raise ValueError(
+                    f"added candidate {corr} references unknown attribute "
+                    f"{endpoint.qualified_name!r}"
+                )
+        left, right = corr.schema_pair
+        if not graph.has_edge(left, right):
+            raise ValueError(
+                f"added candidate {corr} spans schemas {left!r}/{right!r} "
+                "that are not connected in the successor interaction graph"
+            )
+        added_indices.append(len(candidates))
+        candidates.add(corr, confidence)
+        added_corrs.append(corr)
+
+    # ------------------------------------------------------------------
+    # Engine: incremental when the constraint family is understood
+    # ------------------------------------------------------------------
+    old_engine = network.engine
+    removed_mask = 0
+    for index in removed_indices:
+        removed_mask |= old_engine.bits[index]
+    incremental = all(
+        isinstance(c, (OneToOneConstraint, CycleConstraint))
+        or c.referenced_correspondences() is not None
+        for c in network.constraints
+    )
+    new_corrs = candidates.correspondences
+    if incremental:
+        engine = _incremental_engine(
+            old_engine, new_corrs, graph, removed_mask, added_corrs, added_names
+        )
+    else:
+        engine = ConstraintEngine(
+            network.constraints, new_corrs, graph, validate=False
+        )
+
+    successor = MatchingNetwork.__new__(MatchingNetwork)
+    successor.schemas = schemas
+    successor._schema_by_name = by_name
+    successor.candidates = candidates
+    successor.graph = graph
+    successor.constraints = network.constraints
+    successor.engine = engine
+
+    carried_keys = {
+        violation.correspondences
+        for violation, vmask in zip(
+            old_engine.violations, old_engine.violation_masks
+        )
+        if not (vmask & removed_mask)
+    }
+    new_violation_masks = tuple(
+        vmask
+        for violation, vmask in zip(engine.violations, engine.violation_masks)
+        if violation.correspondences not in carried_keys
+    )
+    return DeltaResult(
+        delta=delta,
+        network=successor,
+        index_map=MappingProxyType(index_map),
+        removed_indices=tuple(removed_indices),
+        removed_correspondences=frozenset(removed),
+        added_indices=tuple(added_indices),
+        new_violation_masks=new_violation_masks,
+    )

@@ -118,6 +118,19 @@ class MatchingNetwork:
         """
         return len(self.engine.violations)
 
+    def apply_delta(self, delta) -> "DeltaResult":
+        """Evolve the network by a :class:`~repro.core.delta.NetworkDelta`.
+
+        Returns a :class:`~repro.core.delta.DeltaResult` whose ``network``
+        is the successor (this network is untouched) and whose index maps
+        let downstream layers — shard plans, sample stores, sessions —
+        carry state over instead of rebuilding.  See
+        :func:`repro.core.delta.apply_network_delta`.
+        """
+        from .delta import apply_network_delta
+
+        return apply_network_delta(self, delta)
+
     def restricted_to(self, keep: Iterable[Correspondence]) -> "MatchingNetwork":
         """A new network over the same schemas with a reduced candidate set.
 

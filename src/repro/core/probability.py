@@ -104,6 +104,21 @@ class ExactEstimator(ProbabilityEstimator):
         self._feedback.retract_approval(corr)
         self._cache = None
 
+    def apply_delta(self, result) -> None:
+        """Move to the successor network of a delta (exact re-enumeration).
+
+        Feedback on removed candidates is dropped; the next
+        ``probabilities()`` read enumerates the successor's Ω(F⁺, F⁻)
+        from scratch (exact estimation has no carried state to reuse).
+        """
+        removed = result.removed_correspondences
+        self.network = result.network
+        self._feedback = Feedback(
+            sorted(c for c in self._feedback.approved if c not in removed),
+            sorted(c for c in self._feedback.disapproved if c not in removed),
+        )
+        self._cache = None
+
 
 class SampledEstimator(ProbabilityEstimator):
     """Equation 2: probabilities as sample frequencies over Ω*."""
@@ -185,6 +200,46 @@ class SampledEstimator(ProbabilityEstimator):
 
     def retract_approval(self, corr: Correspondence, refill: bool = True) -> None:
         self.store.retract_approval(corr, refill=refill)
+
+    def apply_delta(self, result) -> None:
+        """Move to the successor network of a delta.
+
+        The unsharded store samples over *global* masks, which a delta
+        renumbers wholesale, so there is nothing to carry: a fresh store
+        is built on the successor network pre-seeded with the surviving
+        feedback and refilled (the sampler walks the conditioned space
+        Ω(F⁺, F⁻) directly — the state a fresh session reaches by
+        replaying that feedback).  The walk RNG object is reused, so the
+        result is deterministic given the stream position; shard-level
+        carryover (untouched components byte-identical) is the
+        :class:`~repro.shard.ShardedEstimator` path.
+        """
+        removed = result.removed_correspondences
+        old = self.store
+        sampler = InstanceSampler(
+            result.network,
+            walk_steps=old.sampler.walk_steps,
+            rng=old.sampler.rng,
+            restart_probability=old.sampler.restart_probability,
+            chains=old.sampler.chains,
+        )
+        state = {
+            "sample_masks": [],
+            "approved": sorted(
+                c for c in old.feedback.approved if c not in removed
+            ),
+            "disapproved": sorted(
+                c for c in old.feedback.disapproved if c not in removed
+            ),
+            "exhausted": False,
+            "version": old.version + 1,
+            "target_samples": old.target_samples,
+            "min_samples": old.min_samples,
+        }
+        store = SampleStore.from_state(result.network, sampler, state)
+        store.refresh()
+        self.store = store
+        self.network = result.network
 
 
 class ProbabilisticNetwork:
@@ -437,6 +492,28 @@ class ProbabilisticNetwork:
         self._approved_seen = -1
         self._disapproved_seen = -1
         self._view_tag = None
+
+    def apply_delta(self, result) -> None:
+        """Evolve ⟨N, P⟩ to the successor network of a delta.
+
+        Delegates the estimator-state move to the estimator's own
+        ``apply_delta`` (sharded: untouched components carried verbatim;
+        sampled: fresh conditioned store; exact: re-enumeration), swaps
+        the network, and drops every cached view — the candidate index
+        space was renumbered, so the maintained F⁺/F⁻ index lists are
+        force-rebuilt on the next read.
+        """
+        apply = getattr(self.estimator, "apply_delta", None)
+        if apply is None:
+            raise TypeError(
+                f"the active estimator ({type(self.estimator).__name__}) "
+                "does not support network deltas"
+            )
+        apply(result)
+        self.network = result.network
+        self._view_tag = None
+        self._approved_seen = -1
+        self._disapproved_seen = -1
 
     def samples(self) -> Sequence[frozenset[Correspondence]]:
         """The sample multiset when a sampling estimator backs the network."""

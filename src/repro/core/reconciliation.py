@@ -174,6 +174,7 @@ class ReconciliationSession:
         self.journal = journal
         self.conflicts_resolved = 0
         self.approvals_retracted = 0
+        self.deltas_applied = 0
         self.trace = ReconciliationTrace(initial_uncertainty=self.uncertainty())
 
     # ------------------------------------------------------------------
@@ -278,6 +279,44 @@ class ReconciliationSession:
                 }
             )
         return record
+
+    def apply_delta(self, delta):
+        """Evolve the network mid-session by a ``NetworkDelta``.
+
+        Feedback on surviving candidates is preserved (the estimator
+        carries or re-conditions its state on it); feedback on removed
+        candidates is retracted.  The session keeps running afterwards —
+        the trace continues, selection strategies see the re-merged
+        probability vector of the successor network.
+
+        With a journal attached the delta is a write-ahead transaction:
+        the full delta payload is journaled *before* any state mutates
+        and a ``delta-commit`` record (carrying the post-delta
+        uncertainty, which recovery re-verifies) seals it.  A crash
+        between the two leaves a torn tail that recovery discards —
+        pre-delta state, the delta never happened; after the commit,
+        :func:`~repro.durability.recovery.recover` replays the delta
+        from the journal.  Returns the
+        :class:`~repro.core.delta.DeltaResult`.
+        """
+        result = self.pnet.network.apply_delta(delta)
+        if self.journal is not None:
+            from .. import io as _io
+
+            self.journal.append(
+                {"type": "delta", "delta": _io.delta_to_dict(delta)}
+            )
+        self.pnet.apply_delta(result)
+        self.deltas_applied += 1
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "delta-commit",
+                    "delta_index": self.deltas_applied,
+                    "uncertainty": self.uncertainty(),
+                }
+            )
+        return result
 
     def run(
         self,

@@ -211,6 +211,7 @@ class CrowdSession:
         self.stats = WorkerStats()
         self.conflicts_resolved = 0
         self.approvals_retracted = 0
+        self.deltas_applied = 0
         self._assertion_order: dict[Correspondence, int] = {}
         #: Questions that collected zero votes under fault injection and
         #: were re-queued; served ahead of fresh selections next round.
@@ -555,6 +556,60 @@ class CrowdSession:
 
             raise SimulatedCrash(record.index)
         return record
+
+    def apply_delta(self, delta):
+        """Evolve the network mid-session by a ``NetworkDelta``.
+
+        Crowd counterpart of
+        :meth:`~repro.core.reconciliation.ReconciliationSession.apply_delta`
+        — same write-ahead journaling (full delta payload before any
+        mutation, ``delta-commit`` with the post-delta uncertainty after)
+        and the same feedback semantics: surviving candidates keep their
+        verdicts, removed ones are retracted.  Session-local bookkeeping
+        keyed on candidates (the conflict-repair assertion order and the
+        fault re-queue) is filtered of removed candidates too; worker
+        reliability statistics are about workers, not candidates, and
+        survive untouched.  Returns the
+        :class:`~repro.core.delta.DeltaResult`.
+        """
+        result = self.pnet.network.apply_delta(delta)
+        if self.journal is not None:
+            from .. import io as _io
+
+            self.journal.append(
+                {"type": "delta", "delta": _io.delta_to_dict(delta)}
+            )
+        self.pnet.apply_delta(result)
+        removed = result.removed_correspondences
+        if removed:
+            # Renumber the surviving assertion order compactly (rank
+            # preserved): _integrate assigns the next order as len+1, so
+            # holes would let a future assertion collide with an existing
+            # rank — and the compact numbering is exactly what a fresh
+            # session replaying the surviving feedback in order builds.
+            survivors = sorted(
+                (
+                    (order, corr)
+                    for corr, order in self._assertion_order.items()
+                    if corr not in removed
+                )
+            )
+            self._assertion_order = {
+                corr: rank + 1 for rank, (_, corr) in enumerate(survivors)
+            }
+            self._requeued = [
+                corr for corr in self._requeued if corr not in removed
+            ]
+        self.deltas_applied += 1
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "delta-commit",
+                    "delta_index": self.deltas_applied,
+                    "uncertainty": self.uncertainty(),
+                }
+            )
+        return result
 
     def run(
         self,

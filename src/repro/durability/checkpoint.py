@@ -38,7 +38,9 @@ import pathlib
 import random
 
 from ..core.correspondence import Correspondence
+from ..core.correspondence import correspondence as corr_factory
 from ..core.feedback import NoisyOracle, Oracle
+from ..core.schema import Attribute
 from ..core.probability import ProbabilisticNetwork, SampledEstimator
 from ..core.reconciliation import (
     ReconciliationSession,
@@ -114,6 +116,24 @@ def _corrs_from_list(entries, schemas) -> list[Correspondence]:
     return [correspondence_from_dict(entry, schemas) for entry in entries]
 
 
+def _detached_corr(entry: dict) -> Correspondence:
+    """A correspondence resolved without consulting the network's schemas.
+
+    Ground truths and memoised oracle verdicts may reference schemas a
+    later network delta removed; attribute identity is the ``(schema,
+    name)`` pair, so detached attributes compare equal to live ones
+    wherever both exist.
+    """
+    return corr_factory(
+        Attribute(schema=entry["source"]["schema"], name=entry["source"]["name"]),
+        Attribute(schema=entry["target"]["schema"], name=entry["target"]["name"]),
+    )
+
+
+def _truth_from_list(entries) -> frozenset[Correspondence]:
+    return frozenset(_detached_corr(entry) for entry in entries)
+
+
 def _oracle_state_to_dict(oracle: NoisyOracle) -> dict:
     state = oracle.get_state()
     return {
@@ -126,11 +146,13 @@ def _oracle_state_to_dict(oracle: NoisyOracle) -> dict:
     }
 
 
-def _oracle_state_from_dict(document: dict, schemas) -> dict:
+def _oracle_state_from_dict(document: dict) -> dict:
+    # Verdict memos are resolved detached: a network delta may have
+    # removed the schemas of candidates the oracle already answered.
     return {
         "rng": _rng_from_json(document["rng"]),
         "verdicts": [
-            [correspondence_from_dict(entry, schemas), bool(verdict)]
+            [_detached_corr(entry), bool(verdict)]
             for entry, verdict in document["verdicts"]
         ],
         "assertions_made": document["assertions_made"],
@@ -420,6 +442,7 @@ def _crowd_session_to_dict(session: CrowdSession) -> dict:
         "stats": session.stats.get_state(),
         "conflicts_resolved": session.conflicts_resolved,
         "approvals_retracted": session.approvals_retracted,
+        "deltas_applied": session.deltas_applied,
         "assertion_order": [
             [correspondence_to_dict(corr), position]
             for corr, position in session._assertion_order.items()
@@ -459,7 +482,7 @@ def _crowd_session_from_dict(document: dict) -> CrowdSession:
     schemas = {schema.name: schema for schema in network.schemas}
     pnet = _pnet_from_dict(document["pnet"], network)
     pool_doc = document["pool"]
-    truth = frozenset(_corrs_from_list(pool_doc["truth"], schemas))
+    truth = _truth_from_list(pool_doc["truth"])
     workers = []
     for entry in pool_doc["workers"]:
         worker = Worker(
@@ -468,7 +491,7 @@ def _crowd_session_from_dict(document: dict) -> CrowdSession:
             entry["error_rate"],
             rng=random.Random(),
         )
-        worker.set_state(_oracle_state_from_dict(entry["state"], schemas))
+        worker.set_state(_oracle_state_from_dict(entry["state"]))
         workers.append(worker)
     assignment_doc = document["assignment"]
     try:
@@ -496,6 +519,8 @@ def _crowd_session_from_dict(document: dict) -> CrowdSession:
     session.stats.set_state(document["stats"])
     session.conflicts_resolved = document["conflicts_resolved"]
     session.approvals_retracted = document["approvals_retracted"]
+    # Version-1 checkpoints predate network deltas.
+    session.deltas_applied = document.get("deltas_applied", 0)
     session._assertion_order = {
         correspondence_from_dict(entry, schemas): position
         for entry, position in document["assertion_order"]
@@ -556,6 +581,7 @@ def _expert_session_to_dict(session: ReconciliationSession) -> dict:
         "oracle": oracle_doc,
         "conflicts_resolved": session.conflicts_resolved,
         "approvals_retracted": session.approvals_retracted,
+        "deltas_applied": session.deltas_applied,
         "trace": {
             "initial_uncertainty": session.trace.initial_uncertainty,
             "steps": [
@@ -590,14 +616,12 @@ def _expert_session_from_dict(document: dict) -> ReconciliationSession:
         strategy = strategy_cls(rng=random.Random())
     strategy.rng.setstate(_rng_from_json(strategy_doc["rng"]))
     oracle_doc = document["oracle"]
-    truth = frozenset(_corrs_from_list(oracle_doc["truth"], schemas))
+    truth = _truth_from_list(oracle_doc["truth"])
     if oracle_doc["kind"] == "noisy":
         oracle: Oracle = NoisyOracle(
             truth, oracle_doc["error_rate"], rng=random.Random()
         )
-        oracle.set_state(
-            _oracle_state_from_dict(oracle_doc["state"], schemas)
-        )
+        oracle.set_state(_oracle_state_from_dict(oracle_doc["state"]))
     elif oracle_doc["kind"] == "perfect":
         oracle = Oracle(truth)
         oracle.assertions_made = oracle_doc["assertions_made"]
@@ -611,6 +635,8 @@ def _expert_session_from_dict(document: dict) -> ReconciliationSession:
     )
     session.conflicts_resolved = document["conflicts_resolved"]
     session.approvals_retracted = document["approvals_retracted"]
+    # Version-1 checkpoints predate network deltas.
+    session.deltas_applied = document.get("deltas_applied", 0)
     trace_doc = document["trace"]
     session.trace = ReconciliationTrace(
         initial_uncertainty=trace_doc["initial_uncertainty"],

@@ -30,10 +30,14 @@ import pathlib
 from collections import deque
 from typing import Optional
 
-from ..io import FORMAT_VERSION, FormatError
+from ..io import FORMAT_VERSION, SUPPORTED_VERSIONS, FormatError
 
-#: Record types that delimit one committed transaction.
-COMMIT_TYPES = ("round-commit", "step-commit")
+#: Record types that delimit one committed transaction.  A
+#: ``delta-commit`` seals a write-ahead network-delta transaction (the
+#: preceding ``delta`` record carries the full payload, so recovery can
+#: re-execute it); a crash between the two leaves a torn tail and the
+#: delta never happened.
+COMMIT_TYPES = ("round-commit", "step-commit", "delta-commit")
 
 JOURNAL_KIND = "feedback-journal"
 
@@ -130,7 +134,10 @@ def read_journal(
     if not lines:
         raise FormatError("empty journal file")
     header = json.loads(lines[0])
-    if header.get("kind") != JOURNAL_KIND or header.get("version") != FORMAT_VERSION:
+    if (
+        header.get("kind") != JOURNAL_KIND
+        or header.get("version") not in SUPPORTED_VERSIONS
+    ):
         raise FormatError("not a feedback-journal file of a supported version")
     records: list[dict] = []
     for line in lines[1:]:

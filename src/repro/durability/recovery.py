@@ -168,17 +168,34 @@ def recover(
     journal = FeedbackJournal.resume(journal_path, next_seq=last_seq + 1)
     journal.expect(pending)
     session = restore_session(document, journal=journal)
-    commits = [
-        record
-        for record in pending
-        if record.get("type") in ("round-commit", "step-commit")
-    ]
-    if isinstance(session, CrowdSession):
-        for commit in commits:
-            session.round(max_questions=commit.get("max_questions"))
-    else:
-        for _ in commits:
+    is_crowd = isinstance(session, CrowdSession)
+    transactions_redone = 0
+    last_delta: Optional[dict] = None
+    for record in pending:
+        kind = record.get("type")
+        if kind == "delta":
+            # Remember the write-ahead payload; the matching delta-commit
+            # (if the crash let it land) triggers the re-execution.
+            last_delta = record.get("delta")
+        elif kind == "delta-commit":
+            from ..io import delta_from_dict
+
+            if last_delta is None:
+                raise JournalReplayError(
+                    "delta-commit without a preceding delta record"
+                )
+            delta = delta_from_dict(last_delta, session.pnet.network)
+            # apply_delta re-appends both the delta and delta-commit
+            # records, which the armed journal verifies against the log.
+            session.apply_delta(delta)
+            last_delta = None
+            transactions_redone += 1
+        elif kind == "round-commit" and is_crowd:
+            session.round(max_questions=record.get("max_questions"))
+            transactions_redone += 1
+        elif kind == "step-commit" and not is_crowd:
             session.step()
+            transactions_redone += 1
     if journal.replaying:
         raise JournalReplayError(
             "redo finished with journaled records unaccounted for: the "
@@ -188,7 +205,7 @@ def recover(
         session_kind=document.get("session", "unknown"),
         checkpoint_seq=checkpoint_seq,
         records_replayed=len(pending),
-        transactions_redone=len(commits),
+        transactions_redone=transactions_redone,
         records_discarded=len(torn),
     )
 

@@ -7,6 +7,7 @@ and the ``benchmarks/`` suite are thin wrappers over these runners.
 
 from . import (
     chaos,
+    churn,
     crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
@@ -51,6 +52,7 @@ __all__ = [
     "build_fixture",
     "build_session",
     "chaos",
+    "churn",
     "conflicted_subnetwork",
     "crowd_budget",
     "lint_network",

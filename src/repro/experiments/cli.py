@@ -20,6 +20,7 @@ from typing import Callable, Optional, Sequence
 
 from . import (
     chaos,
+    churn,
     crowd_budget,
     fig6_sampling_time,
     fig7_kl_ratio,
@@ -76,6 +77,16 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
                 "attributes_per_schema": 40,
                 "conflict_bias": 0.5,
             },
+        },
+    ),
+    "churn": (
+        churn.run,
+        {
+            "fractions": (0.1,),
+            "n_correspondences": 400,
+            "n_schemas": 24,
+            "attributes_per_schema": 40,
+            "target_samples": 120,
         },
     ),
 }

@@ -137,6 +137,14 @@ class ScenarioSpec:
     #: Walk chains advanced per shard refill (>1 routes through the
     #: lockstep multi-chain walk).
     shard_chains: int = 1
+    # Churn fields (repro.experiments.churn / repro.core.delta).
+    #: Apply a schema-churn delta after this many expert steps; ``None``
+    #: (default) runs over a static network.
+    churn_at: Optional[int] = None
+    #: Fraction of schemas the mid-run delta removes and re-adds
+    #: (:func:`~repro.experiments.churn.make_churn_delta`, seeded with
+    #: ``Random(seed + 3)``).
+    churn_fraction: float = 0.1
 
     @property
     def label(self) -> str:
@@ -344,8 +352,29 @@ def _summarise(
 def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome:
     """Execute one scenario end to end and summarise it."""
     if spec.oracle == "crowd":
+        if spec.churn_at is not None:
+            raise ValueError(
+                "churn_at drives the single-expert loop; apply deltas to a "
+                "crowd session directly via CrowdSession.apply_delta"
+            )
         return run_crowd_scenario(fixture, spec)
     session = build_session(fixture, spec)
+    if spec.churn_at is not None:
+        # Run the pre-churn prefix, mutate the network mid-session, then
+        # let the goal-driven loop below finish over the evolved network
+        # (both run paths cap on the trace length, which already counts
+        # the prefix steps).
+        from .churn import make_churn_delta
+
+        for _ in range(spec.churn_at):
+            if session.step() is None:
+                break
+        delta = make_churn_delta(
+            session.pnet.network,
+            spec.churn_fraction,
+            random.Random(spec.seed + 3),
+        )
+        session.apply_delta(delta)
     if spec.checkpoint_dir is not None:
         from ..durability.recovery import run_durable
 

@@ -30,7 +30,15 @@ from .core.graphs import InteractionGraph
 from .core.network import MatchingNetwork
 from .core.schema import Attribute, Schema
 
-FORMAT_VERSION = 1
+#: Current on-disk format version.  Version 2 added network-delta
+#: documents, delta journal transactions and the sessions'
+#: ``deltas_applied`` counter; every version-1 document still loads
+#: (restore fills the new fields with their pre-delta defaults), so
+#: bumping the version does not orphan existing checkpoints.
+FORMAT_VERSION = 2
+
+#: Versions the loaders accept.  Writers always emit ``FORMAT_VERSION``.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class FormatError(ValueError):
@@ -41,10 +49,10 @@ def _check_version(document: dict, kind: str) -> None:
     if not isinstance(document, dict) or document.get("kind") != kind:
         raise FormatError(f"expected a {kind!r} document")
     version = document.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise FormatError(
             f"unsupported {kind} format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(supported: {SUPPORTED_VERSIONS})"
         )
 
 
@@ -173,6 +181,63 @@ def network_from_dict(document: dict) -> MatchingNetwork:
     constraints = [constraint_from_dict(c) for c in document["constraints"]]
     return MatchingNetwork(
         schemas, candidates, graph=graph, constraints=constraints
+    )
+
+
+def delta_to_dict(delta) -> dict:
+    """Serialise a :class:`~repro.core.delta.NetworkDelta`.
+
+    The representation is replay-stable: ``delta_to_dict(delta_from_dict(d,
+    network)) == d`` for any document this function produced, which is what
+    lets crash recovery re-execute a journaled delta under replay
+    verification (the re-appended record must equal the journaled one).
+    """
+    return {
+        "kind": "network-delta",
+        "version": FORMAT_VERSION,
+        "add_schemas": [schema_to_dict(schema) for schema in delta.add_schemas],
+        "remove_schemas": list(delta.remove_schemas),
+        "add_edges": [list(edge) for edge in delta.add_edges],
+        "add_candidates": [
+            {**correspondence_to_dict(corr), "confidence": confidence}
+            for corr, confidence in delta.add_candidates
+        ],
+        "remove_candidates": [
+            correspondence_to_dict(corr) for corr in delta.remove_candidates
+        ],
+    }
+
+
+def delta_from_dict(document: dict, network: MatchingNetwork):
+    """Deserialise a network delta against the network it applies to.
+
+    Added candidates may reference added schemas, so attribute resolution
+    runs against the network's schemas overlaid with the delta's own
+    additions.
+    """
+    from .core.delta import NetworkDelta
+
+    _check_version(document, "network-delta")
+    add_schemas = tuple(
+        schema_from_dict(entry) for entry in document["add_schemas"]
+    )
+    schemas = {schema.name: schema for schema in network.schemas}
+    extended = {**schemas, **{schema.name: schema for schema in add_schemas}}
+    return NetworkDelta(
+        add_schemas=add_schemas,
+        remove_schemas=tuple(document["remove_schemas"]),
+        add_edges=tuple(tuple(edge) for edge in document["add_edges"]),
+        add_candidates=tuple(
+            (
+                correspondence_from_dict(entry, extended),
+                entry.get("confidence", 1.0),
+            )
+            for entry in document["add_candidates"]
+        ),
+        remove_candidates=tuple(
+            correspondence_from_dict(entry, schemas)
+            for entry in document["remove_candidates"]
+        ),
     )
 
 

@@ -21,7 +21,12 @@ whole construction: sharded session traces are bit-identical to the
 unsharded reference across strategies and seeds.
 """
 
-from .components import ShardPlan, shard_plan, violation_components
+from .components import (
+    ShardPlan,
+    shard_plan,
+    shard_plan_delta,
+    violation_components,
+)
 from .estimator import ShardedEstimator
 from .store import (
     MAX_PRODUCT_ROWS,
@@ -38,5 +43,6 @@ __all__ = [
     "ShardedEstimator",
     "ShardedSampleStore",
     "shard_plan",
+    "shard_plan_delta",
     "violation_components",
 ]

@@ -24,7 +24,12 @@ from typing import Optional
 from ..core.constraints import ConstraintEngine, mask_indices
 from ..core.network import MatchingNetwork
 
-__all__ = ["ShardPlan", "shard_plan", "violation_components"]
+__all__ = [
+    "ShardPlan",
+    "shard_plan",
+    "shard_plan_delta",
+    "violation_components",
+]
 
 
 def violation_components(engine: ConstraintEngine) -> list[int]:
@@ -114,3 +119,48 @@ def shard_plan(
         groups.sort(key=lambda mask: mask & -mask)
     shards = tuple(tuple(mask_indices(mask)) for mask in groups)
     return ShardPlan(shards=shards, free=free)
+
+
+def shard_plan_delta(
+    old_plan: ShardPlan,
+    result,
+    max_shards: Optional[int] = None,
+) -> tuple[ShardPlan, dict[int, int]]:
+    """Re-plan after a :class:`~repro.core.delta.DeltaResult` and say
+    which shards carried over.
+
+    Returns ``(plan, carried)`` where ``plan`` is exactly
+    ``shard_plan(result.network, max_shards)`` — the authoritative
+    decomposition that :meth:`ShardedSampleStore.from_state` will
+    recompute on restore, so the delta path must agree with it bit for
+    bit — and ``carried`` maps *new* shard position → *old* shard
+    position for every shard whose candidate set is an untouched image
+    of an old shard.
+
+    A new shard carries over iff its index tuple equals an old shard's
+    indices remapped through ``result.index_map``.  That equality alone
+    implies the shard is untouched: every *new* violation involves an
+    added candidate (the delta locality contract), added indices appear
+    in no remapped old shard, and a new violation intersecting the shard
+    would have pulled the added index into its component — changing the
+    tuple.  Likewise all the old shard's members survived (the remap is
+    total on it), so no violation inside it lost a member.  The carried
+    shard's violation structure, sample space and conditioning are
+    therefore *identical*, and the store layer may keep its live
+    engine + store + RNG objects verbatim.
+    """
+    plan = shard_plan(result.network, max_shards)
+    index_map = result.index_map
+    carried_lookup: dict[tuple[int, ...], int] = {}
+    for old_position, indices in enumerate(old_plan.shards):
+        remapped = tuple(
+            index_map[index] for index in indices if index in index_map
+        )
+        if len(remapped) == len(indices):
+            carried_lookup[remapped] = old_position
+    carried = {
+        new_position: carried_lookup[indices]
+        for new_position, indices in enumerate(plan.shards)
+        if indices in carried_lookup
+    }
+    return plan, carried

@@ -96,6 +96,18 @@ class ShardedEstimator(ProbabilityEstimator):
             return self.store.probability_vector()
         return super().probability_vector(correspondences)
 
+    def apply_delta(self, result) -> dict[int, int]:
+        """Consume a :class:`~repro.core.delta.DeltaResult` incrementally.
+
+        Delegates to :meth:`ShardedSampleStore.apply_delta`: untouched
+        shards keep their live engines, stores and RNG streams verbatim;
+        touched shards rebuild pre-seeded with the surviving feedback.
+        Returns the carried map (new shard position → old position).
+        """
+        carried = self.store.apply_delta(result)
+        self.network = result.network
+        return carried
+
     def record_assertion(self, corr: Correspondence, approved: bool) -> None:
         self.store.record_assertion(corr, approved)
 

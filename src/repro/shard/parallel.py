@@ -47,13 +47,22 @@ def _refill_shard_worker(payload: dict) -> tuple[dict, dict]:
     return store.get_state(), sampler.get_state()
 
 
-def refill_shards_parallel(shards: Sequence[Shard], workers: int) -> None:
+def refill_shards_parallel(
+    shards: Sequence[Shard],
+    workers: int,
+    pool: ProcessPoolExecutor | None = None,
+) -> None:
     """Refresh every shard store across a process pool, in place.
 
     Results are applied in shard order (the pool's ``map`` preserves
     input order), and each worker starts from the shard's captured
     stream positions, so the post-state is bit-identical to running
     ``store.refresh()`` sequentially.
+
+    With ``pool`` the caller supplies a long-lived executor (see
+    ``ShardedSampleStore``'s lazily-created pool) and keeps ownership —
+    it is *not* shut down here; without it a throwaway pool is created
+    and torn down, which pays worker spin-up on every refill.
     """
     payloads = []
     for shard in shards:
@@ -69,8 +78,11 @@ def refill_shards_parallel(shards: Sequence[Shard], workers: int) -> None:
                 "enumerate_limit": shard.store.enumerate_limit,
             }
         )
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    if pool is not None:
         results = list(pool.map(_refill_shard_worker, payloads))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as owned:
+            results = list(owned.map(_refill_shard_worker, payloads))
     for shard, (store_state, sampler_state) in zip(shards, results):
         sampler = shard.store.sampler
         sampler.set_state(sampler_state)

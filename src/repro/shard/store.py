@@ -40,7 +40,7 @@ from ..core.graphs import InteractionGraph
 from ..core.instances import enumerate_instances
 from ..core.network import MatchingNetwork
 from ..core.sampling import InstanceSampler, SampleStore
-from .components import ShardPlan, shard_plan
+from .components import ShardPlan, shard_plan, shard_plan_delta
 
 __all__ = ["EnumeratingSampleStore", "Shard", "ShardedSampleStore"]
 
@@ -258,21 +258,29 @@ class ShardedSampleStore:
         self._vector_cache: Optional[np.ndarray] = None
         self._matrix_cache: Optional[np.ndarray] = None
         self._matrix_float_cache: Optional[np.ndarray] = None
+        self._pool = None
+        self._pool_workers: Optional[int] = None
         if fill:
             self.refill()
 
     def _build_shard(self, position: int, indices: tuple[int, ...]) -> Shard:
-        """Construct one (empty) shard; the master rng spawns its stream.
+        """Construct one shard; the master rng spawns its stream.
 
         Shard RNG streams are drawn from ``self.rng`` in shard order, so
         the full decomposition is a pure function of the master seed —
         and checkpointing the per-shard sampler states (not the master)
         is what resumes mid-flight sessions bit-for-bit.
+
+        The shard store starts from the slice of ``self.feedback`` its
+        candidates carry (empty on a fresh build): the delta path
+        rebuilds touched shards with the surviving feedback pre-seeded,
+        so their refill enumerates/walks the *conditioned* space Ω(F⁺,
+        F⁻) directly — the same space a fresh store reaches by replaying
+        that feedback.
         """
         correspondences = self.network.correspondences
-        subnet = _shard_subnetwork(
-            self.network, [correspondences[i] for i in indices]
-        )
+        members = [correspondences[i] for i in indices]
+        subnet = _shard_subnetwork(self.network, members)
         sampler = InstanceSampler(
             subnet,
             walk_steps=self.walk_steps,
@@ -280,10 +288,21 @@ class ShardedSampleStore:
             restart_probability=self.restart_probability,
             chains=self.chains,
         )
+        state = _empty_store_state(self.target_samples, self.min_samples)
+        if self.feedback:
+            member_set = set(members)
+            state["approved"] = sorted(
+                corr for corr in self.feedback.approved if corr in member_set
+            )
+            state["disapproved"] = sorted(
+                corr
+                for corr in self.feedback.disapproved
+                if corr in member_set
+            )
         store = EnumeratingSampleStore.from_state(
             subnet,
             sampler,
-            _empty_store_state(self.target_samples, self.min_samples),
+            state,
             enumerate_limit=self.enumerate_limit,
         )
         return Shard(position, indices, subnet, store)
@@ -310,11 +329,102 @@ class ShardedSampleStore:
             if workers is not None and workers > 1 and len(needy) > 1:
                 from .parallel import refill_shards_parallel
 
-                refill_shards_parallel(needy, workers=workers)
+                refill_shards_parallel(
+                    needy, workers=workers, pool=self._ensure_pool(workers)
+                )
             else:
                 for shard in needy:
                     shard.store.refresh()
         self._invalidate()
+
+    def _ensure_pool(self, workers: int):
+        """The lazily-created persistent worker pool for parallel refills.
+
+        Spinning up a ``ProcessPoolExecutor`` per refill dominates small
+        fan-outs (worker fork + interpreter start per call), so the pool
+        is created on first parallel refill and reused until
+        :meth:`close` — recreated only if the worker count changes.  The
+        pool carries no sampling state (workers receive full store and
+        sampler states per call), so reuse cannot affect results.
+        """
+        if self._pool is not None and self._pool_workers != workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Network evolution
+    # ------------------------------------------------------------------
+    def apply_delta(self, result) -> dict[int, int]:
+        """Re-shard in place after a :class:`~repro.core.delta.DeltaResult`.
+
+        The new plan comes from :func:`~repro.shard.components.shard_plan_delta`
+        — identical to the plan :meth:`from_state` would recompute on the
+        successor network, so checkpoints taken after a delta restore
+        cleanly.  Shards whose candidate sets are untouched images of old
+        shards keep their live sub-network, store and RNG objects
+        *verbatim* (bit-identical masks and stream positions, zero
+        resampling: the final :meth:`refill` skips them because they are
+        already at target or exhausted).  Touched shards are rebuilt with
+        the surviving feedback pre-seeded, so their refill produces the
+        conditioned space a fresh store reaches by replaying that same
+        feedback.  Feedback on removed candidates is dropped (including
+        candidates removed and re-added in one delta — the re-added twin
+        starts fresh).
+
+        Returns the carried map (new shard position → old position) for
+        observability; its complement is the rebuilt set.
+        """
+        plan, carried = shard_plan_delta(
+            self.plan, result, max_shards=self.max_shards
+        )
+        removed = result.removed_correspondences
+        old_shards = self.shards
+        self.network = result.network
+        self.plan = plan
+        self._free = np.asarray(plan.free, dtype=np.intp)
+        self._owner = {}
+        for position, indices in enumerate(plan.shards):
+            for index in indices:
+                self._owner[index] = position
+        self.feedback = Feedback(
+            sorted(c for c in self.feedback.approved if c not in removed),
+            sorted(c for c in self.feedback.disapproved if c not in removed),
+        )
+        self.shards = []
+        for position, indices in enumerate(plan.shards):
+            old_position = carried.get(position)
+            if old_position is not None:
+                old = old_shards[old_position]
+                self.shards.append(
+                    Shard(position, indices, old.network, old.store)
+                )
+            else:
+                # Rebuilt shards draw fresh streams from the master rng
+                # in (new) shard order — deterministic given the master
+                # stream position, with carried shards consuming nothing.
+                self.shards.append(self._build_shard(position, indices))
+        self._invalidate()
+        self.refill()
+        return carried
 
     # ------------------------------------------------------------------
     # Conditioning
@@ -437,11 +547,30 @@ class ShardedSampleStore:
         if self._matrix_float_cache is None:
             rows = self._product_rows()
             if rows > MAX_PRODUCT_ROWS:
+                # Name the offending factors: the product is ∏|Ω_s| over
+                # the shards, so showing the largest per-shard row counts
+                # tells the user exactly which components blow the budget
+                # and whether retuning max_shards could help.
+                factors = sorted(
+                    ((len(shard.store), shard.position) for shard in self.shards),
+                    reverse=True,
+                )
+                shown = ", ".join(
+                    f"shard {position}: {count} rows"
+                    for count, position in factors[:6]
+                )
+                if len(factors) > 6:
+                    shown += f", … ({len(factors) - 6} more)"
                 raise ValueError(
                     f"sharded membership matrix would need {rows} rows "
-                    f"(> {MAX_PRODUCT_ROWS}); information-gain selection "
-                    "does not scale to this sharded network — use the "
-                    "likelihood, entropy, or random strategy instead"
+                    f"(> {MAX_PRODUCT_ROWS}); the product factorises over "
+                    f"{len(self.shards)} shards, largest first: [{shown}]. "
+                    "Information-gain selection does not scale to this "
+                    "sharded network — use the likelihood, entropy, or "
+                    "random strategy instead, or tune max_shards "
+                    "deliberately (fewer, larger shards cap their row "
+                    "counts at the sampling target instead of enumerating "
+                    "exactly)"
                 )
             matrix = np.zeros((rows, self.network.engine.n), dtype=np.float64)
             if rows and len(self._free):

@@ -285,7 +285,7 @@ class TestCrowdCheckpointRoundTrip:
         session = self._mid_run_session()
         document = json.loads(json.dumps(checkpoint_to_dict(session)))
         assert document["kind"] == "session-checkpoint"
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["session"] == "crowd"
         restored = session_from_dict(document)
         assert len(restored.trace.rounds) == 2
@@ -511,6 +511,17 @@ class TestGoldenCheckpointFixture:
         assert session.trace.uncertainties == pytest.approx(
             GOLDEN_UNCERTAINTIES[:4]
         )
+
+    def test_version_1_document_restores_under_format_2(self):
+        """The committed fixture predates network deltas: it is the
+        backward-compatibility pin for format version 1, so it must keep
+        both its on-disk version *and* its restorability as the current
+        format moves on."""
+        document = json.loads(self.FIXTURE.read_text())
+        assert document["version"] == 1
+        assert "deltas_applied" not in document
+        session = restore_session(self.FIXTURE)
+        assert session.deltas_applied == 0
 
     def test_resumed_tail_matches_golden_run(self):
         restored = restore_session(self.FIXTURE)

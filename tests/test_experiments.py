@@ -252,6 +252,7 @@ class TestCli:
             "lint",
             "crowd",
             "chaos",
+            "churn",
         }
 
     def test_lint_experiment_quick(self):
