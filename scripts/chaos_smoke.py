@@ -113,7 +113,10 @@ def main() -> int:
         f"chaos smoke: {total_rounds} crash/recover boundaries and the "
         "retry leg are bit-identical to the golden run"
     )
-    return delta_legs(fixture)
+    code = delta_legs(fixture)
+    if code:
+        return code
+    return service_leg(fixture)
 
 
 def delta_legs(fixture) -> int:
@@ -168,6 +171,95 @@ def delta_legs(fixture) -> int:
     print(
         "chaos smoke: mid-delta legs (committed redo, torn discard) are "
         "bit-identical"
+    )
+    return 0
+
+
+def service_leg(fixture) -> int:
+    """Crash one tenant of a multiplexed fleet mid-round; the others run on.
+
+    Three crowd tenants share one :class:`ReconciliationService`.  The
+    durable "victim" crashes inside its second round; the service keeps
+    the other two tenants' programs running to completion (their traces
+    must equal solo runs), the victim is evicted without a checkpoint,
+    recovered from its journal directory, re-admitted under its old
+    name, and finished — bit-identical to the run that never crashed.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.scenarios import tenant_specs
+    from repro.service import ReconciliationService
+
+    base = replace(SPEC, service=True, tenants=3)
+    specs = tenant_specs(base)
+    rounds = 3
+    goldens = {}
+    for spec in specs:
+        session = build_crowd_session(fixture, spec)
+        for _ in range(rounds):
+            session.round()
+        goldens[spec.name] = trace_tuple(session.trace)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        victim_dir = pathlib.Path(tmp) / "victim"
+        service = ReconciliationService(concurrency=2)
+        sessions = {}
+        for index, spec in enumerate(specs):
+            session = build_crowd_session(fixture, spec)
+            sessions[spec.name] = session
+            if index == 0:
+                session.faults = FaultPlan(
+                    seed=SEED, crash_at_round=2, latency_mean=0.0
+                )
+                service.add_tenant(
+                    spec.name, session, checkpoint_dir=victim_dir
+                )
+            else:
+                service.add_tenant(spec.name, session)
+        victim = specs[0].name
+        results = service.run_programs(
+            {spec.name: [{"op": "round"}] * rounds for spec in specs}
+        )
+
+        if not isinstance(results[victim][-1], SimulatedCrash):
+            print("chaos smoke: service victim did not crash as planned")
+            return 1
+        for spec in specs[1:]:
+            crashed = [
+                r for r in results[spec.name] if isinstance(r, Exception)
+            ]
+            if crashed or trace_tuple(
+                sessions[spec.name].trace
+            ) != goldens[spec.name]:
+                print(
+                    "chaos smoke: service crash leaked into tenant "
+                    f"{spec.name}"
+                )
+                return 1
+
+        # Evict the suspect in-memory session (journal is the authority),
+        # recover from its directory, and finish under the old name.
+        service.remove_tenant(victim, checkpoint=False)
+        recovered, _ = recover(victim_dir)
+        if len(recovered.trace.rounds) >= rounds:
+            print("chaos smoke: service victim crash was not mid-run")
+            return 1
+        service.add_tenant(victim, recovered, checkpoint_dir=victim_dir)
+        remaining = rounds - len(recovered.trace.rounds)
+        results = service.run_programs(
+            {victim: [{"op": "round"}] * remaining}
+        )
+        if any(isinstance(r, Exception) for r in results[victim]):
+            print("chaos smoke: recovered service tenant failed to finish")
+            return 1
+        service.close()
+        if trace_tuple(recovered.trace) != goldens[victim]:
+            print("chaos smoke: recovered service tenant diverged")
+            return 1
+
+    print(
+        "chaos smoke: service leg (mid-round tenant crash, journal "
+        "recovery, unaffected co-tenants) is bit-identical"
     )
     return 0
 

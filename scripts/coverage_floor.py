@@ -29,7 +29,7 @@ import threading
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Packages under the floor; each is enforced independently.
-PACKAGES = ("core", "crowd", "analysis", "durability", "shard")
+PACKAGES = ("core", "crowd", "analysis", "durability", "shard", "service")
 PACKAGE_DIRS = {
     name: str(ROOT / "src" / "repro" / name) + os.sep for name in PACKAGES
 }
@@ -65,6 +65,8 @@ TEST_FILES = [
     "tests/test_shard_equivalence.py",
     "tests/test_delta.py",
     "tests/test_delta_equivalence.py",
+    "tests/test_shard_pool.py",
+    "tests/test_service.py",
 ]
 
 _executed: dict[str, set[int]] = {}

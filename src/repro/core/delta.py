@@ -77,6 +77,15 @@ class NetworkDelta:
         span an edge of the successor graph.
     remove_candidates:
         Existing candidates to drop explicitly.
+    rescore:
+        In-place matcher-confidence updates for *existing* candidates —
+        ``{correspondence: score}`` (or ``(correspondence, score)``
+        pairs).  Confidence is auxiliary matcher output: it never enters
+        the constraint engine or the instance space, so a rescore-only
+        delta patches the candidate set without recompiling the engine
+        or rebuilding any shard (see :func:`apply_network_delta`'s fast
+        path).  Rescoring a candidate the same delta removes (or one
+        that is not a candidate at all) is an error.
     """
 
     add_schemas: tuple[Schema, ...] = ()
@@ -84,6 +93,7 @@ class NetworkDelta:
     add_edges: tuple[tuple[str, str], ...] = ()
     add_candidates: tuple[tuple[Correspondence, float], ...] = ()
     remove_candidates: tuple[Correspondence, ...] = ()
+    rescore: tuple[tuple[Correspondence, float], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "add_schemas", tuple(self.add_schemas))
@@ -104,16 +114,33 @@ class NetworkDelta:
         object.__setattr__(
             self, "remove_candidates", tuple(self.remove_candidates)
         )
+        rescore = self.rescore
+        if isinstance(rescore, Mapping):
+            rescore = rescore.items()
+        object.__setattr__(
+            self,
+            "rescore",
+            tuple((corr, float(score)) for corr, score in rescore),
+        )
 
-    def is_empty(self) -> bool:
-        """Whether applying this delta is a structural no-op."""
-        return not (
+    def is_structural(self) -> bool:
+        """Whether the delta changes the candidate universe or the graph.
+
+        Rescores are non-structural: they touch confidences only, so a
+        delta that carries nothing else keeps the engine, the instance
+        space, and every shard byte-identical.
+        """
+        return bool(
             self.add_schemas
             or self.remove_schemas
             or self.add_edges
             or self.add_candidates
             or self.remove_candidates
         )
+
+    def is_empty(self) -> bool:
+        """Whether applying this delta is a complete no-op."""
+        return not (self.is_structural() or self.rescore)
 
 
 @dataclass(frozen=True)
@@ -144,6 +171,9 @@ class DeltaResult:
         New-space masks of the violations that were *not* carried over
         from the old engine — the touched region the shard planner must
         recompute; every one of them intersects the added candidates.
+    rescored_indices:
+        New-space indices of the candidates whose confidence the delta
+        patched in place, ascending.
     """
 
     delta: NetworkDelta
@@ -153,6 +183,18 @@ class DeltaResult:
     removed_correspondences: frozenset[Correspondence] = field(repr=False)
     added_indices: tuple[int, ...] = ()
     new_violation_masks: tuple[int, ...] = field(default=(), repr=False)
+    rescored_indices: tuple[int, ...] = ()
+
+    @property
+    def structural(self) -> bool:
+        """Whether the successor's candidate universe or engine changed.
+
+        False exactly for rescore-only deltas: the successor then shares
+        the predecessor's engine, graph and schemas verbatim, and every
+        downstream layer (estimators, shard stores) may keep its state
+        untouched — only the network reference moves.
+        """
+        return self.delta.is_structural()
 
     @property
     def removed_mask(self) -> int:
@@ -363,6 +405,66 @@ def _incremental_engine(
     )
 
 
+def _validated_rescore(
+    network: MatchingNetwork, delta: NetworkDelta
+) -> dict[Correspondence, float]:
+    """The delta's rescore entries as a map, checked against ``network``."""
+    rescore_map: dict[Correspondence, float] = {}
+    for corr, score in delta.rescore:
+        if corr in rescore_map:
+            raise ValueError(f"delta rescores {corr} twice")
+        if corr not in network.candidates:
+            raise ValueError(
+                f"delta rescores {corr} which is not a candidate"
+            )
+        rescore_map[corr] = score
+    return rescore_map
+
+
+def _rescore_only_result(
+    network: MatchingNetwork,
+    delta: NetworkDelta,
+    rescore_map: dict[Correspondence, float],
+) -> DeltaResult:
+    """The fast path: patch confidences, share everything else verbatim.
+
+    Confidence never enters the constraint engine or the instance space
+    (only matchers write it and confidence-ranked selection reads it), so
+    the successor reuses the predecessor's schemas, graph, constraints
+    and *engine objects* — no recompilation, an identity index map, and
+    nothing for the shard layer to rebuild.
+    """
+    candidates = CandidateSet()
+    confidence_of = network.candidates.confidence
+    rescored_indices: list[int] = []
+    for index, corr in enumerate(network.correspondences):
+        score = rescore_map.get(corr)
+        if score is None:
+            candidates.add(corr, confidence_of(corr))
+        else:
+            candidates.add(corr, score)
+            rescored_indices.append(index)
+    successor = MatchingNetwork.__new__(MatchingNetwork)
+    successor.schemas = network.schemas
+    successor._schema_by_name = network._schema_by_name
+    successor.candidates = candidates
+    successor.graph = network.graph
+    successor.constraints = network.constraints
+    successor.engine = network.engine
+    return DeltaResult(
+        delta=delta,
+        network=successor,
+        index_map=MappingProxyType(
+            {index: index for index in range(len(network.correspondences))}
+        ),
+        removed_indices=(),
+        removed_correspondences=frozenset(),
+        added_indices=(),
+        new_violation_masks=(),
+        rescored_indices=tuple(rescored_indices),
+    )
+
+
 def apply_network_delta(
     network: MatchingNetwork, delta: NetworkDelta
 ) -> DeltaResult:
@@ -371,8 +473,13 @@ def apply_network_delta(
     The input network is left untouched; the successor shares the
     surviving :class:`Schema`, :class:`Correspondence` and
     :class:`~repro.core.constraints.Violation` objects, so downstream
-    layers can carry state keyed on them verbatim.
+    layers can carry state keyed on them verbatim.  A rescore-only delta
+    short-circuits to :func:`_rescore_only_result` — same engine object,
+    identity index map.
     """
+    rescore_map = _validated_rescore(network, delta)
+    if not delta.is_structural():
+        return _rescore_only_result(network, delta, rescore_map)
     # ------------------------------------------------------------------
     # Schemas
     # ------------------------------------------------------------------
@@ -430,17 +537,27 @@ def apply_network_delta(
     removed: list[Correspondence] = []
     removed_indices: list[int] = []
     index_map: dict[int, int] = {}
+    rescored_indices: list[int] = []
     candidates = CandidateSet()
     confidence_of = network.candidates.confidence
     for old_index, corr in enumerate(old_corrs):
         if corr in explicit or any(
             endpoint.schema in removed_names for endpoint in corr.attributes
         ):
+            if corr in rescore_map:
+                raise ValueError(
+                    f"delta rescores {corr} which it also removes"
+                )
             removed.append(corr)
             removed_indices.append(old_index)
         else:
             index_map[old_index] = len(candidates)
-            candidates.add(corr, confidence_of(corr))
+            score = rescore_map.get(corr)
+            if score is not None:
+                rescored_indices.append(len(candidates))
+            candidates.add(
+                corr, confidence_of(corr) if score is None else score
+            )
 
     added_corrs: list[Correspondence] = []
     added_indices: list[int] = []
@@ -519,4 +636,5 @@ def apply_network_delta(
         removed_correspondences=frozenset(removed),
         added_indices=tuple(added_indices),
         new_violation_masks=new_violation_masks,
+        rescored_indices=tuple(rescored_indices),
     )

@@ -110,7 +110,13 @@ class ExactEstimator(ProbabilityEstimator):
         Feedback on removed candidates is dropped; the next
         ``probabilities()`` read enumerates the successor's Ω(F⁺, F⁻)
         from scratch (exact estimation has no carried state to reuse).
+        A rescore-only delta swaps the network reference and keeps the
+        cache: exact probabilities depend on the constraint engine and
+        the feedback, never on matcher confidence.
         """
+        if not result.structural:
+            self.network = result.network
+            return
         removed = result.removed_correspondences
         self.network = result.network
         self._feedback = Feedback(
@@ -213,7 +219,17 @@ class SampledEstimator(ProbabilityEstimator):
         result is deterministic given the stream position; shard-level
         carryover (untouched components byte-identical) is the
         :class:`~repro.shard.ShardedEstimator` path.
+
+        A rescore-only delta (``result.structural`` False) swaps the
+        network references and keeps the store verbatim — sample
+        frequencies never read matcher confidence, so Ω*, the RNG
+        streams and every cached vector stay bit-identical.
         """
+        if not result.structural:
+            self.store.network = result.network
+            self.store.sampler.network = result.network
+            self.network = result.network
+            return
         removed = result.removed_correspondences
         old = self.store
         sampler = InstanceSampler(

@@ -280,7 +280,7 @@ class ReconciliationSession:
             )
         return record
 
-    def apply_delta(self, delta):
+    def apply_delta(self, delta, result=None):
         """Evolve the network mid-session by a ``NetworkDelta``.
 
         Feedback on surviving candidates is preserved (the estimator
@@ -298,8 +298,22 @@ class ReconciliationSession:
         :func:`~repro.durability.recovery.recover` replays the delta
         from the journal.  Returns the
         :class:`~repro.core.delta.DeltaResult`.
+
+        ``result`` optionally supplies a precomputed
+        :class:`~repro.core.delta.DeltaResult` for this exact delta
+        against this session's *current* network object — the
+        multi-tenant service computes each (network, delta) successor
+        once and hands it to every tenant session sharing that network.
+        ``apply_network_delta`` is a pure function of (network, delta),
+        so a shared result is bit-identical to a per-session one; the
+        guard below rejects a result computed for anything else.
         """
-        result = self.pnet.network.apply_delta(delta)
+        if result is None:
+            result = self.pnet.network.apply_delta(delta)
+        elif result.delta != delta:
+            raise ValueError(
+                "precomputed DeltaResult was built for a different delta"
+            )
         if self.journal is not None:
             from .. import io as _io
 

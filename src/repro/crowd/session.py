@@ -557,7 +557,7 @@ class CrowdSession:
             raise SimulatedCrash(record.index)
         return record
 
-    def apply_delta(self, delta):
+    def apply_delta(self, delta, result=None):
         """Evolve the network mid-session by a ``NetworkDelta``.
 
         Crowd counterpart of
@@ -571,8 +571,19 @@ class CrowdSession:
         reliability statistics are about workers, not candidates, and
         survive untouched.  Returns the
         :class:`~repro.core.delta.DeltaResult`.
+
+        ``result`` optionally supplies a precomputed
+        :class:`~repro.core.delta.DeltaResult` for this exact delta
+        against this session's current network object (the multi-tenant
+        service's cross-tenant sharing — ``apply_network_delta`` is pure,
+        so the shared successor is bit-identical to a private one).
         """
-        result = self.pnet.network.apply_delta(delta)
+        if result is None:
+            result = self.pnet.network.apply_delta(delta)
+        elif result.delta != delta:
+            raise ValueError(
+                "precomputed DeltaResult was built for a different delta"
+            )
         if self.journal is not None:
             from .. import io as _io
 

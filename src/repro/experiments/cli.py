@@ -29,6 +29,7 @@ from . import (
     fig10_ordering_instantiation,
     fig11_likelihood,
     lint_network,
+    serve,
     table2_datasets,
     table3_violations,
 )
@@ -87,6 +88,18 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], dict]] = {
             "n_schemas": 24,
             "attributes_per_schema": 40,
             "target_samples": 120,
+        },
+    ),
+    "serve": (
+        serve.run,
+        {
+            "fleet_sizes": (4, 8),
+            "n_correspondences": 300,
+            "n_schemas": 16,
+            "attributes_per_schema": 40,
+            "target_samples": 120,
+            "budget": 4,
+            "churn_at": 2,
         },
     ),
 }

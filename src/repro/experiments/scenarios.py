@@ -145,6 +145,27 @@ class ScenarioSpec:
     #: (:func:`~repro.experiments.churn.make_churn_delta`, seeded with
     #: ``Random(seed + 3)``).
     churn_fraction: float = 0.1
+    # Service fields (repro.service).
+    #: Run the spec as a *fleet* of concurrent tenant sessions through
+    #: :func:`run_service_scenario` instead of one offline session.
+    service: bool = False
+    #: How many tenant sessions the service multiplexes; tenant *i* runs
+    #: the same spec reseeded with ``seed + 100·i``.
+    tenants: int = 4
+    #: Commands executing simultaneously across tenants (the scheduler's
+    #: executor-slot cap; per-tenant order is always preserved).
+    service_concurrency: int = 2
+    #: Fairness policy: "round-robin" or "deficit" (weighted DRR).
+    service_policy: str = "round-robin"
+    #: Bound on each tenant's pending-command queue (backpressure).
+    service_max_pending: int = 16
+    #: Full-queue behaviour: "wait" suspends submitters, "reject" raises
+    #: :class:`~repro.service.scheduler.AdmissionError`.
+    service_admission: str = "wait"
+    #: Spin up a shared :class:`~repro.shard.ShardWorkerPool` with this
+    #: many workers and hand it to every tenant's sharded store; None
+    #: keeps refills sequential (the single-core default).
+    service_workers: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -233,13 +254,19 @@ def prepare_fixture(
 
 
 def _build_pnet(
-    fixture: NetworkFixture, spec: ScenarioSpec
+    fixture: NetworkFixture,
+    spec: ScenarioSpec,
+    shard_pool=None,
+    catalog=None,
 ) -> ProbabilisticNetwork:
     """The probabilistic network of a spec — sharded or whole-network.
 
     Both estimators sample with ``Random(seed)``; the sharded one derives
     one independent stream per shard from it (in shard order), so the
-    whole decomposition is a pure function of the spec.
+    whole decomposition is a pure function of the spec.  ``shard_pool``
+    and ``catalog`` thread the service's shared worker pool and artefact
+    cache into a sharded store — both are bit-identity-preserving, so
+    specs build the same sessions with or without them.
     """
     if spec.sharded:
         from ..shard import ShardedEstimator
@@ -253,6 +280,8 @@ def _build_pnet(
                 chains=spec.shard_chains,
                 max_shards=spec.max_shards,
                 parallel=spec.shard_parallel,
+                pool=shard_pool,
+                catalog=catalog,
             ),
         )
     return ProbabilisticNetwork(
@@ -266,6 +295,9 @@ def build_crowd_session(
     fixture: NetworkFixture,
     spec: ScenarioSpec,
     pool: Optional[WorkerPool] = None,
+    *,
+    shard_pool=None,
+    catalog=None,
 ) -> CrowdSession:
     """Assemble the crowd session of an ``oracle="crowd"`` spec.
 
@@ -275,7 +307,7 @@ def build_crowd_session(
     from ``seed + 2`` (see :meth:`WorkerPool.from_distribution`).
     """
     fixture = prepare_fixture(fixture, spec)
-    pnet = _build_pnet(fixture, spec)
+    pnet = _build_pnet(fixture, spec, shard_pool=shard_pool, catalog=catalog)
     if pool is None:
         pool = WorkerPool.from_distribution(
             fixture.ground_truth,
@@ -305,10 +337,13 @@ def build_session(
     fixture: NetworkFixture,
     spec: ScenarioSpec,
     oracle: Optional[Oracle] = None,
+    *,
+    shard_pool=None,
+    catalog=None,
 ) -> ReconciliationSession:
     """Assemble the probabilistic network, strategy and oracle of a spec."""
     fixture = prepare_fixture(fixture, spec)
-    pnet = _build_pnet(fixture, spec)
+    pnet = _build_pnet(fixture, spec, shard_pool=shard_pool, catalog=catalog)
     strategy = make_strategy(spec.strategy, random.Random(spec.seed + 1))
     return ReconciliationSession(
         pnet,
@@ -351,6 +386,11 @@ def _summarise(
 
 def run_scenario(fixture: NetworkFixture, spec: ScenarioSpec) -> ScenarioOutcome:
     """Execute one scenario end to end and summarise it."""
+    if spec.service:
+        raise ValueError(
+            "service specs run a fleet, not one session; use "
+            "run_service_scenario (it returns one outcome per tenant)"
+        )
     if spec.oracle == "crowd":
         if spec.churn_at is not None:
             raise ValueError(
@@ -441,6 +481,158 @@ def run_crowd_scenario(
         answers=session.ledger.answers_charged,
         spend=session.ledger.spent,
     )
+
+
+@dataclass
+class ServiceScenarioResult:
+    """What a service fleet produced: per-tenant outcomes + service stats."""
+
+    outcomes: list[ScenarioOutcome]
+    #: ``ReconciliationService.stats()`` at drain time — per-tenant queue
+    #: and latency counters plus catalog/pool hit rates.
+    stats: dict
+
+
+def tenant_specs(spec: ScenarioSpec) -> list[ScenarioSpec]:
+    """The per-tenant reseeded specs of a ``service=True`` scenario.
+
+    Tenant *i* is the base spec with ``seed + 100·i`` (the stride clears
+    the ``seed..seed+3`` convention window) and service routing turned
+    off — each tenant is an ordinary single-session spec the
+    differential harness can also run alone.
+    """
+    return [
+        replace(
+            spec,
+            service=False,
+            seed=spec.seed + 100 * index,
+            name=f"{spec.label}/t{index}",
+            checkpoint_dir=None,
+        )
+        for index in range(spec.tenants)
+    ]
+
+
+def tenant_program(fixture: NetworkFixture, spec: ScenarioSpec) -> list[dict]:
+    """The command list one tenant submits under :func:`run_service_scenario`.
+
+    Experts step ``budget`` times (default 8); crowds run ``crowd_rounds``
+    rounds (default 3).  ``churn_at`` splices an ``apply_delta`` command
+    into the expert stream — the delta is built from the *base* seed's
+    ``Random(seed + 3)`` over the fixture network, so every tenant of a
+    fleet applies the identical delta and the catalog shares one
+    recompile across all of them.
+    """
+    if spec.oracle == "crowd":
+        rounds = spec.crowd_rounds if spec.crowd_rounds is not None else 3
+        return [{"op": "round"}] * rounds
+    steps = spec.budget if spec.budget is not None else 8
+    program: list[dict] = [{"op": "step"} for _ in range(steps)]
+    if spec.churn_at is not None:
+        from .churn import make_churn_delta
+
+        delta = make_churn_delta(
+            fixture.network,
+            spec.churn_fraction,
+            random.Random(spec.seed + 3),
+        )
+        program.insert(min(spec.churn_at, steps), {"op": "apply_delta",
+                                                   "delta": delta})
+    return program
+
+
+def run_service_scenario(
+    fixture: NetworkFixture, spec: ScenarioSpec
+) -> ServiceScenarioResult:
+    """Multiplex ``spec.tenants`` reseeded sessions through one service.
+
+    Every tenant runs :func:`tenant_program` concurrently over the shared
+    catalog (and worker pool, with ``service_workers``); the determinism
+    contract makes each tenant's outcome bit-identical to running its
+    spec alone, which ``tests/test_service_equivalence.py`` pins.  With
+    ``checkpoint_dir`` each tenant journals under its own subdirectory,
+    recoverable via :func:`repro.durability.recover`.
+    """
+    from ..service import ReconciliationService
+
+    if not spec.service:
+        raise ValueError("run_service_scenario needs a service=True spec")
+    if spec.tenants < 1:
+        raise ValueError("tenants must be positive")
+    specs = tenant_specs(spec)
+    service = ReconciliationService(
+        workers=spec.service_workers,
+        concurrency=spec.service_concurrency,
+        policy=spec.service_policy,
+        max_pending=spec.service_max_pending,
+        admission=spec.service_admission,
+    )
+    # One program for the whole fleet, built from the base seed: every
+    # tenant runs the same command shapes, and a churn delta is the same
+    # object fleet-wide (which is what lets the catalog share its
+    # recompile).
+    program = tenant_program(fixture, spec)
+    with service:
+        sessions = {}
+        programs = {}
+        for tenant_spec in specs:
+            name = tenant_spec.name
+            if tenant_spec.oracle == "crowd":
+                session = build_crowd_session(
+                    fixture,
+                    tenant_spec,
+                    shard_pool=service.pool,
+                    catalog=service.catalog,
+                )
+            else:
+                session = build_session(
+                    fixture,
+                    tenant_spec,
+                    shard_pool=service.pool,
+                    catalog=service.catalog,
+                )
+            checkpoint_dir = (
+                f"{spec.checkpoint_dir}/{name.replace('/', '_')}"
+                if spec.checkpoint_dir is not None
+                else None
+            )
+            service.add_tenant(
+                name,
+                session,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=spec.checkpoint_every,
+            )
+            sessions[name] = session
+            programs[name] = program
+        results = service.run_programs(programs)
+        for name, outputs in results.items():
+            for output in outputs:
+                if isinstance(output, Exception):
+                    raise output
+        outcomes = []
+        for tenant_spec in specs:
+            session = sessions[tenant_spec.name]
+            steps = (
+                session.trace.questions_asked
+                if tenant_spec.oracle == "crowd"
+                else len(session.trace.steps)
+            )
+            crowd_fields = (
+                {
+                    "rounds": len(session.trace.rounds),
+                    "answers": session.ledger.answers_charged,
+                    "spend": session.ledger.spent,
+                }
+                if tenant_spec.oracle == "crowd"
+                else {}
+            )
+            outcomes.append(
+                _summarise(
+                    fixture, tenant_spec, session, steps=steps, **crowd_fields
+                )
+            )
+        stats = service.stats()
+    return ServiceScenarioResult(outcomes=outcomes, stats=stats)
 
 
 def run_matrix(

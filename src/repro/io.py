@@ -32,13 +32,14 @@ from .core.schema import Attribute, Schema
 
 #: Current on-disk format version.  Version 2 added network-delta
 #: documents, delta journal transactions and the sessions'
-#: ``deltas_applied`` counter; every version-1 document still loads
-#: (restore fills the new fields with their pre-delta defaults), so
-#: bumping the version does not orphan existing checkpoints.
-FORMAT_VERSION = 2
+#: ``deltas_applied`` counter; version 3 added the delta ``rescore``
+#: entries (in-place confidence updates).  Every older document still
+#: loads (restore fills the new fields with their defaults), so bumping
+#: the version does not orphan existing checkpoints.
+FORMAT_VERSION = 3
 
 #: Versions the loaders accept.  Writers always emit ``FORMAT_VERSION``.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 class FormatError(ValueError):
@@ -191,8 +192,11 @@ def delta_to_dict(delta) -> dict:
     network)) == d`` for any document this function produced, which is what
     lets crash recovery re-execute a journaled delta under replay
     verification (the re-appended record must equal the journaled one).
+    The ``rescore`` key is emitted only when non-empty, so documents (and
+    journal records) written before rescores existed round-trip
+    unchanged.
     """
-    return {
+    document = {
         "kind": "network-delta",
         "version": FORMAT_VERSION,
         "add_schemas": [schema_to_dict(schema) for schema in delta.add_schemas],
@@ -206,6 +210,12 @@ def delta_to_dict(delta) -> dict:
             correspondence_to_dict(corr) for corr in delta.remove_candidates
         ],
     }
+    if delta.rescore:
+        document["rescore"] = [
+            {**correspondence_to_dict(corr), "confidence": score}
+            for corr, score in delta.rescore
+        ]
+    return document
 
 
 def delta_from_dict(document: dict, network: MatchingNetwork):
@@ -237,6 +247,10 @@ def delta_from_dict(document: dict, network: MatchingNetwork):
         remove_candidates=tuple(
             correspondence_from_dict(entry, schemas)
             for entry in document["remove_candidates"]
+        ),
+        rescore=tuple(
+            (correspondence_from_dict(entry, schemas), entry["confidence"])
+            for entry in document.get("rescore", ())
         ),
     )
 

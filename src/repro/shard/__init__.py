@@ -28,6 +28,7 @@ from .components import (
     violation_components,
 )
 from .estimator import ShardedEstimator
+from .pool import PoolClosedError, PoolStats, ShardWorkerPool
 from .store import (
     MAX_PRODUCT_ROWS,
     EnumeratingSampleStore,
@@ -38,8 +39,11 @@ from .store import (
 __all__ = [
     "MAX_PRODUCT_ROWS",
     "EnumeratingSampleStore",
+    "PoolClosedError",
+    "PoolStats",
     "Shard",
     "ShardPlan",
+    "ShardWorkerPool",
     "ShardedEstimator",
     "ShardedSampleStore",
     "shard_plan",

@@ -42,6 +42,8 @@ class ShardedEstimator(ProbabilityEstimator):
         enumerate_limit: int = 4096,
         parallel: Optional[int] = None,
         restart_probability: float = 0.15,
+        pool=None,
+        catalog=None,
     ):
         self.network = network
         self.store = ShardedSampleStore(
@@ -54,6 +56,8 @@ class ShardedEstimator(ProbabilityEstimator):
             max_shards=max_shards,
             enumerate_limit=enumerate_limit,
             parallel=parallel,
+            pool=pool,
+            catalog=catalog,
         )
 
     @classmethod

@@ -51,18 +51,22 @@ def refill_shards_parallel(
     shards: Sequence[Shard],
     workers: int,
     pool: ProcessPoolExecutor | None = None,
+    client: int | None = None,
 ) -> None:
     """Refresh every shard store across a process pool, in place.
 
-    Results are applied in shard order (the pool's ``map`` preserves
-    input order), and each worker starts from the shard's captured
-    stream positions, so the post-state is bit-identical to running
+    Results are applied in shard order (both pool kinds preserve input
+    order), and each worker starts from the shard's captured stream
+    positions, so the post-state is bit-identical to running
     ``store.refresh()`` sequentially.
 
-    With ``pool`` the caller supplies a long-lived executor (see
-    ``ShardedSampleStore``'s lazily-created pool) and keeps ownership —
-    it is *not* shut down here; without it a throwaway pool is created
-    and torn down, which pays worker spin-up on every refill.
+    ``pool`` may be either a plain executor or a
+    :class:`~repro.shard.pool.ShardWorkerPool` (detected by its
+    ``run_refills`` method); the latter routes each job by ``(client,
+    shard.uid)`` so repeat refills hit the worker already holding the
+    shard's sub-network.  The caller keeps ownership either way — the
+    pool is *not* shut down here; without one a throwaway executor is
+    created and torn down, which pays worker spin-up on every refill.
     """
     payloads = []
     for shard in shards:
@@ -78,7 +82,13 @@ def refill_shards_parallel(
                 "enumerate_limit": shard.store.enumerate_limit,
             }
         )
-    if pool is not None:
+    if pool is not None and hasattr(pool, "run_refills"):
+        jobs = [
+            ((client or 0, shard.uid), payload)
+            for shard, payload in zip(shards, payloads)
+        ]
+        results = pool.run_refills(jobs)
+    elif pool is not None:
         results = list(pool.map(_refill_shard_worker, payloads))
     else:
         with ProcessPoolExecutor(max_workers=workers) as owned:

@@ -29,6 +29,7 @@ the global width.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Optional, Sequence
 
@@ -114,6 +115,12 @@ class EnumeratingSampleStore(SampleStore):
         self._invalidate_derived()
 
 
+#: Process-wide shard identities for worker-pool affinity.  ``id()``
+#: would be reused after GC and silently alias two shards' cached
+#: sub-networks; a monotone counter cannot collide.
+_SHARD_UIDS = itertools.count(1)
+
+
 class Shard:
     """One shard: a component-closed slice of the candidate universe.
 
@@ -123,10 +130,12 @@ class Shard:
     over exactly those candidates — ``CandidateSet.restricted_to``
     preserves insertion order, so local engine index ``k`` is global
     index ``indices[k]`` and the shard store's vectors align with
-    ``columns`` directly.
+    ``columns`` directly.  ``uid`` identifies the shard (and hence its
+    sub-network) across refills for worker affinity: delta carryover
+    keeps the uid with the network, rebuilds draw a fresh one.
     """
 
-    __slots__ = ("position", "indices", "columns", "network", "store")
+    __slots__ = ("position", "indices", "columns", "network", "store", "uid")
 
     def __init__(
         self,
@@ -134,12 +143,14 @@ class Shard:
         indices: tuple[int, ...],
         network: MatchingNetwork,
         store: SampleStore,
+        uid: Optional[int] = None,
     ):
         self.position = position
         self.indices = indices
         self.columns = np.asarray(indices, dtype=np.intp)
         self.network = network
         self.store = store
+        self.uid = uid if uid is not None else next(_SHARD_UIDS)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -228,6 +239,8 @@ class ShardedSampleStore:
         enumerate_limit: int = 4096,
         parallel: Optional[int] = None,
         fill: bool = True,
+        pool=None,
+        catalog=None,
     ):
         if target_samples < 1:
             raise ValueError("target_samples must be positive")
@@ -243,6 +256,12 @@ class ShardedSampleStore:
         self.max_shards = max_shards
         self.enumerate_limit = enumerate_limit
         self.parallel = parallel
+        # A shared ShardWorkerPool (service-owned, never closed here) and
+        # an optional ShardCatalog of reusable compiles/fills — both
+        # duck-typed so the shard layer never imports the service layer.
+        self._external_pool = pool
+        self._client = pool.register_client() if pool is not None else None
+        self.catalog = catalog
         self.feedback = Feedback()
         self.version = 0
         self.plan: ShardPlan = shard_plan(network, max_shards=max_shards)
@@ -280,7 +299,16 @@ class ShardedSampleStore:
         """
         correspondences = self.network.correspondences
         members = [correspondences[i] for i in indices]
-        subnet = _shard_subnetwork(self.network, members)
+        if self.catalog is not None:
+            subnet = self.catalog.subnetwork(
+                self.network,
+                indices,
+                lambda: _shard_subnetwork(self.network, members),
+            )
+        else:
+            subnet = _shard_subnetwork(self.network, members)
+        # The master rng ALWAYS spawns the shard stream here, catalog hit
+        # or not — stream spawning is part of the deterministic contract.
         sampler = InstanceSampler(
             subnet,
             walk_steps=self.walk_steps,
@@ -299,6 +327,20 @@ class ShardedSampleStore:
                 for corr in self.feedback.disapproved
                 if corr in member_set
             )
+        if (
+            self.catalog is not None
+            and not state["approved"]
+            and not state["disapproved"]
+        ):
+            # Another tenant may already have enumerated this shard's
+            # unconditioned Ω — a pure function of the sub-network, so
+            # adopting its store state (sampler untouched: enumeration
+            # consumes no RNG) is bit-identical to enumerating again.
+            cached = self.catalog.enumerated_fill(
+                self.network, self._fill_key(indices)
+            )
+            if cached is not None:
+                state = cached
         store = EnumeratingSampleStore.from_state(
             subnet,
             sampler,
@@ -306,6 +348,15 @@ class ShardedSampleStore:
             enumerate_limit=self.enumerate_limit,
         )
         return Shard(position, indices, subnet, store)
+
+    def _fill_key(self, indices: tuple[int, ...]) -> tuple:
+        """Catalog key for a shard's unconditioned enumerated fill."""
+        return (
+            indices,
+            self.target_samples,
+            self.min_samples,
+            self.enumerate_limit,
+        )
 
     # ------------------------------------------------------------------
     # Refill
@@ -326,41 +377,84 @@ class ShardedSampleStore:
             and not shard.store.exhausted
         ]
         if needy:
+            watched = self._fill_candidates(needy)
             if workers is not None and workers > 1 and len(needy) > 1:
                 from .parallel import refill_shards_parallel
 
                 refill_shards_parallel(
-                    needy, workers=workers, pool=self._ensure_pool(workers)
+                    needy,
+                    workers=workers,
+                    pool=self._ensure_pool(workers),
+                    client=self._client,
                 )
             else:
                 for shard in needy:
                     shard.store.refresh()
+            self._publish_fills(watched)
         self._invalidate()
 
-    def _ensure_pool(self, workers: int):
-        """The lazily-created persistent worker pool for parallel refills.
+    def _fill_candidates(self, needy: Sequence[Shard]) -> list[tuple[Shard, dict]]:
+        """Shards whose refill might produce a catalog-shareable fill.
 
-        Spinning up a ``ProcessPoolExecutor`` per refill dominates small
-        fan-outs (worker fork + interpreter start per call), so the pool
-        is created on first parallel refill and reused until
-        :meth:`close` — recreated only if the worker count changes.  The
-        pool carries no sampling state (workers receive full store and
-        sampler states per call), so reuse cannot affect results.
+        A fill is shareable only when the shard carries no feedback (its
+        Ω is the unconditioned space) — the pre-refill sampler state is
+        captured so pure enumeration (which consumes no RNG) can be told
+        apart from walk saturation afterwards.
         """
+        if self.catalog is None:
+            return []
+        return [
+            (shard, shard.store.sampler.get_state())
+            for shard in needy
+            if not shard.store.feedback
+        ]
+
+    def _publish_fills(self, watched: Sequence[tuple[Shard, dict]]) -> None:
+        for shard, before in watched:
+            if (
+                shard.store.exhausted
+                and shard.store.sampler.get_state() == before
+            ):
+                self.catalog.put_enumerated_fill(
+                    self.network,
+                    self._fill_key(shard.indices),
+                    shard.store.get_state(),
+                )
+
+    def _ensure_pool(self, workers: int):
+        """The persistent worker pool for parallel refills.
+
+        A service-shared pool passed at construction wins outright (its
+        worker count is the service's concern, and the service closes
+        it).  Otherwise the store lazily owns a
+        :class:`~repro.shard.pool.ShardWorkerPool` — created on first
+        parallel refill and reused until :meth:`close`, recreated only if
+        the worker count changes.  The pool carries no *authoritative*
+        sampling state (workers receive full store and sampler states per
+        call; their network caches are a shipping optimisation), so reuse
+        cannot affect results.
+        """
+        if self._external_pool is not None:
+            return self._external_pool
         if self._pool is not None and self._pool_workers != workers:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
         if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+            from .pool import ShardWorkerPool
 
-            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool = ShardWorkerPool(workers)
             self._pool_workers = workers
+            self._client = self._pool.register_client()
         return self._pool
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
+        """Shut down the owned worker pool (idempotent).
+
+        A service-shared pool is deliberately left running — the service
+        owns its lifecycle and other tenants are still using it.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
             self._pool_workers = None
 
@@ -392,7 +486,17 @@ class ShardedSampleStore:
 
         Returns the carried map (new shard position → old position) for
         observability; its complement is the rebuilt set.
+
+        A rescore-only delta (``result.structural`` False) swaps the
+        global network reference and returns the identity carried map:
+        the engine, the shard plan, every shard's sub-network, store and
+        RNG stream stay byte-identical (sample frequencies never read
+        matcher confidence — confidence-ranked selection reads the
+        *global* candidate set, which the successor network carries).
         """
+        if not result.structural:
+            self.network = result.network
+            return {position: position for position in range(len(self.shards))}
         plan, carried = shard_plan_delta(
             self.plan, result, max_shards=self.max_shards
         )
@@ -415,7 +519,8 @@ class ShardedSampleStore:
             if old_position is not None:
                 old = old_shards[old_position]
                 self.shards.append(
-                    Shard(position, indices, old.network, old.store)
+                    Shard(position, indices, old.network, old.store,
+                          uid=old.uid)
                 )
             else:
                 # Rebuilt shards draw fresh streams from the master rng
@@ -648,6 +753,8 @@ class ShardedSampleStore:
         max_shards: Optional[int] = None,
         enumerate_limit: int = 4096,
         parallel: Optional[int] = None,
+        pool=None,
+        catalog=None,
     ) -> "ShardedSampleStore":
         """Rebuild from :meth:`get_state` without consuming any RNG.
 
@@ -668,6 +775,8 @@ class ShardedSampleStore:
             enumerate_limit=enumerate_limit,
             parallel=parallel,
             fill=False,
+            pool=pool,
+            catalog=catalog,
         )
         version, internal, gauss = state["rng"]
         store.rng.setstate((version, tuple(internal), gauss))

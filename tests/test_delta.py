@@ -603,3 +603,169 @@ class TestDeltaCodec:
         )
         with pytest.raises(FormatError, match="network-delta"):
             delta_from_dict({"kind": "feedback", "version": 2}, network)
+
+
+class TestRescoreDelta:
+    """Matcher re-scoring: confidence patches without recompilation."""
+
+    def _network(self):
+        return synthetic_network(
+            40, n_schemas=6, attributes_per_schema=10, seed=2
+        )
+
+    def test_rescore_only_shares_engine_verbatim(self):
+        network = self._network()
+        first = network.correspondences[0]
+        delta = NetworkDelta(rescore=((first, 0.99),))
+        assert not delta.is_structural()
+        assert not delta.is_empty()
+        result = apply_network_delta(network, delta)
+        assert not result.structural
+        assert result.network.engine is network.engine
+        assert result.network.candidates.confidence(first) == 0.99
+        assert dict(result.index_map) == {
+            i: i for i in range(network.engine.n)
+        }
+        assert result.removed_indices == ()
+        assert result.added_indices == ()
+        assert result.rescored_indices == (0,)
+        # Untouched candidates keep their confidences bit-for-bit.
+        for corr in network.correspondences[1:]:
+            assert result.network.candidates.confidence(
+                corr
+            ) == network.candidates.confidence(corr)
+
+    def test_mapping_input_is_normalised(self):
+        network = self._network()
+        first = network.correspondences[0]
+        delta = NetworkDelta(rescore={first: 0.25})
+        assert delta.rescore == ((first, 0.25),)
+
+    def test_duplicate_rescore_rejected(self):
+        network = self._network()
+        first = network.correspondences[0]
+        with pytest.raises(ValueError, match="twice"):
+            apply_network_delta(
+                network, NetworkDelta(rescore=((first, 0.1), (first, 0.2)))
+            )
+
+    def test_rescoring_non_candidate_rejected(self):
+        network = self._network()
+        anchor = network.correspondences[0]
+        left, right = anchor.attributes
+        left_schema = next(
+            schema for schema in network.schemas if schema.name == left.schema
+        )
+        stranger = next(
+            corr
+            for attr in left_schema.attributes
+            if (corr := correspondence(attr, right))
+            not in network.candidates
+        )
+        with pytest.raises(ValueError, match="not a candidate"):
+            apply_network_delta(
+                network, NetworkDelta(rescore=((stranger, 0.5),))
+            )
+
+    def test_rescoring_a_removed_candidate_rejected(self):
+        network = self._network()
+        churn = make_churn_delta(network, 0.2, random.Random(11))
+        removed_schemas = set(churn.remove_schemas)
+        victim = next(
+            corr
+            for corr in network.correspondences
+            if any(a.schema in removed_schemas for a in corr.attributes)
+        )
+        with pytest.raises(ValueError, match="also removes"):
+            apply_network_delta(
+                network,
+                NetworkDelta(
+                    remove_schemas=churn.remove_schemas,
+                    rescore=((victim, 0.5),),
+                ),
+            )
+
+    def test_structural_delta_patches_survivors(self):
+        network = self._network()
+        churn = make_churn_delta(network, 0.2, random.Random(11))
+        removed_schemas = set(churn.remove_schemas)
+        survivor = next(
+            corr
+            for corr in network.correspondences
+            if all(a.schema not in removed_schemas for a in corr.attributes)
+        )
+        combined = NetworkDelta(
+            add_schemas=churn.add_schemas,
+            remove_schemas=churn.remove_schemas,
+            add_edges=churn.add_edges,
+            add_candidates=churn.add_candidates,
+            rescore=((survivor, 0.123),),
+        )
+        result = apply_network_delta(network, combined)
+        assert result.structural
+        new_index = result.network.engine.index_of[survivor]
+        assert result.rescored_indices == (new_index,)
+        assert result.network.candidates.confidence(survivor) == 0.123
+
+    def test_exact_estimator_keeps_probabilities(self, movie_network):
+        pnet = ProbabilisticNetwork(
+            movie_network, estimator=ExactEstimator(movie_network)
+        )
+        before = pnet.probability_vector().copy()
+        first = movie_network.correspondences[0]
+        result = movie_network.apply_delta(
+            NetworkDelta(rescore=((first, 0.77),))
+        )
+        pnet.apply_delta(result)
+        assert pnet.network is result.network
+        assert np.array_equal(pnet.probability_vector(), before)
+
+    def test_sharded_store_fast_path_is_identity(self):
+        network = self._network()
+        store = ShardedSampleStore(
+            network, rng=random.Random(5), target_samples=50
+        )
+        shards_before = [
+            (shard.network, shard.store, shard.uid) for shard in store.shards
+        ]
+        vector_before = store.probability_vector().copy()
+        first = network.correspondences[0]
+        result = network.apply_delta(NetworkDelta(rescore=((first, 0.6),)))
+        carried = store.apply_delta(result)
+        assert carried == {i: i for i in range(len(store.shards))}
+        assert store.network is result.network
+        for shard, (net, st, uid) in zip(store.shards, shards_before):
+            assert shard.network is net
+            assert shard.store is st
+            assert shard.uid == uid
+        assert np.array_equal(store.probability_vector(), vector_before)
+        store.close()
+
+    def test_codec_round_trips_rescore(self):
+        network = self._network()
+        first = network.correspondences[0]
+        delta = NetworkDelta(rescore=((first, 0.5),))
+        document = delta_to_dict(delta)
+        assert "rescore" in document
+        decoded = delta_from_dict(document, network)
+        assert decoded == delta
+        assert delta_to_dict(decoded) == document
+
+    def test_codec_omits_empty_rescore_for_replay_stability(self):
+        network = self._network()
+        churn = make_churn_delta(network, 0.2, random.Random(11))
+        document = delta_to_dict(churn)
+        # Pre-rescore journals must replay byte-for-byte: a structural
+        # delta without rescores serialises without the key at all.
+        assert "rescore" not in document
+        decoded = delta_from_dict(document, network)
+        assert decoded.rescore == ()
+
+    def test_v2_documents_still_load(self):
+        network = self._network()
+        churn = make_churn_delta(network, 0.2, random.Random(11))
+        document = delta_to_dict(churn)
+        document["version"] = 2
+        decoded = delta_from_dict(document, network)
+        assert decoded.rescore == ()
+        assert decoded.remove_schemas == churn.remove_schemas

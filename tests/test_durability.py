@@ -42,7 +42,7 @@ from repro.experiments.scenarios import (
     build_session,
     run_scenario,
 )
-from repro.io import FormatError
+from repro.io import FORMAT_VERSION, FormatError
 
 _CACHE: dict[str, object] = {}
 
@@ -285,7 +285,7 @@ class TestCrowdCheckpointRoundTrip:
         session = self._mid_run_session()
         document = json.loads(json.dumps(checkpoint_to_dict(session)))
         assert document["kind"] == "session-checkpoint"
-        assert document["version"] == 2
+        assert document["version"] == FORMAT_VERSION
         assert document["session"] == "crowd"
         restored = session_from_dict(document)
         assert len(restored.trace.rounds) == 2

@@ -253,6 +253,7 @@ class TestCli:
             "crowd",
             "chaos",
             "churn",
+            "serve",
         }
 
     def test_lint_experiment_quick(self):
